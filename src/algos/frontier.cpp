@@ -1,0 +1,71 @@
+#include "algos/frontier.hpp"
+
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace hyve {
+
+std::uint64_t FrontierTrace::edges_in_iteration(std::uint32_t iter) const {
+  HYVE_CHECK(iter < block_edges.size());
+  return std::accumulate(block_edges[iter].begin(), block_edges[iter].end(),
+                         std::uint64_t{0});
+}
+
+std::uint64_t FrontierTrace::active_blocks_in_iteration(
+    std::uint32_t iter) const {
+  HYVE_CHECK(iter < block_edges.size());
+  std::uint64_t active = 0;
+  for (const std::uint64_t e : block_edges[iter]) active += (e > 0) ? 1 : 0;
+  return active;
+}
+
+FrontierTrace run_frontier(const Graph& graph, VertexProgram& program,
+                           const Partitioning& schedule) {
+  program.init(graph);
+  const std::uint32_t p = schedule.num_intervals();
+
+  FrontierTrace trace;
+  // Interval activity: all sources are candidates in the first pass.
+  std::vector<char> interval_active(p, 1);
+  std::vector<char> vertex_changed(graph.num_vertices(), 0);
+
+  bool more = true;
+  while (more && trace.result.iterations < program.max_iterations()) {
+    std::vector<std::uint64_t> this_pass(schedule.num_blocks(), 0);
+    std::fill(vertex_changed.begin(), vertex_changed.end(), 0);
+
+    for (std::uint32_t y = 0; y < p; ++y) {
+      for (std::uint32_t x = 0; x < p; ++x) {
+        if (!interval_active[x]) continue;  // block skipped
+        std::uint64_t processed = 0;
+        for (const Edge& e : schedule.block(x, y)) {
+          ++processed;
+          if (program.process_edge(e)) {
+            vertex_changed[e.dst] = 1;
+            ++trace.result.destination_writes;
+          }
+        }
+        this_pass[static_cast<std::uint64_t>(x) * p + y] = processed;
+        trace.result.edges_traversed += processed;
+      }
+    }
+
+    ++trace.result.iterations;
+    more = program.end_iteration(trace.result.iterations);
+    trace.block_edges.push_back(std::move(this_pass));
+
+    if (program.has_apply_phase()) {
+      // The apply phase rewrites every vertex (e.g. PageRank), so every
+      // interval is active again — frontier skipping degenerates safely.
+      std::fill(interval_active.begin(), interval_active.end(), 1);
+    } else {
+      std::fill(interval_active.begin(), interval_active.end(), 0);
+      for (VertexId v = 0; v < graph.num_vertices(); ++v)
+        if (vertex_changed[v]) interval_active[schedule.interval_of(v)] = 1;
+    }
+  }
+  return trace;
+}
+
+}  // namespace hyve

@@ -1,0 +1,40 @@
+// Block-level frontier tracking — an extension on top of the paper's
+// dense edge-centric model.
+//
+// HyVE (like X-Stream) streams EVERY edge each iteration. For monotone
+// relaxation algorithms (BFS, CC, SSSP) a block B[x][y] can be skipped
+// exactly when no vertex of source interval I_x changed in the previous
+// iteration: its edges cannot relax anything. ForeGraph-class designs
+// track this with one bit per interval; the non-volatile edge memory
+// makes it especially attractive because skipped blocks stay power-gated.
+//
+// PageRank's apply phase touches every vertex every iteration, so it
+// degenerates to full passes — the trace then matches the dense model
+// exactly (tested).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algos/runner.hpp"
+#include "graph/partition.hpp"
+
+namespace hyve {
+
+struct FrontierTrace {
+  // block_edges[iter][x * P + y] = edges processed in that block during
+  // that iteration (0 for skipped blocks).
+  std::vector<std::vector<std::uint64_t>> block_edges;
+  FunctionalResult result;  // edges_traversed counts processed edges only
+
+  std::uint64_t edges_in_iteration(std::uint32_t iter) const;
+  std::uint64_t active_blocks_in_iteration(std::uint32_t iter) const;
+};
+
+// Runs `program` to convergence, skipping blocks with inactive source
+// intervals. Results are identical to the dense run for programs whose
+// process_edge() returns false whenever the destination is unchanged.
+FrontierTrace run_frontier(const Graph& graph, VertexProgram& program,
+                           const Partitioning& schedule);
+
+}  // namespace hyve

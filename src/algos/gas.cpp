@@ -1,0 +1,42 @@
+#include "algos/gas.hpp"
+
+#include <algorithm>
+
+namespace hyve {
+
+GasProgram<std::uint32_t> make_reachability_program(VertexId root) {
+  GasProgram<std::uint32_t>::Spec spec;
+  spec.name = "REACH";
+  spec.init = [root](VertexId v, const Graph&) -> std::uint32_t {
+    return v == root ? 1u : 0u;
+  };
+  spec.scatter = [](const Edge&, const std::uint32_t& src,
+                    const std::uint32_t& dst)
+      -> std::optional<std::uint32_t> {
+    if (src != 0 && dst == 0) return 1u;
+    return std::nullopt;
+  };
+  return GasProgram<std::uint32_t>(std::move(spec));
+}
+
+GasProgram<std::uint32_t> make_widest_path_program(
+    VertexId root, std::uint32_t max_capacity) {
+  GasProgram<std::uint32_t>::Spec spec;
+  spec.name = "WIDEST";
+  spec.init = [root, max_capacity](VertexId v, const Graph&) {
+    // The root has unbounded inflow; everything else starts unreachable.
+    return v == root ? max_capacity + 1 : 0u;
+  };
+  spec.scatter = [max_capacity](const Edge& e, const std::uint32_t& src,
+                                const std::uint32_t& dst)
+      -> std::optional<std::uint32_t> {
+    if (src == 0) return std::nullopt;
+    const std::uint32_t through =
+        std::min(src, Graph::edge_weight(e, max_capacity));
+    if (through > dst) return through;
+    return std::nullopt;
+  };
+  return GasProgram<std::uint32_t>(std::move(spec));
+}
+
+}  // namespace hyve

@@ -1,0 +1,41 @@
+#include "algos/pagerank.hpp"
+
+#include "util/check.hpp"
+
+namespace hyve {
+
+void PageRankProgram::init(const Graph& graph) {
+  num_vertices_ = graph.num_vertices();
+  HYVE_CHECK(num_vertices_ > 0);
+  out_degree_ = graph.out_degrees();
+  const double initial = 1.0 / num_vertices_;
+  rank_.assign(num_vertices_, initial);
+  accum_.assign(num_vertices_, 0.0);
+  contribution_.assign(num_vertices_, 0.0f);
+  for (VertexId v = 0; v < num_vertices_; ++v)
+    contribution_[v] = out_degree_[v] == 0
+                           ? 0.0f
+                           : static_cast<float>(rank_[v] / out_degree_[v]);
+}
+
+bool PageRankProgram::process_edge(const Edge& e) {
+  // The source's contribution is frozen at iteration start (synchronous
+  // PageRank), which is exactly what HyVE's read-only source intervals
+  // provide.
+  accum_[e.dst] += contribution_[e.src];
+  return true;
+}
+
+bool PageRankProgram::end_iteration(std::uint32_t completed_iterations) {
+  const double base = (1.0 - damping_) / num_vertices_;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    rank_[v] = base + damping_ * accum_[v];
+    accum_[v] = 0.0;
+    contribution_[v] = out_degree_[v] == 0
+                           ? 0.0f
+                           : static_cast<float>(rank_[v] / out_degree_[v]);
+  }
+  return completed_iterations < num_iterations_;
+}
+
+}  // namespace hyve

@@ -1,0 +1,66 @@
+#include "algos/runner.hpp"
+
+#include "algos/bfs.hpp"
+#include "algos/cc.hpp"
+#include "algos/pagerank.hpp"
+#include "algos/spmv.hpp"
+#include "algos/sssp.hpp"
+#include "util/check.hpp"
+
+namespace hyve {
+
+std::unique_ptr<VertexProgram> make_program(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kBfs: return std::make_unique<BfsProgram>();
+    case Algorithm::kCc: return std::make_unique<CcProgram>();
+    case Algorithm::kPageRank: return std::make_unique<PageRankProgram>();
+    case Algorithm::kSssp: return std::make_unique<SsspProgram>();
+    case Algorithm::kSpmv: return std::make_unique<SpmvProgram>();
+  }
+  HYVE_CHECK(false);
+  __builtin_unreachable();
+}
+
+const char* algorithm_name(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kBfs: return "BFS";
+    case Algorithm::kCc: return "CC";
+    case Algorithm::kPageRank: return "PR";
+    case Algorithm::kSssp: return "SSSP";
+    case Algorithm::kSpmv: return "SpMV";
+  }
+  return "?";
+}
+
+FunctionalResult run_functional(const Graph& graph, VertexProgram& program,
+                                const Partitioning* schedule) {
+  program.init(graph);
+  FunctionalResult result;
+
+  auto run_pass = [&] {
+    if (schedule != nullptr) {
+      const std::uint32_t p = schedule->num_intervals();
+      // Column-major (destination-major) scan, the Algorithm 2 order.
+      for (std::uint32_t y = 0; y < p; ++y) {
+        for (std::uint32_t x = 0; x < p; ++x) {
+          for (const Edge& e : schedule->block(x, y))
+            result.destination_writes += program.process_edge(e) ? 1 : 0;
+        }
+      }
+    } else {
+      for (const Edge& e : graph.edges())
+        result.destination_writes += program.process_edge(e) ? 1 : 0;
+    }
+    result.edges_traversed += graph.num_edges();
+  };
+
+  bool more = true;
+  while (more && result.iterations < program.max_iterations()) {
+    run_pass();
+    ++result.iterations;
+    more = program.end_iteration(result.iterations);
+  }
+  return result;
+}
+
+}  // namespace hyve

@@ -1,0 +1,42 @@
+// Functional execution of a vertex program over a graph.
+//
+// This is the *functional* half of the simulator: it runs the algorithm
+// for real (actual ranks, distances, labels — verified against reference
+// implementations in the tests) and reports the iteration/traversal
+// counts that the architectural accounting in src/core multiplies with
+// the technology models. Edges are visited in interval-block order when a
+// Partitioning is supplied, matching the hardware's schedule.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "algos/vertex_program.hpp"
+#include "graph/partition.hpp"
+
+namespace hyve {
+
+enum class Algorithm { kBfs, kCc, kPageRank, kSssp, kSpmv };
+
+inline constexpr Algorithm kCoreAlgorithms[] = {
+    Algorithm::kBfs, Algorithm::kCc, Algorithm::kPageRank};
+inline constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kBfs, Algorithm::kCc, Algorithm::kPageRank, Algorithm::kSssp,
+    Algorithm::kSpmv};
+
+std::unique_ptr<VertexProgram> make_program(Algorithm algorithm);
+const char* algorithm_name(Algorithm algorithm);
+
+struct FunctionalResult {
+  std::uint32_t iterations = 0;
+  std::uint64_t edges_traversed = 0;    // E * iterations
+  std::uint64_t destination_writes = 0; // process_edge() returned true
+};
+
+// Runs `program` to convergence (or its max_iterations cap). If
+// `schedule` is non-null, edges are visited block by block in the
+// interval-block scan order; otherwise in edge-list order.
+FunctionalResult run_functional(const Graph& graph, VertexProgram& program,
+                                const Partitioning* schedule = nullptr);
+
+}  // namespace hyve

@@ -1,0 +1,28 @@
+#include "algos/spmv.hpp"
+
+namespace hyve {
+
+void SpmvProgram::init(const Graph& graph) {
+  y_.assign(graph.num_vertices(), 0.0);
+}
+
+double SpmvProgram::input_value(VertexId v) {
+  // Cheap deterministic hash into [0.5, 1.5) to avoid degenerate zeros.
+  std::uint64_t z = v + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 31;
+  return 0.5 + static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+double SpmvProgram::matrix_value(const Edge& e) {
+  return Graph::edge_weight(e, 1024) / 1024.0;
+}
+
+bool SpmvProgram::process_edge(const Edge& e) {
+  y_[e.dst] += matrix_value(e) * input_value(e.src);
+  return true;
+}
+
+bool SpmvProgram::end_iteration(std::uint32_t) { return false; }
+
+}  // namespace hyve

@@ -1,0 +1,63 @@
+// Functional simulation of GraphR's analog crossbar compute (§2.3, §6.4).
+//
+// The analytic GraphRModel charges time and energy; this module computes
+// the *values* a crossbar MVM actually produces: an 8x8 block of edge
+// weights is quantised to 16-bit fixed point and bit-sliced across 4
+// crossbars of 4-bit cells (the paper's configuration); the input vector
+// passes through 8-bit DACs. The result is exact up to those two
+// quantisations — which is precisely the accuracy cost of computing in
+// the adjacency matrix instead of on CMOS, a dimension the paper's
+// energy comparison leaves implicit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hyve {
+
+class QuantizedCrossbarBlock {
+ public:
+  static constexpr int kDim = 8;         // 8x8 crossbars
+  static constexpr int kCellBits = 4;    // per-cell conductance levels
+  static constexpr int kSlices = 4;      // 4 crossbars for 16-bit weights
+  static constexpr int kDacBits = 8;     // input DAC resolution
+
+  // Programs the block: weights[src][dst] in [0, 1].
+  explicit QuantizedCrossbarBlock(
+      const std::array<std::array<double, kDim>, kDim>& weights);
+
+  // Analog matrix-vector product: y[dst] = sum_src W[src][dst] * x[src],
+  // x quantised through the DACs relative to x_scale (the max |x| the
+  // DAC range is calibrated to).
+  std::array<double, kDim> mvm(const std::array<double, kDim>& x,
+                               double x_scale) const;
+
+  // Cells written while programming (= non-zero weights x slices).
+  std::uint64_t cells_programmed() const { return cells_programmed_; }
+
+ private:
+  // cell_[slice][src][dst] in [0, 15].
+  std::array<std::array<std::array<std::uint8_t, kDim>, kDim>, kSlices>
+      cell_{};
+  std::uint64_t cells_programmed_ = 0;
+};
+
+// PageRank executed through quantised crossbar MVMs, block by block over
+// the 8x8-vertex grid — the functional twin of GraphRModel's PR run.
+struct CrossbarPagerankResult {
+  std::vector<double> ranks;
+  std::uint64_t blocks_evaluated = 0;   // per iteration sum
+  std::uint64_t cells_programmed = 0;
+  // Error of the crossbar ranks against float PageRank.
+  double max_abs_error = 0;
+  double mean_abs_error = 0;
+};
+
+CrossbarPagerankResult crossbar_pagerank(const Graph& graph,
+                                         std::uint32_t iterations,
+                                         double damping = 0.85);
+
+}  // namespace hyve

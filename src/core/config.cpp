@@ -1,0 +1,73 @@
+#include "core/config.hpp"
+
+#include "util/check.hpp"
+
+namespace hyve {
+
+void HyveConfig::validate() const {
+  HYVE_CHECK_MSG(num_pus >= 1 && num_pus <= 64, "num_pus = " << num_pus);
+  HYVE_CHECK_MSG(edge_bytes == 8 || edge_bytes == 12,
+                 "edge_bytes must be 8 (unweighted) or 12 (weighted)");
+  HYVE_CHECK_MSG(!power_gating || edge_memory_tech == MemTech::kReram,
+                 "bank-level power gating relies on non-volatile banks "
+                 "(§4.1); enable it only with a ReRAM edge memory");
+  HYVE_CHECK_MSG(!data_sharing || has_onchip_vertex_memory(),
+                 "data sharing routes between on-chip vertex memories and "
+                 "needs SRAM sections present");
+  HYVE_CHECK_MSG(!frontier_block_skipping || has_onchip_vertex_memory(),
+                 "block skipping piggybacks on the interval scheduler and "
+                 "needs the on-chip vertex level");
+}
+
+HyveConfig HyveConfig::hyve_opt() {
+  HyveConfig c;
+  c.label = "acc+HyVE-opt";
+  return c;
+}
+
+HyveConfig HyveConfig::hyve() {
+  HyveConfig c;
+  c.label = "acc+HyVE";
+  c.data_sharing = false;
+  c.power_gating = false;
+  return c;
+}
+
+HyveConfig HyveConfig::sram_dram() {
+  HyveConfig c;
+  c.label = "acc+SRAM+DRAM";
+  c.data_sharing = false;
+  c.power_gating = false;
+  c.edge_memory_tech = MemTech::kDram;
+  return c;
+}
+
+HyveConfig HyveConfig::acc_dram() {
+  HyveConfig c;
+  c.label = "acc+DRAM";
+  c.data_sharing = false;
+  c.power_gating = false;
+  c.edge_memory_tech = MemTech::kDram;
+  c.offchip_vertex_tech = MemTech::kDram;
+  c.sram_bytes_per_pu = 0;
+  return c;
+}
+
+HyveConfig HyveConfig::acc_reram() {
+  HyveConfig c;
+  c.label = "acc+ReRAM";
+  c.data_sharing = false;
+  c.power_gating = false;
+  c.edge_memory_tech = MemTech::kReram;
+  c.offchip_vertex_tech = MemTech::kReram;
+  c.sram_bytes_per_pu = 0;
+  return c;
+}
+
+std::vector<HyveConfig> fig16_accelerator_configs() {
+  return {HyveConfig::acc_dram(), HyveConfig::acc_reram(),
+          HyveConfig::sram_dram(), HyveConfig::hyve(),
+          HyveConfig::hyve_opt()};
+}
+
+}  // namespace hyve

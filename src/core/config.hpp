@@ -1,0 +1,79 @@
+// HyVE machine configuration (paper §3, §7.1) and the named configuration
+// variants evaluated in Fig. 16/17.
+//
+// A configuration picks the technology of each level of the hierarchy:
+//   edge memory        — ReRAM in HyVE, DRAM in the conventional baselines;
+//   off-chip vertex    — DRAM in HyVE (write bandwidth, §3.2), ReRAM in
+//                        the acc+ReRAM strawman;
+//   on-chip vertex     — per-PU SRAM (source + destination sections), or
+//                        absent in acc+DRAM / acc+ReRAM, whose vertex
+//                        accesses then go off-chip directly;
+// plus the two §4 optimisations: inter-PU data sharing and bank-level
+// power gating (only meaningful for a non-volatile edge memory).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memmodel/dram.hpp"
+#include "memmodel/memtech.hpp"
+#include "memmodel/reram.hpp"
+#include "util/units.hpp"
+
+namespace hyve {
+
+struct HyveConfig {
+  std::string label = "acc+HyVE-opt";
+
+  int num_pus = 8;  // §7.1: 8 processing units
+
+  // Bytes per stored edge: 8 = two 32-bit vertex ids (§6.2); 12 adds a
+  // 32-bit constant weight (§3.1 "possibly a constant edge weight").
+  std::uint32_t edge_bytes = 8;
+
+  // Per-PU on-chip vertex SRAM (holds one source + one destination
+  // interval); 0 disables the on-chip level entirely.
+  std::uint64_t sram_bytes_per_pu = units::MiB(2);
+
+  bool data_sharing = true;   // §4.2
+  bool power_gating = true;   // §4.1 (requires ReRAM edge memory)
+
+  // Hash-based vertex remapping before interval-block partitioning
+  // (ForeGraph/GraphH, §4.3) to balance block populations across PUs.
+  // When on, the machine simulates the permuted layout; algorithm outputs
+  // are then in permuted id space — use run_functional() directly when
+  // per-vertex results matter.
+  bool hash_balance = true;
+  std::uint64_t hash_balance_seed = 0x48795645;
+
+  // Extension beyond the paper's dense model: skip blocks whose source
+  // interval saw no change in the previous iteration (exact for the
+  // monotone-relaxation algorithms; PageRank degenerates to full passes).
+  // Skipped blocks stream no edges, issue no PU ops, and leave their
+  // banks power-gated. Default off = paper-faithful dense passes.
+  bool frontier_block_skipping = false;
+
+  MemTech edge_memory_tech = MemTech::kReram;
+  MemTech offchip_vertex_tech = MemTech::kDram;
+
+  ReramConfig reram;  // applied wherever a level uses ReRAM
+  DramConfig dram;    // applied wherever a level uses DRAM
+
+  bool has_onchip_vertex_memory() const { return sram_bytes_per_pu > 0; }
+
+  // Throws InvariantError on inconsistent combinations.
+  void validate() const;
+
+  // ---- the named variants of Fig. 16 ----
+  static HyveConfig hyve_opt();    // acc+HyVE-opt: sharing + power gating
+  static HyveConfig hyve();        // acc+HyVE: hybrid hierarchy only
+  static HyveConfig sram_dram();   // acc+SRAM+DRAM ("SD")
+  static HyveConfig acc_dram();    // acc+DRAM: no on-chip vertex memory
+  static HyveConfig acc_reram();   // acc+ReRAM: ReRAM everywhere
+};
+
+// The accelerator variants of Fig. 16, in the paper's bar order.
+std::vector<HyveConfig> fig16_accelerator_configs();
+
+}  // namespace hyve

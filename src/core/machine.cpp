@@ -1,0 +1,391 @@
+#include "core/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "memmodel/techparams.hpp"
+#include "sim/pipeline.hpp"
+#include "util/check.hpp"
+
+namespace hyve {
+
+using namespace tech;
+
+double RunReport::mteps() const {
+  return exec_time_ns <= 0
+             ? 0.0
+             : static_cast<double>(edges_traversed) / exec_time_ns * 1e3;
+}
+
+double RunReport::mteps_per_watt() const {
+  return units::mteps_per_watt(static_cast<double>(edges_traversed),
+                               total_energy_pj());
+}
+
+HyveMachine::HyveMachine(HyveConfig config)
+    : config_(std::move(config)), reram_(config_.reram), dram_(config_.dram) {
+  config_.validate();
+  if (config_.has_onchip_vertex_memory())
+    sram_.emplace(config_.sram_bytes_per_pu);
+}
+
+const MemoryModel& HyveMachine::edge_memory() const {
+  if (config_.edge_memory_tech == MemTech::kReram)
+    return static_cast<const MemoryModel&>(reram_);
+  return dram_;
+}
+
+const MemoryModel& HyveMachine::offchip_vertex_memory() const {
+  if (config_.offchip_vertex_tech == MemTech::kReram)
+    return static_cast<const MemoryModel&>(reram_);
+  return dram_;
+}
+
+std::uint32_t HyveMachine::choose_num_intervals(
+    const Graph& graph, std::uint32_t vertex_value_bytes) const {
+  const auto n = static_cast<std::uint32_t>(config_.num_pus);
+  HYVE_CHECK_MSG(graph.num_vertices() >= n,
+                 "graph smaller than the PU count");
+  if (!config_.has_onchip_vertex_memory()) return n;
+  // Each PU's SRAM is split into a source and a destination section, each
+  // holding one interval (§3.2): interval_bytes <= sram/2.
+  const double section_bytes =
+      static_cast<double>(config_.sram_bytes_per_pu) / 2.0;
+  const double total_vertex_bytes =
+      static_cast<double>(graph.num_vertices()) * vertex_value_bytes;
+  const auto needed = static_cast<std::uint32_t>(
+      std::ceil(total_vertex_bytes / section_bytes));
+  const std::uint32_t p = std::max(n, ((needed + n - 1) / n) * n);
+  HYVE_CHECK_MSG(p <= graph.num_vertices(),
+                 "SRAM sections too small: P=" << p << " exceeds V="
+                                               << graph.num_vertices());
+  return p;
+}
+
+RunReport HyveMachine::run(const Graph& graph, Algorithm algorithm) const {
+  const auto program = make_program(algorithm);
+  return run(graph, *program);
+}
+
+RunReport HyveMachine::run(const Graph& graph, VertexProgram& program) const {
+  const std::uint32_t p =
+      choose_num_intervals(graph, program.vertex_value_bytes());
+  auto execute = [&](const Graph& g) {
+    const Partitioning schedule(g, p);
+    if (config_.frontier_block_skipping) {
+      const FrontierTrace trace = run_frontier(g, program, schedule);
+      return account(g, program, schedule, trace.result, &trace);
+    }
+    const FunctionalResult functional = run_functional(g, program, &schedule);
+    return account(g, program, schedule, functional, nullptr);
+  };
+  if (config_.hash_balance) {
+    // Simulate the hash-balanced layout (§4.3): block populations even
+    // out across PUs, which the per-step synchronisation rewards.
+    const Graph balanced = graph.hashed_remap(config_.hash_balance_seed);
+    return execute(balanced);
+  }
+  return execute(graph);
+}
+
+namespace {
+
+// Pipeline stage times of one processing unit (Eq. 1's max() argument).
+PipelineStageTimes stage_times(double edge_stream_bytes_per_ns, int num_pus,
+                               double local_vertex_cycle_ns,
+                               std::uint32_t edge_bytes) {
+  PipelineStageTimes stages;
+  // All N PUs stream their blocks concurrently and share the channel.
+  stages.edge_read_ns =
+      static_cast<double>(edge_bytes) * num_pus / edge_stream_bytes_per_ns;
+  stages.vertex_read_ns = local_vertex_cycle_ns;
+  stages.update_ns = kPuPipelineCycleNs;
+  stages.vertex_write_ns = local_vertex_cycle_ns;
+  // Pipe fill: edge fetch + two vertex accesses + the unpipelined
+  // multiplier latency, once per block.
+  stages.fill_latency_ns = 30.0 + kCmosMultiplierLatencyNs +
+                           2.0 * local_vertex_cycle_ns;
+  return stages;
+}
+
+}  // namespace
+
+void HyveMachine::account_with_sram(const Graph& graph,
+                                    const Partitioning& schedule,
+                                    std::uint32_t value_bytes, bool has_apply,
+                                    const FrontierTrace* frontier,
+                                    RunReport& report) const {
+  const auto n = static_cast<std::uint32_t>(config_.num_pus);
+  const std::uint32_t p = schedule.num_intervals();
+  const std::uint32_t k = p / n;
+  HYVE_CHECK(k * n == p);
+  const std::uint64_t v = graph.num_vertices();
+  const std::uint32_t edge_bytes = config_.edge_bytes;
+
+  // Edges of block (x, y) streamed during iteration `iter` (frontier
+  // skipping zeroes whole source-rows of the block grid).
+  auto block_edges = [&](std::uint32_t iter, std::uint32_t x,
+                         std::uint32_t y) -> std::uint64_t {
+    if (frontier != nullptr)
+      return frontier
+          ->block_edges[iter][static_cast<std::uint64_t>(x) * p + y];
+    (void)iter;
+    return schedule.block_edge_count(x, y);
+  };
+  // Whether source interval x participates at all in this iteration.
+  auto interval_active = [&](std::uint32_t iter, std::uint32_t x) {
+    if (frontier == nullptr) return true;
+    for (std::uint32_t y = 0; y < p; ++y)
+      if (block_edges(iter, x, y) > 0) return true;
+    return false;
+  };
+
+  const MemoryModel& vmem = offchip_vertex_memory();
+  const MemoryModel& emem = edge_memory();
+  const double edge_bw =
+      static_cast<double>(edge_bytes) /
+      emem.stream_read_time_ns(edge_bytes);  // bytes per ns
+  const PipelineStageTimes stages =
+      stage_times(edge_bw, config_.num_pus, sram_->cycle_ns(), edge_bytes);
+
+  AccessStats total;
+  double exec_time = 0;
+  double streaming_time = 0;
+
+  for (std::uint32_t iter = 0; iter < report.iterations; ++iter) {
+    AccessStats it;
+
+    // ---- Loading / Updating phases (Algorithm 2) ----
+    // Destination intervals: each loaded once and written back once per
+    // iteration. Source intervals: with data sharing, loaded once per
+    // super-block column (k times each active interval); without, once
+    // per *block*, since every step replaces the PU's source section.
+    std::uint64_t src_bytes = 0;
+    std::uint64_t src_loads = 0;
+    for (std::uint32_t x = 0; x < p; ++x) {
+      const std::uint64_t interval_bytes =
+          static_cast<std::uint64_t>(schedule.interval_population(x)) *
+          value_bytes;
+      if (config_.data_sharing) {
+        if (interval_active(iter, x)) {
+          src_bytes += k * interval_bytes;
+          src_loads += k;
+        }
+      } else {
+        for (std::uint32_t y = 0; y < p; ++y) {
+          if (frontier == nullptr || block_edges(iter, x, y) > 0) {
+            src_bytes += interval_bytes;
+            ++src_loads;
+          }
+        }
+      }
+    }
+    const std::uint64_t vertex_bytes_total = v * value_bytes;
+    it.interval_loads = p /*dst*/ + src_loads;
+    it.interval_writebacks = p;
+    it.offchip_vertex_bytes_read = src_bytes + vertex_bytes_total;
+    it.offchip_vertex_bytes_written = vertex_bytes_total;
+    it.sram_fill_bytes = src_bytes + vertex_bytes_total;
+    it.sram_drain_bytes = vertex_bytes_total;
+
+    // ---- Processing phase ----
+    std::uint64_t edges_this_iter = 0;
+    std::uint64_t remote_edges = 0;
+    double processing_time = 0;
+    for (std::uint32_t sb_y = 0; sb_y < k; ++sb_y) {
+      for (std::uint32_t sb_x = 0; sb_x < k; ++sb_x) {
+        for (std::uint32_t step = 0; step < n; ++step) {
+          // Synchronising: the step lasts as long as its slowest PU.
+          double step_time = 0;
+          for (std::uint32_t pu = 0; pu < n; ++pu) {
+            const std::uint32_t x = sb_x * n + (pu + step) % n;
+            const std::uint32_t y = sb_y * n + pu;
+            const std::uint64_t e = block_edges(iter, x, y);
+            edges_this_iter += e;
+            if (config_.data_sharing && x % n != y % n) remote_edges += e;
+            step_time =
+                std::max(step_time, block_processing_time_ns(e, stages));
+          }
+          processing_time += step_time;
+        }
+      }
+    }
+    it.edge_bytes_read = edges_this_iter * edge_bytes;
+    it.edge_stream_passes = 1;
+    it.edge_ops = edges_this_iter;
+    it.sram_random_reads = 2 * edges_this_iter;  // source + destination
+    it.sram_random_writes = edges_this_iter;     // destination (Eq. 4)
+    it.router_hops = remote_edges;
+
+    if (has_apply) {
+      it.vertex_ops = v;
+      it.sram_random_reads += v;
+      it.sram_random_writes += v;
+    }
+
+    // ---- Timing ----
+    const double offchip_time =
+        vmem.stream_read_time_ns(it.offchip_vertex_bytes_read) +
+        vmem.stream_write_time_ns(it.offchip_vertex_bytes_written);
+    const double fill_time =
+        (static_cast<double>(it.sram_fill_bytes + it.sram_drain_bytes) /
+         kSramFillPortBytes) *
+        sram_->cycle_ns() / n;  // the N arrays fill in parallel
+    const double transfer_time = std::max(offchip_time, fill_time);
+    const double apply_time =
+        has_apply ? (static_cast<double>(v) / n) * sram_->cycle_ns() : 0.0;
+
+    // Interval loading double-buffers against processing (Fig. 8's step
+    // 1/6 overlap with steps 2-5), so an iteration is bound by the slower
+    // of the two streams.
+    exec_time += std::max(transfer_time, processing_time + apply_time);
+    streaming_time += processing_time;
+    total += it;
+  }
+
+  report.exec_time_ns = exec_time;
+  report.streaming_time_ns = streaming_time;
+  report.stats = total;
+}
+
+void HyveMachine::account_without_sram(const Graph& graph,
+                                       std::uint32_t value_bytes,
+                                       RunReport& report) const {
+  const std::uint64_t e = graph.num_edges();
+  AccessStats per_iter;
+  per_iter.edge_bytes_read = e * config_.edge_bytes;
+  per_iter.edge_stream_passes = 1;
+  per_iter.edge_ops = e;
+  // Without an on-chip vertex level every vertex touch goes off-chip
+  // (2 reads + 1 write per edge, Eq. 3/4).
+  per_iter.offchip_vertex_random_reads = 2 * e;
+  per_iter.offchip_vertex_random_writes = e;
+  (void)value_bytes;
+
+  const MemoryModel& emem = edge_memory();
+  const MemoryModel& vmem = offchip_vertex_memory();
+  const double edge_stream_ns_per_edge =
+      emem.stream_read_time_ns(e * config_.edge_bytes) /
+      static_cast<double>(e);
+  // Scheduling locality overlaps independent reads, but the destination
+  // write of each edge is a dependent read-modify-write that occupies the
+  // device at its raw write rate (ruinous for ReRAM's 10 ns set pulse).
+  const double vertex_ns_per_edge =
+      2.0 * vmem.random_access_throughput_ns() * kNoSramVertexLocalityFactor +
+      vmem.random_write_throughput_ns();
+  const double pu_ns_per_edge = kPuPipelineCycleNs / config_.num_pus;
+  const double ns_per_edge =
+      std::max({edge_stream_ns_per_edge, vertex_ns_per_edge, pu_ns_per_edge});
+
+  const double iter_time = static_cast<double>(e) * ns_per_edge;
+  const std::uint32_t iters = report.iterations;
+  report.exec_time_ns = iter_time * iters;
+  report.streaming_time_ns = report.exec_time_ns;
+  AccessStats total;
+  for (std::uint32_t i = 0; i < iters; ++i) total += per_iter;
+  report.stats = total;
+}
+
+RunReport HyveMachine::account(const Graph& graph, VertexProgram& program,
+                               const Partitioning& schedule,
+                               const FunctionalResult& functional,
+                               const FrontierTrace* frontier) const {
+  RunReport report;
+  report.config_label = config_.label;
+  report.algorithm = program.name();
+  report.num_intervals = schedule.num_intervals();
+  report.iterations = functional.iterations;
+  report.edges_traversed = functional.edges_traversed;
+
+  const std::uint32_t value_bytes = program.vertex_value_bytes();
+  if (config_.has_onchip_vertex_memory()) {
+    account_with_sram(graph, schedule, value_bytes, program.has_apply_phase(),
+                      frontier, report);
+  } else {
+    account_without_sram(graph, value_bytes, report);
+  }
+
+  const AccessStats& s = report.stats;
+  EnergyBreakdown& energy = report.energy;
+  const double t = report.exec_time_ns;
+
+  // ---- edge memory ----
+  // The module must both hold the edges and feed N PUs at full pipeline
+  // rate; whichever requirement needs more chips sets the provisioning.
+  const MemoryModel& emem = edge_memory();
+  const double required_edge_gbps = config_.num_pus *
+                                    static_cast<double>(config_.edge_bytes) /
+                                    kPuPipelineCycleNs;
+  const auto edge_capacity = std::max(
+      static_cast<std::uint64_t>(static_cast<double>(graph.num_edges()) *
+                                 config_.edge_bytes * kCapacitySlackFactor),
+      emem.min_capacity_for_bandwidth_gbps(required_edge_gbps));
+  energy[EnergyComponent::kEdgeMemDynamic] =
+      emem.stream_read_energy_pj(s.edge_bytes_read);
+  if (config_.edge_memory_tech == MemTech::kReram && config_.power_gating) {
+    EdgeMemoryActivity activity;
+    activity.total_time_ns = t;
+    activity.streaming_time_ns = report.streaming_time_ns;
+    activity.bytes_streamed = s.edge_bytes_read;
+    activity.capacity_bytes = edge_capacity;
+    report.bpg = evaluate_power_gating(reram_, activity);
+    energy[EnergyComponent::kEdgeMemBackground] =
+        report.bpg.gated_background_pj;
+    report.exec_time_ns += report.bpg.exposed_wake_time_ns;
+  } else {
+    energy[EnergyComponent::kEdgeMemBackground] =
+        units::power_over(emem.background_power_mw(edge_capacity), t);
+  }
+
+  // ---- off-chip vertex memory ----
+  const MemoryModel& vmem = offchip_vertex_memory();
+  const auto vertex_capacity = static_cast<std::uint64_t>(
+      static_cast<double>(graph.num_vertices()) * value_bytes *
+      kCapacitySlackFactor);
+  // acc+DRAM / acc+ReRAM keep everything in one module: its background is
+  // already accounted under the edge memory (whose capacity covers both).
+  const bool shared_module =
+      !config_.has_onchip_vertex_memory() &&
+      config_.edge_memory_tech == config_.offchip_vertex_tech;
+  double vdyn = vmem.stream_read_energy_pj(s.offchip_vertex_bytes_read) +
+                vmem.stream_write_energy_pj(s.offchip_vertex_bytes_written);
+  vdyn += static_cast<double>(s.offchip_vertex_random_reads) *
+          vmem.random_read_energy_pj(value_bytes) *
+          kNoSramVertexLocalityFactor;
+  vdyn += static_cast<double>(s.offchip_vertex_random_writes) *
+          vmem.random_write_energy_pj(value_bytes) *
+          kNoSramVertexLocalityFactor;
+  energy[EnergyComponent::kOffchipVertexDynamic] = vdyn;
+  energy[EnergyComponent::kOffchipVertexBackground] =
+      shared_module
+          ? 0.0
+          : units::power_over(vmem.background_power_mw(vertex_capacity), t);
+
+  // ---- on-chip vertex memory ----
+  if (sram_) {
+    energy[EnergyComponent::kSramDynamic] =
+        static_cast<double>(s.sram_random_reads) *
+            sram_->read_energy_pj(value_bytes) +
+        static_cast<double>(s.sram_random_writes) *
+            sram_->write_energy_pj(value_bytes) +
+        sram_->write_energy_pj(4) *
+            (static_cast<double>(s.sram_fill_bytes) / 4.0) +
+        sram_->read_energy_pj(4) *
+            (static_cast<double>(s.sram_drain_bytes) / 4.0);
+    energy[EnergyComponent::kSramLeakage] =
+        units::power_over(sram_->leakage_power_mw() * config_.num_pus, t);
+  }
+
+  // ---- router / PUs / control ----
+  energy[EnergyComponent::kRouter] =
+      static_cast<double>(s.router_hops) * kRouterHopEnergyPj;
+  energy[EnergyComponent::kPuDynamic] =
+      static_cast<double>(s.edge_ops) *
+          (kCmosEdgeOpEnergyPj + kControllerPerEdgeEnergyPj) +
+      static_cast<double>(s.vertex_ops) * kCmosEdgeOpEnergyPj;
+  energy[EnergyComponent::kLogicStatic] = units::power_over(kLogicStaticMw, t);
+
+  return report;
+}
+
+}  // namespace hyve

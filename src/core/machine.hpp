@@ -1,0 +1,89 @@
+// HyveMachine: the simulated graph-processing accelerator (paper §3-§4).
+//
+// A run has two halves:
+//   * functional — the vertex program executes for real over the
+//     interval-block schedule (src/algos), yielding correct algorithm
+//     output and the iteration count;
+//   * architectural — Algorithm 2's phases (loading, assigning,
+//     rerouting, processing, synchronising, updating) are walked block by
+//     block to integrate time (Eq. 1 pipeline bound, per-step synchronis-
+//     ation across the N processing units) and energy (traffic counts x
+//     the technology models of src/memmodel, plus background power over
+//     the busy windows, with bank-level power gating where enabled).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "algos/frontier.hpp"
+#include "algos/runner.hpp"
+#include "core/config.hpp"
+#include "graph/graph.hpp"
+#include "memmodel/dram.hpp"
+#include "memmodel/reram.hpp"
+#include "memmodel/sram.hpp"
+#include "sim/energy.hpp"
+#include "sim/power_gating.hpp"
+
+namespace hyve {
+
+struct RunReport {
+  std::string config_label;
+  std::string algorithm;
+  std::uint32_t num_intervals = 0;  // P
+  std::uint32_t iterations = 0;
+  std::uint64_t edges_traversed = 0;
+  double exec_time_ns = 0;
+  double streaming_time_ns = 0;  // edge memory actively streaming
+  AccessStats stats;
+  EnergyBreakdown energy;
+  PowerGatingResult bpg;  // zeros when power gating is off/ inapplicable
+
+  double total_energy_pj() const { return energy.total_pj(); }
+  // Million traversed edges per second.
+  double mteps() const;
+  // The paper's headline metric (Figs. 13, 16, Table 4).
+  double mteps_per_watt() const;
+  double edp_pj_ns() const { return total_energy_pj() * exec_time_ns; }
+};
+
+class HyveMachine {
+ public:
+  explicit HyveMachine(HyveConfig config);
+
+  const HyveConfig& config() const { return config_; }
+
+  // Number of vertex intervals P for a graph/algorithm combination: the
+  // smallest multiple of N whose intervals fit a per-PU SRAM section.
+  std::uint32_t choose_num_intervals(const Graph& graph,
+                                     std::uint32_t vertex_value_bytes) const;
+
+  // Simulates the full run of `algorithm` on `graph`.
+  RunReport run(const Graph& graph, Algorithm algorithm) const;
+
+  // As above with a caller-supplied program (custom algorithms).
+  RunReport run(const Graph& graph, VertexProgram& program) const;
+
+ private:
+  const MemoryModel& edge_memory() const;
+  const MemoryModel& offchip_vertex_memory() const;
+
+  RunReport account(const Graph& graph, VertexProgram& program,
+                    const Partitioning& schedule,
+                    const FunctionalResult& functional,
+                    const FrontierTrace* frontier) const;
+  void account_with_sram(const Graph& graph, const Partitioning& schedule,
+                         std::uint32_t value_bytes, bool has_apply,
+                         const FrontierTrace* frontier,
+                         RunReport& report) const;
+  void account_without_sram(const Graph& graph, std::uint32_t value_bytes,
+                            RunReport& report) const;
+
+  HyveConfig config_;
+  ReramModel reram_;
+  DramModel dram_;
+  std::optional<SramModel> sram_;
+};
+
+}  // namespace hyve

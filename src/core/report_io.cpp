@@ -1,0 +1,92 @@
+#include "core/report_io.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hyve {
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_number(std::ostream& os, double v) {
+  HYVE_CHECK_MSG(std::isfinite(v), "non-finite value in report");
+  os << std::setprecision(12) << v;
+}
+
+}  // namespace
+
+void write_report_json(std::ostream& os, const RunReport& r) {
+  os << '{';
+  os << "\"config\":";
+  write_escaped(os, r.config_label);
+  os << ",\"algorithm\":";
+  write_escaped(os, r.algorithm);
+  os << ",\"num_intervals\":" << r.num_intervals;
+  os << ",\"iterations\":" << r.iterations;
+  os << ",\"edges_traversed\":" << r.edges_traversed;
+  os << ",\"exec_time_ns\":";
+  write_number(os, r.exec_time_ns);
+  os << ",\"energy_pj\":";
+  write_number(os, r.total_energy_pj());
+  os << ",\"mteps\":";
+  write_number(os, r.mteps());
+  os << ",\"mteps_per_watt\":";
+  write_number(os, r.mteps_per_watt());
+  os << ",\"energy_breakdown_pj\":{";
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(EnergyComponent::kCount); ++i) {
+    const auto c = static_cast<EnergyComponent>(i);
+    if (i > 0) os << ',';
+    write_escaped(os, component_name(c));
+    os << ':';
+    write_number(os, r.energy[c]);
+  }
+  os << '}';
+  os << ",\"stats\":{"
+     << "\"edge_bytes_read\":" << r.stats.edge_bytes_read
+     << ",\"offchip_vertex_bytes_read\":" << r.stats.offchip_vertex_bytes_read
+     << ",\"offchip_vertex_bytes_written\":"
+     << r.stats.offchip_vertex_bytes_written
+     << ",\"sram_random_reads\":" << r.stats.sram_random_reads
+     << ",\"sram_random_writes\":" << r.stats.sram_random_writes
+     << ",\"router_hops\":" << r.stats.router_hops
+     << ",\"edge_ops\":" << r.stats.edge_ops
+     << ",\"interval_loads\":" << r.stats.interval_loads << '}';
+  os << ",\"power_gating\":{"
+     << "\"gated_background_pj\":";
+  write_number(os, r.bpg.gated_background_pj);
+  os << ",\"ungated_background_pj\":";
+  write_number(os, r.bpg.ungated_background_pj);
+  os << ",\"bank_wakes\":" << r.bpg.bank_wakes << '}';
+  os << '}';
+}
+
+std::string report_to_json(const RunReport& report) {
+  std::ostringstream os;
+  write_report_json(os, report);
+  return os.str();
+}
+
+}  // namespace hyve

@@ -1,0 +1,22 @@
+// Machine-readable serialisation of run reports.
+//
+// Emits a flat JSON object per RunReport so downstream tooling (plotting
+// scripts, CI dashboards) can consume simulation results without parsing
+// the human tables. No external JSON dependency: the schema is flat and
+// the only strings are identifiers we control (escaped defensively).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/machine.hpp"
+
+namespace hyve {
+
+// Writes one report as a single-line JSON object.
+void write_report_json(std::ostream& os, const RunReport& report);
+
+// Convenience: the JSON text.
+std::string report_to_json(const RunReport& report);
+
+}  // namespace hyve

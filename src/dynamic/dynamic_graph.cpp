@@ -1,0 +1,168 @@
+#include "dynamic/dynamic_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hyve {
+
+DynamicGraphStore::DynamicGraphStore(const Graph& initial,
+                                     DynamicGraphOptions options)
+    : options_(options), num_vertices_(initial.num_vertices()) {
+  HYVE_CHECK(options_.num_intervals >= 1);
+  HYVE_CHECK(options_.slack >= 0.0);
+  vertex_capacity_ = static_cast<VertexId>(
+      std::ceil(num_vertices_ * (1.0 + options_.slack))) + 1;
+  vertex_valid_.assign(vertex_capacity_, false);
+  for (VertexId v = 0; v < num_vertices_; ++v) vertex_valid_[v] = true;
+
+  grid_ = options_.num_intervals;
+  interval_width_ =
+      std::max<VertexId>(1, (vertex_capacity_ + grid_ - 1) / grid_);
+
+  if (!options_.hashed_block_directory)
+    dense_blocks_.assign(static_cast<std::size_t>(grid_) * grid_, {});
+
+  // Initial placement with per-block slack reservation (one-shot
+  // preprocessing; not counted in preprocess_count_).
+  locator_.reserve(initial.num_edges());
+  for (const Edge& e : initial.edges()) {
+    Block& b = block_for(e.src, e.dst);
+    b.edges.push_back(e);
+    locator_add(e, static_cast<std::uint32_t>(b.edges.size() - 1));
+  }
+  auto reserve_slack = [&](Block& b) {
+    b.capacity = static_cast<std::uint64_t>(
+                     std::ceil(b.edges.size() * (1.0 + options_.slack))) +
+                 4;
+    b.edges.reserve(b.capacity);
+  };
+  if (options_.hashed_block_directory) {
+    for (auto& [key, b] : hashed_blocks_) reserve_slack(b);
+  } else {
+    for (Block& b : dense_blocks_) reserve_slack(b);
+  }
+  num_edges_ = initial.num_edges();
+}
+
+std::uint64_t DynamicGraphStore::block_key(VertexId src, VertexId dst) const {
+  return static_cast<std::uint64_t>(src / interval_width_) * grid_ +
+         dst / interval_width_;
+}
+
+DynamicGraphStore::Block& DynamicGraphStore::block_for(VertexId src,
+                                                       VertexId dst) {
+  const std::uint64_t key = block_key(src, dst);
+  if (options_.hashed_block_directory) return hashed_blocks_[key];
+  return dense_blocks_[key];
+}
+
+bool DynamicGraphStore::add_edge(Edge e) {
+  if (e.src >= num_vertices_ || e.dst >= num_vertices_) return false;
+  Block& b = block_for(e.src, e.dst);
+  if (b.edges.size() == b.capacity) {
+    // Reserved space exhausted: chain an overflow chunk at the block end.
+    const std::uint64_t chunk = std::max<std::uint64_t>(4, b.capacity / 4);
+    b.capacity += chunk;
+    b.edges.reserve(b.capacity);
+    ++overflow_chunks_;
+  }
+  b.edges.push_back(e);
+  locator_add(e, static_cast<std::uint32_t>(b.edges.size() - 1));
+  ++num_edges_;
+  return true;
+}
+
+bool DynamicGraphStore::delete_edge(Edge e) {
+  if (e.src >= num_vertices_ || e.dst >= num_vertices_) return false;
+  std::uint32_t slot = 0;
+  if (!locator_find(e, slot)) return false;
+  Block& b = block_for(e.src, e.dst);
+  locator_remove(e, slot);
+  // §5: replace the edge with the block's last edge, free the tail slot.
+  const Edge moved = b.edges.back();
+  const auto last = static_cast<std::uint32_t>(b.edges.size() - 1);
+  if (slot != last) {
+    locator_remove(moved, last);
+    b.edges[slot] = moved;
+    locator_add(moved, slot);
+  }
+  b.edges.pop_back();
+  --num_edges_;
+  return true;
+}
+
+void DynamicGraphStore::locator_add(Edge e, std::uint32_t slot) {
+  locator_.emplace(pack(e), slot);
+}
+
+bool DynamicGraphStore::locator_remove(Edge e, std::uint32_t slot) {
+  auto [first, last] = locator_.equal_range(pack(e));
+  for (auto it = first; it != last; ++it) {
+    if (it->second == slot) {
+      locator_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DynamicGraphStore::locator_find(Edge e, std::uint32_t& slot) const {
+  const auto it = locator_.find(pack(e));
+  if (it == locator_.end()) return false;
+  slot = it->second;
+  return true;
+}
+
+VertexId DynamicGraphStore::add_vertex() {
+  if (num_vertices_ + 1 > vertex_capacity_) {
+    // Interval slack exhausted: vertices are accessed by index, so unlike
+    // blocks they cannot chain — re-preprocess with fresh slack (§5).
+    rebuild(num_vertices_ + 1);
+  }
+  const VertexId v = num_vertices_++;
+  if (v >= vertex_valid_.size()) vertex_valid_.resize(num_vertices_, false);
+  vertex_valid_[v] = true;
+  return v;
+}
+
+bool DynamicGraphStore::delete_vertex(VertexId v) {
+  if (v >= num_vertices_ || !vertex_valid_[v]) return false;
+  vertex_valid_[v] = false;  // value set invalid; edges remain (§5)
+  return true;
+}
+
+bool DynamicGraphStore::is_vertex_valid(VertexId v) const {
+  return v < num_vertices_ && vertex_valid_[v];
+}
+
+void DynamicGraphStore::rebuild(VertexId new_num_vertices) {
+  ++preprocess_count_;
+  Graph current = snapshot();
+  DynamicGraphStore fresh(
+      Graph(std::max(new_num_vertices, current.num_vertices()),
+            current.edges()),
+      options_);
+  fresh.num_vertices_ = num_vertices_;  // caller increments afterwards
+  fresh.preprocess_count_ = preprocess_count_;
+  fresh.overflow_chunks_ = overflow_chunks_;
+  for (VertexId v = 0; v < num_vertices_; ++v)
+    fresh.vertex_valid_[v] = vertex_valid_[v];
+  *this = std::move(fresh);
+}
+
+Graph DynamicGraphStore::snapshot() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges_);
+  if (options_.hashed_block_directory) {
+    for (const auto& [key, b] : hashed_blocks_)
+      edges.insert(edges.end(), b.edges.begin(), b.edges.end());
+  } else {
+    for (const Block& b : dense_blocks_)
+      edges.insert(edges.end(), b.edges.begin(), b.edges.end());
+  }
+  return Graph(num_vertices_, std::move(edges));
+}
+
+}  // namespace hyve

@@ -1,0 +1,102 @@
+// Dynamic-graph working flow (paper §5).
+//
+// HyVE keeps the interval-block layout mutable by reserving slack space
+// (30% by default) in every block and interval:
+//   * add edge    — O(1): append to the block's slack; when the slack is
+//     exhausted an overflow chunk is chained from the block's end;
+//   * delete edge — the edge is replaced by the block's last edge and the
+//     tail slot is freed;
+//   * add vertex  — appended into the interval slack; when interval slack
+//     runs out a full re-preprocessing pass is triggered (vertex access
+//     is not sequential, so chaining does not work there);
+//   * delete vertex — the value is invalidated in place (e.g. -1 for PR).
+//
+// §5 calls the key enabler "address managements for graph data in the
+// memory": the host keeps an edge-locator index so a delete request goes
+// straight to the edge's slot instead of scanning its block.
+//
+// The same store parameterised at GraphR's 8x8-vertex granularity is the
+// Fig. 20 baseline: its block grid is too large for direct indexing and
+// must be addressed through a hash directory, which is where the
+// throughput gap comes from.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hyve {
+
+struct DynamicGraphOptions {
+  std::uint32_t num_intervals = 64;
+  double slack = 0.30;  // reserved fraction per block/interval
+  // Address blocks through a hash map instead of a dense grid (GraphR's
+  // (V/8)^2 blocks cannot be directly indexed).
+  bool hashed_block_directory = false;
+};
+
+class DynamicGraphStore {
+ public:
+  DynamicGraphStore(const Graph& initial, DynamicGraphOptions options);
+
+  // O(1) amortised; returns false for out-of-range endpoints.
+  bool add_edge(Edge e);
+  // Removes one occurrence; returns false if absent. Locating the edge
+  // scans its (small) block; removal itself is swap-with-last, O(1).
+  bool delete_edge(Edge e);
+
+  // Appends a vertex; triggers re-preprocessing when the interval slack
+  // is exhausted. Returns the new vertex id.
+  VertexId add_vertex();
+  // Invalidates a vertex (its edges stay, matching §5's semantics).
+  bool delete_vertex(VertexId v);
+  bool is_vertex_valid(VertexId v) const;
+
+  VertexId num_vertices() const { return num_vertices_; }
+  std::uint64_t num_edges() const { return num_edges_; }
+  std::uint64_t preprocess_count() const { return preprocess_count_; }
+  std::uint64_t overflow_chunks() const { return overflow_chunks_; }
+
+  // Materialises the current edge set (valid vertices only are the
+  // caller's concern; edges of invalidated vertices are included as §5
+  // leaves them in place).
+  Graph snapshot() const;
+
+ private:
+  struct Block {
+    std::vector<Edge> edges;      // size() <= capacity, then chained
+    std::uint64_t capacity = 0;   // reserved slots before chaining
+  };
+
+  std::uint64_t block_key(VertexId src, VertexId dst) const;
+  Block& block_for(VertexId src, VertexId dst);
+  void rebuild(VertexId new_num_vertices);
+
+  static std::uint64_t pack(Edge e) {
+    return (static_cast<std::uint64_t>(e.src) << 32) | e.dst;
+  }
+  void locator_add(Edge e, std::uint32_t slot);
+  // Removes the locator entry for e at `slot`; returns false if absent.
+  bool locator_remove(Edge e, std::uint32_t slot);
+  // Finds any slot holding e in its block; returns false if absent.
+  bool locator_find(Edge e, std::uint32_t& slot) const;
+
+  DynamicGraphOptions options_;
+  VertexId num_vertices_ = 0;
+  VertexId vertex_capacity_ = 0;  // reserved vertex slots
+  std::uint64_t num_edges_ = 0;
+  VertexId interval_width_ = 1;
+  std::uint32_t grid_ = 1;  // intervals per axis
+  std::vector<Block> dense_blocks_;                      // HyVE layout
+  std::unordered_map<std::uint64_t, Block> hashed_blocks_;  // GraphR layout
+  // Host-side address management (§5): edge -> slot within its block.
+  std::unordered_multimap<std::uint64_t, std::uint32_t> locator_;
+  std::vector<bool> vertex_valid_;
+  std::uint64_t preprocess_count_ = 0;
+  std::uint64_t overflow_chunks_ = 0;
+};
+
+}  // namespace hyve

@@ -1,0 +1,79 @@
+#include "dynamic/wear.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace hyve {
+
+double WearReport::lifetime_years(double requests_per_second,
+                                  std::uint64_t bank_capacity_bytes) const {
+  HYVE_CHECK(requests_per_second > 0 && bank_capacity_bytes > 0);
+  if (writes_per_bank.empty() || stream_requests == 0) return 1e30;
+  const std::uint64_t hottest =
+      *std::max_element(writes_per_bank.begin(), writes_per_bank.end());
+  if (hottest == 0) return 1e30;
+  // Row-programs per second landing on the hottest bank.
+  const double writes_per_second =
+      requests_per_second * static_cast<double>(hottest) /
+      static_cast<double>(stream_requests);
+  // With wear levelling inside the bank, every row absorbs an equal share:
+  // rows * endurance total programs before the first cell dies.
+  const double rows = static_cast<double>(bank_capacity_bytes) / 64.0;
+  const double total_programs =
+      rows * static_cast<double>(endurance_cycles);
+  const double seconds = total_programs / writes_per_second;
+  return seconds / (365.25 * 24 * 3600);
+}
+
+WearReport analyze_wear(const Graph& initial,
+                        std::span<const DynamicRequest> requests,
+                        const WearParams& params) {
+  HYVE_CHECK(params.num_intervals >= 1 && params.banks >= 1);
+  WearReport report;
+  report.endurance_cycles = params.endurance_cycles;
+  report.stream_requests = requests.size();
+  report.writes_per_bank.assign(params.banks, 0);
+
+  const VertexId width = std::max<VertexId>(
+      1, (initial.num_vertices() + params.num_intervals - 1) /
+             params.num_intervals);
+  // Blocks are striped across banks in layout order (§3.4 sequential
+  // placement over the bank address space).
+  auto bank_of = [&](VertexId src, VertexId dst) {
+    const std::uint64_t block =
+        static_cast<std::uint64_t>(src / width) * params.num_intervals +
+        dst / width;
+    return static_cast<std::uint32_t>(block % params.banks);
+  };
+
+  for (const DynamicRequest& req : requests) {
+    switch (req.type) {
+      case DynamicRequestType::kAddEdge:
+        // Appending into slack programs one row.
+        ++report.writes_per_bank[bank_of(req.edge.src, req.edge.dst)];
+        ++report.total_cell_writes;
+        break;
+      case DynamicRequestType::kDeleteEdge:
+        // Swap-with-last rewrites the vacated slot's row.
+        ++report.writes_per_bank[bank_of(req.edge.src, req.edge.dst)];
+        ++report.total_cell_writes;
+        break;
+      case DynamicRequestType::kAddVertex:
+      case DynamicRequestType::kDeleteVertex:
+        break;  // vertex memory (DRAM) traffic, no ReRAM wear
+    }
+  }
+
+  const double mean =
+      std::accumulate(report.writes_per_bank.begin(),
+                      report.writes_per_bank.end(), 0.0) /
+      params.banks;
+  const auto hottest = static_cast<double>(*std::max_element(
+      report.writes_per_bank.begin(), report.writes_per_bank.end()));
+  report.max_over_mean_imbalance = mean <= 0 ? 0.0 : hottest / mean;
+  return report;
+}
+
+}  // namespace hyve

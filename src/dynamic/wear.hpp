@@ -1,0 +1,52 @@
+// ReRAM endurance / wear analysis for the dynamic edge memory.
+//
+// §2.3 cites ReRAM's >1e10 write endurance as an advantage over other
+// NVMs; under the static working flow edges are written once, so wear is
+// a non-issue. Dynamic graphs (§5) change that: every add/delete request
+// programs cells in the target block's slack region. This module tracks
+// per-bank write counts for a request stream and projects the module
+// lifetime at a given request rate — quantifying that even write-heavy
+// dynamic workloads sit orders of magnitude below the endurance wall,
+// and how much block-level slack rotation (wear within the slack slots)
+// helps.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dynamic/requests.hpp"
+#include "graph/graph.hpp"
+
+namespace hyve {
+
+struct WearParams {
+  std::uint64_t endurance_cycles = 10'000'000'000ULL;  // §2.3: > 1e10
+  std::uint32_t num_intervals = 64;   // block grid of the edge memory
+  std::uint32_t banks = 8;            // banks the grid is striped over
+  std::uint32_t edge_bytes = 8;
+  std::uint32_t cell_write_bytes = 64;  // row programmed per update
+};
+
+struct WearReport {
+  std::uint64_t total_cell_writes = 0;  // row-programs across the module
+  std::vector<std::uint64_t> writes_per_bank;
+  double max_over_mean_imbalance = 0;  // hottest bank / average
+  // Years until the hottest bank's cells hit the endurance limit,
+  // assuming `requests_per_second` sustained and uniform wear levelling
+  // within each bank.
+  double lifetime_years(double requests_per_second,
+                        std::uint64_t bank_capacity_bytes) const;
+
+  std::uint64_t endurance_cycles = 0;
+  std::uint64_t stream_requests = 0;
+};
+
+// Replays a request stream against the §3.4 block layout and counts the
+// row-programs each bank absorbs (adds and deletes both rewrite a slot;
+// vertex requests touch the vertex memory, not the edge ReRAM).
+WearReport analyze_wear(const Graph& initial,
+                        std::span<const DynamicRequest> requests,
+                        const WearParams& params = {});
+
+}  // namespace hyve

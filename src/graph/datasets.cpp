@@ -1,0 +1,90 @@
+#include "graph/datasets.hpp"
+
+#include <array>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+
+#include "graph/io.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace hyve {
+namespace {
+
+// Skew presets per graph class. Probabilities sum to 1 in each row.
+constexpr RmatParams kSocialSkew{0.57, 0.19, 0.19, 0.05, false, true};
+constexpr RmatParams kTalkSkew{0.65, 0.22, 0.10, 0.03, false, true};   // wiki-talk: extreme hubs
+constexpr RmatParams kTopologySkew{0.59, 0.19, 0.19, 0.03, false, true};  // as-skitter
+
+// Scale factors: 1/20 for the four SNAP graphs, 1/200 for twitter-2010
+// (1.47 B edges would dominate the single-core budget). Vertex counts are
+// scaled by the same factor as edges so avg degree is preserved.
+constexpr std::array<DatasetSpec, 5> kSpecs = {{
+    {DatasetId::kYT, "YT", "snap:com-youtube", 1'160'000, 2'990'000, 20.0,
+     58'000, 149'500, kSocialSkew, 0xA11CE001},
+    {DatasetId::kWK, "WK", "snap:wiki-talk", 2'390'000, 5'020'000, 20.0,
+     119'500, 251'000, kTalkSkew, 0xA11CE002},
+    {DatasetId::kAS, "AS", "snap:as-skitter", 1'690'000, 11'100'000, 20.0,
+     84'500, 555'000, kTopologySkew, 0xA11CE003},
+    {DatasetId::kLJ, "LJ", "snap:live-journal", 4'850'000, 69'000'000, 20.0,
+     242'500, 3'450'000, kSocialSkew, 0xA11CE004},
+    {DatasetId::kTW, "TW", "snap:twitter-2010", 41'700'000, 1'470'000'000,
+     200.0, 208'500, 7'350'000, kSocialSkew, 0xA11CE005},
+}};
+
+std::filesystem::path cache_dir() {
+  const char* env = std::getenv("HYVE_DATASET_CACHE");
+  if (env != nullptr) return env;
+  return std::filesystem::temp_directory_path() / "hyve-datasets-v1";
+}
+
+Graph generate_or_load(const DatasetSpec& spec) {
+  const auto dir = cache_dir();
+  const auto file = dir / (std::string(spec.name) + ".bin");
+  std::error_code ec;
+  if (std::filesystem::exists(file, ec)) {
+    try {
+      return load_graph_binary(file.string());
+    } catch (const std::exception& e) {
+      HYVE_LOG(kWarn) << "stale dataset cache " << file.string() << " ("
+                      << e.what() << "); regenerating";
+    }
+  }
+  HYVE_LOG(kInfo) << "generating dataset " << spec.name << " (V="
+                  << spec.vertices << ", E~" << spec.edges << ")";
+  Graph g = generate_rmat(spec.vertices, spec.edges, spec.rmat, spec.seed);
+  std::filesystem::create_directories(dir, ec);
+  if (!ec) {
+    try {
+      save_graph_binary(g, file.string());
+    } catch (const std::exception& e) {
+      HYVE_LOG(kWarn) << "cannot cache dataset: " << e.what();
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+const DatasetSpec& dataset_spec(DatasetId id) {
+  const auto idx = static_cast<std::size_t>(id);
+  HYVE_CHECK(idx < kSpecs.size());
+  return kSpecs[idx];
+}
+
+const Graph& dataset_graph(DatasetId id) {
+  static std::array<std::unique_ptr<Graph>, 5> cache;
+  static std::mutex mu;
+  const auto idx = static_cast<std::size_t>(id);
+  HYVE_CHECK(idx < cache.size());
+  const std::scoped_lock lock(mu);
+  if (!cache[idx])
+    cache[idx] = std::make_unique<Graph>(generate_or_load(kSpecs[idx]));
+  return *cache[idx];
+}
+
+std::string dataset_name(DatasetId id) { return dataset_spec(id).name; }
+
+}  // namespace hyve

@@ -1,0 +1,49 @@
+// Registry of the five evaluation datasets.
+//
+// The paper evaluates on SNAP's com-youtube (YT), wiki-talk (WK),
+// as-skitter (AS), live-journal (LJ) and twitter-2010 (TW). Those traces
+// are not shipped here; each is substituted by a deterministic R-MAT
+// graph whose vertex:edge ratio matches the original and whose skew is
+// tuned per graph class (DESIGN.md, "Substitutions"). Sizes are scaled
+// down by the recorded factor so the full evaluation fits the compute
+// budget; MTEPS/W and every normalised ratio in the paper are
+// scale-free to first order.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace hyve {
+
+enum class DatasetId { kYT = 0, kWK, kAS, kLJ, kTW };
+
+inline constexpr std::array<DatasetId, 5> kAllDatasets = {
+    DatasetId::kYT, DatasetId::kWK, DatasetId::kAS, DatasetId::kLJ,
+    DatasetId::kTW};
+
+struct DatasetSpec {
+  DatasetId id;
+  const char* name;             // paper's short name
+  const char* source;           // original SNAP trace
+  std::uint64_t full_vertices;  // paper-reported size
+  std::uint64_t full_edges;
+  double scale_factor;          // this repo's size = full size / factor
+  VertexId vertices;            // generated size
+  std::uint64_t edges;
+  RmatParams rmat;
+  std::uint64_t seed;
+};
+
+const DatasetSpec& dataset_spec(DatasetId id);
+
+// Generated graph (memoised in-process and cached on disk under
+// $TMPDIR/hyve-datasets-v1 so repeated bench binaries skip generation).
+const Graph& dataset_graph(DatasetId id);
+
+std::string dataset_name(DatasetId id);
+
+}  // namespace hyve

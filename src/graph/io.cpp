@@ -1,0 +1,102 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace hyve {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x48795645'67726630ULL;  // "HyVEgrf0"
+constexpr std::uint32_t kVersion = 1;
+
+class FileError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace
+
+Graph load_edge_list_text(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw FileError("cannot open " + path);
+  std::vector<Edge> edges;
+  VertexId declared_vertices = 0;
+  VertexId max_id = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Recognise the SNAP-style "# Nodes: N Edges: M" header.
+      const auto pos = line.find("Nodes:");
+      if (pos != std::string::npos) {
+        std::istringstream hs(line.substr(pos + 6));
+        std::uint64_t n = 0;
+        if (hs >> n) declared_vertices = static_cast<VertexId>(n);
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    if (!(ls >> src >> dst))
+      throw FileError("malformed edge line in " + path + ": " + line);
+    edges.push_back(
+        {static_cast<VertexId>(src), static_cast<VertexId>(dst)});
+    max_id = std::max({max_id, edges.back().src, edges.back().dst});
+  }
+  const VertexId v =
+      std::max<VertexId>(declared_vertices, edges.empty() ? 0 : max_id + 1);
+  return Graph(v, std::move(edges));
+}
+
+void save_edge_list_text(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw FileError("cannot open " + path + " for writing");
+  out << "# Nodes: " << g.num_vertices() << " Edges: " << g.num_edges()
+      << '\n';
+  for (const Edge& e : g.edges()) out << e.src << '\t' << e.dst << '\n';
+  if (!out) throw FileError("write failed: " + path);
+}
+
+Graph load_graph_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw FileError("cannot open " + path);
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t v = 0;
+  std::uint64_t e = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  in.read(reinterpret_cast<char*>(&version), sizeof version);
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  in.read(reinterpret_cast<char*>(&e), sizeof e);
+  if (!in || magic != kMagic || version != kVersion)
+    throw FileError("bad graph binary header: " + path);
+  std::vector<Edge> edges(e);
+  in.read(reinterpret_cast<char*>(edges.data()),
+          static_cast<std::streamsize>(e * sizeof(Edge)));
+  if (!in) throw FileError("truncated graph binary: " + path);
+  return Graph(v, std::move(edges));
+}
+
+void save_graph_binary(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw FileError("cannot open " + path + " for writing");
+  const std::uint64_t magic = kMagic;
+  const std::uint32_t version = kVersion;
+  const std::uint32_t v = g.num_vertices();
+  const std::uint64_t e = g.num_edges();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  out.write(reinterpret_cast<const char*>(&version), sizeof version);
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+  out.write(reinterpret_cast<const char*>(&e), sizeof e);
+  out.write(reinterpret_cast<const char*>(g.edges().data()),
+            static_cast<std::streamsize>(e * sizeof(Edge)));
+  if (!out) throw FileError("write failed: " + path);
+}
+
+}  // namespace hyve

@@ -1,0 +1,23 @@
+// Edge-list persistence.
+//
+// Text format matches SNAP's ("# comment" lines, then "src<ws>dst" pairs),
+// so users can drop in the paper's original datasets where licensing
+// allows. The binary format is a fast cache used by the dataset registry.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace hyve {
+
+// SNAP-compatible whitespace-separated edge list. Vertex count is
+// max(id)+1 unless a "# Nodes: N" header comment is present.
+Graph load_edge_list_text(const std::string& path);
+void save_edge_list_text(const Graph& g, const std::string& path);
+
+// Binary cache: little-endian {magic, version, V, E, edges[]}.
+Graph load_graph_binary(const std::string& path);
+void save_graph_binary(const Graph& g, const std::string& path);
+
+}  // namespace hyve

@@ -1,0 +1,52 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hyve {
+
+Partitioning::Partitioning(const Graph& g, std::uint32_t num_intervals)
+    : num_vertices_(g.num_vertices()), num_intervals_(num_intervals) {
+  HYVE_CHECK(num_intervals_ >= 1);
+  HYVE_CHECK_MSG(num_intervals_ <= num_vertices_ || num_vertices_ == 0,
+                 "more intervals (" << num_intervals_ << ") than vertices ("
+                                    << num_vertices_ << ")");
+  interval_width_ = (num_vertices_ + num_intervals_ - 1) / num_intervals_;
+  if (interval_width_ == 0) interval_width_ = 1;
+
+  // Counting sort of edges by block index.
+  const std::uint64_t blocks = num_blocks();
+  offsets_.assign(blocks + 1, 0);
+  for (const Edge& e : g.edges())
+    ++offsets_[block_index(interval_of(e.src), interval_of(e.dst)) + 1];
+  for (std::uint64_t b = 0; b < blocks; ++b) offsets_[b + 1] += offsets_[b];
+
+  edges_.resize(g.num_edges());
+  std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : g.edges())
+    edges_[cursor[block_index(interval_of(e.src), interval_of(e.dst))]++] = e;
+}
+
+std::span<const Edge> Partitioning::block(std::uint32_t x,
+                                          std::uint32_t y) const {
+  HYVE_CHECK(x < num_intervals_ && y < num_intervals_);
+  const std::uint64_t b = block_index(x, y);
+  return {edges_.data() + offsets_[b], edges_.data() + offsets_[b + 1]};
+}
+
+std::uint64_t Partitioning::block_edge_count(std::uint32_t x,
+                                             std::uint32_t y) const {
+  HYVE_CHECK(x < num_intervals_ && y < num_intervals_);
+  const std::uint64_t b = block_index(x, y);
+  return offsets_[b + 1] - offsets_[b];
+}
+
+std::uint64_t Partitioning::non_empty_blocks() const {
+  std::uint64_t count = 0;
+  for (std::uint64_t b = 0; b < num_blocks(); ++b)
+    count += (offsets_[b + 1] > offsets_[b]) ? 1 : 0;
+  return count;
+}
+
+}  // namespace hyve

@@ -1,0 +1,69 @@
+// Interval-block partitioning (paper §2.1, Fig. 1).
+//
+// Vertices are split by index into P equal intervals I_0..I_{P-1}; edges
+// are split into P^2 blocks where B[x][y] holds the edges whose source
+// lies in I_x and destination in I_y. HyVE streams edges block by block so
+// vertex accesses stay inside the two intervals currently resident in
+// on-chip SRAM.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hyve {
+
+class Partitioning {
+ public:
+  // Groups g's edges into P*P blocks with a counting sort. P >= 1.
+  Partitioning(const Graph& g, std::uint32_t num_intervals);
+
+  std::uint32_t num_intervals() const { return num_intervals_; }
+  VertexId num_vertices() const { return num_vertices_; }
+  std::uint64_t num_edges() const { return edges_.size(); }
+  std::uint64_t num_blocks() const {
+    return static_cast<std::uint64_t>(num_intervals_) * num_intervals_;
+  }
+
+  // Interval geometry. Intervals are index ranges of equal width (the last
+  // one may be short).
+  VertexId interval_width() const { return interval_width_; }
+  std::uint32_t interval_of(VertexId v) const { return v / interval_width_; }
+  VertexId interval_begin(std::uint32_t i) const {
+    return static_cast<VertexId>(
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(i) * interval_width_,
+                                num_vertices_));
+  }
+  VertexId interval_end(std::uint32_t i) const {
+    return interval_begin(i + 1);
+  }
+  // Number of vertices in interval i.
+  VertexId interval_population(std::uint32_t i) const {
+    return interval_end(i) - interval_begin(i);
+  }
+
+  // Edges of block B[x][y] (source interval x, destination interval y).
+  std::span<const Edge> block(std::uint32_t x, std::uint32_t y) const;
+  std::uint64_t block_edge_count(std::uint32_t x, std::uint32_t y) const;
+
+  // Number of blocks that contain at least one edge.
+  std::uint64_t non_empty_blocks() const;
+
+  // All edges, grouped contiguously in block-major (x, then y) order.
+  const std::vector<Edge>& grouped_edges() const { return edges_; }
+
+ private:
+  std::uint64_t block_index(std::uint32_t x, std::uint32_t y) const {
+    return static_cast<std::uint64_t>(x) * num_intervals_ + y;
+  }
+
+  VertexId num_vertices_ = 0;
+  std::uint32_t num_intervals_ = 1;
+  VertexId interval_width_ = 1;
+  std::vector<Edge> edges_;
+  std::vector<std::uint64_t> offsets_;  // P*P + 1 prefix sums into edges_
+};
+
+}  // namespace hyve

@@ -1,0 +1,66 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hyve {
+
+BlockOccupancy block_occupancy(const Graph& graph, VertexId block_width) {
+  HYVE_CHECK(block_width > 0);
+  const std::uint64_t grid =
+      (graph.num_vertices() + block_width - 1) / block_width;
+  BlockOccupancy occ;
+  occ.total_blocks = grid * grid;
+  if (graph.num_edges() == 0) return occ;
+
+  // Sort the 64-bit block keys instead of materialising the grid: the
+  // Table 1 granularity (8-vertex blocks) would need (V/8)^2 counters.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(graph.num_edges());
+  for (const Edge& e : graph.edges())
+    keys.push_back(static_cast<std::uint64_t>(e.src / block_width) * grid +
+                   e.dst / block_width);
+  std::sort(keys.begin(), keys.end());
+
+  std::uint64_t run = 0;
+  std::uint64_t prev = keys.front() + 1;  // sentinel != keys.front()
+  for (const std::uint64_t k : keys) {
+    if (k != prev) {
+      if (run > 0) occ.max_edges_in_block = std::max(occ.max_edges_in_block, run);
+      ++occ.non_empty_blocks;
+      run = 0;
+      prev = k;
+    }
+    ++run;
+  }
+  occ.max_edges_in_block = std::max(occ.max_edges_in_block, run);
+  occ.avg_edges_per_non_empty =
+      static_cast<double>(graph.num_edges()) /
+      static_cast<double>(occ.non_empty_blocks);
+  return occ;
+}
+
+DegreeStats degree_stats(const Graph& graph) {
+  DegreeStats s;
+  if (graph.num_vertices() == 0) return s;
+  auto out = graph.out_degrees();
+  const auto in = graph.in_degrees();
+  s.avg_out_degree = static_cast<double>(graph.num_edges()) /
+                     static_cast<double>(graph.num_vertices());
+  s.max_out_degree = *std::max_element(out.begin(), out.end());
+  s.max_in_degree = *std::max_element(in.begin(), in.end());
+
+  std::sort(out.begin(), out.end(), std::greater<>());
+  const std::size_t top = std::max<std::size_t>(1, out.size() / 100);
+  std::uint64_t covered = 0;
+  for (std::size_t i = 0; i < top; ++i) covered += out[i];
+  s.top1pct_out_edge_share =
+      graph.num_edges() == 0
+          ? 0.0
+          : static_cast<double>(covered) / static_cast<double>(graph.num_edges());
+  return s;
+}
+
+}  // namespace hyve

@@ -1,0 +1,36 @@
+// Graph-shape statistics consumed by the models and benches.
+//
+// The GraphR comparison hinges on block-occupancy statistics at 8x8-vertex
+// granularity (Table 1: the average number of edges in a *non-empty* 8x8
+// block, N_avg, is only 1.23–2.38 on real graphs), which is computed here
+// without materialising the (V/8)^2 block grid.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace hyve {
+
+struct BlockOccupancy {
+  std::uint64_t total_blocks = 0;      // (ceil(V/g))^2
+  std::uint64_t non_empty_blocks = 0;  // blocks holding >= 1 edge
+  double avg_edges_per_non_empty = 0;  // Table 1's N_avg
+  std::uint64_t max_edges_in_block = 0;
+};
+
+// Occupancy of the g x g-vertex block grid (g = 8 reproduces Table 1).
+BlockOccupancy block_occupancy(const Graph& graph, VertexId block_width);
+
+struct DegreeStats {
+  double avg_out_degree = 0;
+  std::uint32_t max_out_degree = 0;
+  std::uint32_t max_in_degree = 0;
+  // Fraction of edges incident to the top 1% highest-out-degree vertices;
+  // a cheap skew measure used to sanity-check the synthetic datasets.
+  double top1pct_out_edge_share = 0;
+};
+
+DegreeStats degree_stats(const Graph& graph);
+
+}  // namespace hyve

@@ -1,0 +1,71 @@
+#include "memmodel/area.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "memmodel/techparams.hpp"
+#include "util/check.hpp"
+
+namespace hyve {
+namespace {
+
+constexpr double kFeatureNm = 22.0;
+// mm^2 of one F^2 at 22 nm.
+constexpr double kF2Mm2 = (kFeatureNm * 1e-6) * (kFeatureNm * 1e-6);
+
+// Periphery (decoders, sense amps, I/O) on top of the raw cell array; the
+// energy-optimised NVSim designs trade periphery area for energy.
+constexpr double kReramPeripheryFactor = 1.35;
+// Logic block estimates (Graphicionado-class accelerators at 22-28 nm).
+constexpr double kPuMm2 = 0.35;
+constexpr double kRouterPortMm2 = 0.045;
+constexpr double kControllerMm2 = 0.8;
+// One power gate (header/footer) per bank plus the BPG controller; §4.1:
+// "little overhead on power gates, or low area penalty".
+constexpr double kPowerGatePerBankFraction = 0.012;
+constexpr double kBpgControllerMm2 = 0.05;
+
+}  // namespace
+
+double reram_array_mm2_per_gbit(int cell_bits) {
+  HYVE_CHECK(cell_bits >= 1 && cell_bits <= 3);
+  // 4F^2 crosspoint cell storing cell_bits bits.
+  const double cells_per_gbit = std::pow(2.0, 30) / cell_bits;
+  return cells_per_gbit * 4.0 * kF2Mm2;
+}
+
+double sram_mm2_per_mib() {
+  // The paper's CACTI cell: 146 F^2 (§7.1), plus ~40% array periphery.
+  const double bits_per_mib = 8.0 * std::pow(2.0, 20);
+  return bits_per_mib * 146.0 * kF2Mm2 * 1.4;
+}
+
+AreaBreakdown estimate_area(const AreaInputs& inputs) {
+  HYVE_CHECK(inputs.num_pus >= 1);
+  AreaBreakdown area;
+
+  area.sram_mm2 = inputs.num_pus *
+                  (static_cast<double>(inputs.sram_bytes_per_pu) /
+                   units::MiB(1)) *
+                  sram_mm2_per_mib();
+  area.pu_mm2 = inputs.num_pus * kPuMm2;
+  // An N-to-N router grows with port count squared (crossbar switch).
+  area.router_mm2 = kRouterPortMm2 * inputs.num_pus * inputs.num_pus / 8.0;
+  area.controller_mm2 = kControllerMm2;
+
+  const ReramModel reram(inputs.edge_reram);
+  area.edge_chips = std::max(1, reram.chips_for(inputs.edge_capacity_bytes));
+  const double gbits_per_chip =
+      static_cast<double>(inputs.edge_reram.chip_capacity_bytes) * 8.0 *
+      inputs.edge_reram.cell_bits / (units::Gbit(1) * 8.0);
+  area.edge_chip_mm2 =
+      reram_array_mm2_per_gbit(inputs.edge_reram.cell_bits) *
+      gbits_per_chip * kReramPeripheryFactor;
+  if (inputs.power_gating) {
+    area.power_gate_mm2 =
+        area.edge_chip_mm2 * kPowerGatePerBankFraction + kBpgControllerMm2;
+  }
+  return area;
+}
+
+}  // namespace hyve

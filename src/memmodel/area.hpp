@@ -1,0 +1,51 @@
+// Silicon area model (22 nm, §4.1 / §7.1).
+//
+// NVSim and CACTI report area next to energy/latency; HyVE's §4.1 argues
+// the bank-level power gates cost little area because one gate serves a
+// whole bank. This module provides the same figures for the reproduction:
+// cell-array area from the technology's cell size (4F^2 ReRAM, 6F^2 DRAM,
+// ~146F^2 SRAM per the paper's CACTI cell), periphery overheads, and the
+// accelerator-side blocks (PUs, router, controller).
+#pragma once
+
+#include <cstdint>
+
+#include "memmodel/reram.hpp"
+
+namespace hyve {
+
+struct AreaBreakdown {
+  // On-accelerator blocks.
+  double sram_mm2 = 0;        // all on-chip vertex sections
+  double pu_mm2 = 0;          // processing units
+  double router_mm2 = 0;      // N-to-N data-sharing router
+  double controller_mm2 = 0;  // HyVE memory controller
+
+  // Edge-memory module (off accelerator, per-chip die area).
+  int edge_chips = 0;
+  double edge_chip_mm2 = 0;       // one chip, without power gating
+  double power_gate_mm2 = 0;      // per chip, the §4.1 BPG additions
+  double power_gate_overhead() const {
+    return edge_chip_mm2 <= 0 ? 0.0 : power_gate_mm2 / edge_chip_mm2;
+  }
+
+  double accelerator_mm2() const {
+    return sram_mm2 + pu_mm2 + router_mm2 + controller_mm2;
+  }
+};
+
+struct AreaInputs {
+  int num_pus = 8;
+  std::uint64_t sram_bytes_per_pu = 0;
+  ReramConfig edge_reram;           // edge-memory chip geometry
+  std::uint64_t edge_capacity_bytes = 0;
+  bool power_gating = true;
+};
+
+AreaBreakdown estimate_area(const AreaInputs& inputs);
+
+// Cell-array densities at 22 nm (mm^2 per gigabit of raw cells).
+double reram_array_mm2_per_gbit(int cell_bits);
+double sram_mm2_per_mib();
+
+}  // namespace hyve

@@ -1,0 +1,61 @@
+#include "memmodel/crossbar.hpp"
+
+#include "memmodel/techparams.hpp"
+#include "util/check.hpp"
+
+namespace hyve {
+
+using namespace tech;
+
+CrossbarBlockCost CrossbarModel::configure_block(
+    std::uint64_t edges_in_block) const {
+  CrossbarBlockCost cost;
+  // Each 16-bit edge value spans kCrossbarsPerValue 4-bit crossbars, but
+  // the replicas program in parallel: time counts once, energy counts per
+  // replica (Eq. 11's factor of 4 on the write term).
+  cost.energy_pj = static_cast<double>(edges_in_block) *
+                   kCrossbarWriteEnergyPj * kCrossbarsPerValue;
+  cost.time_ns =
+      static_cast<double>(edges_in_block) * kCrossbarWriteLatencyNs;
+  return cost;
+}
+
+CrossbarBlockCost CrossbarModel::evaluate_mvm() const {
+  CrossbarBlockCost cost;
+  cost.energy_pj = kCrossbarReadEnergyPj * kCrossbarsPerValue;
+  cost.time_ns = kCrossbarReadLatencyNs;  // replicas read in parallel
+  return cost;
+}
+
+CrossbarBlockCost CrossbarModel::evaluate_non_mvm(
+    std::uint64_t edges_in_block) const {
+  CrossbarBlockCost cost;
+  // Rows are selected in turn: 8 reads per block (Eq. 12), each across
+  // the 4 replicas, plus one CMOS op per edge at the output ports.
+  cost.energy_pj = kCrossbarDim * kCrossbarReadEnergyPj * kCrossbarsPerValue +
+                   static_cast<double>(edges_in_block) * kCmosEdgeOpEnergyPj;
+  cost.time_ns = kCrossbarDim * kCrossbarReadLatencyNs;
+  return cost;
+}
+
+double CrossbarModel::per_edge_energy_mvm_pj(double n_avg) const {
+  HYVE_CHECK(n_avg > 0);
+  // Eq. (15): 4*E_write + 4*E_read / N_avg.
+  return kCrossbarsPerValue * kCrossbarWriteEnergyPj +
+         kCrossbarsPerValue * kCrossbarReadEnergyPj / n_avg;
+}
+
+double CrossbarModel::per_edge_energy_non_mvm_pj(double n_avg) const {
+  HYVE_CHECK(n_avg > 0);
+  // Eq. (12): 8 row-selected reads amortised over N_avg edges + CMOS op.
+  return (kCrossbarDim * kCrossbarReadEnergyPj * kCrossbarsPerValue) / n_avg +
+         kCrossbarsPerValue * kCrossbarWriteEnergyPj + kCmosEdgeOpEnergyPj;
+}
+
+double CrossbarModel::per_edge_latency_mvm_ns(double n_avg) const {
+  HYVE_CHECK(n_avg > 0);
+  // Eq. (16): T_write + T_read / N_avg.
+  return kCrossbarWriteLatencyNs + kCrossbarReadLatencyNs / n_avg;
+}
+
+}  // namespace hyve

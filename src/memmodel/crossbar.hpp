@@ -1,0 +1,44 @@
+// ReRAM crossbar compute model — GraphR's processing substrate (§6.4).
+//
+// GraphR maps each non-empty 8x8 block of the adjacency matrix onto a
+// crossbar: every edge of the block is *written* into a cell (3.91 nJ,
+// 50.88 ns each), then the block's matrix-vector product is *read* out.
+// 16-bit values need 4 crossbars of 4-bit cells (Eq. 11); algorithms that
+// are not an MVM drive the rows one at a time, 8 reads per block, plus a
+// CMOS op at the output port (Eq. 12). The paper's central negative
+// result — crossbars lose to CMOS for edge processing — falls directly
+// out of these constants because N_avg (Table 1) is only ~1.2-2.4 edges
+// per non-empty block.
+#pragma once
+
+#include <cstdint>
+
+namespace hyve {
+
+struct CrossbarBlockCost {
+  double energy_pj = 0;
+  double time_ns = 0;  // un-overlapped device time for one block
+};
+
+class CrossbarModel {
+ public:
+  // Cost of configuring a block's edges into the crossbar(s): one cell
+  // write per edge per crossbar replica (Eq. 14's N_avg * E_w term).
+  CrossbarBlockCost configure_block(std::uint64_t edges_in_block) const;
+
+  // Matrix-vector-multiply style evaluation of a configured block
+  // (PageRank, SpMV): kCrossbarsPerValue parallel analog reads (Eq. 11).
+  CrossbarBlockCost evaluate_mvm() const;
+
+  // Non-MVM evaluation (BFS, CC, SSSP): rows selected in turn, 8 analog
+  // reads, plus one CMOS comparison per edge at the output ports (Eq. 12).
+  CrossbarBlockCost evaluate_non_mvm(std::uint64_t edges_in_block) const;
+
+  // Equivalent per-edge processing energy, Eq. (10)/(11)/(12).
+  double per_edge_energy_mvm_pj(double n_avg) const;
+  double per_edge_energy_non_mvm_pj(double n_avg) const;
+  // Eq. (16): per-edge latency of crossbar processing.
+  double per_edge_latency_mvm_ns(double n_avg) const;
+};
+
+}  // namespace hyve

@@ -1,0 +1,101 @@
+#include "memmodel/dram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hyve {
+
+using namespace tech;
+
+DramModel::DramModel(const DramConfig& config) : config_(config) {
+  HYVE_CHECK(config_.chip_capacity_bytes > 0);
+  HYVE_CHECK(config_.channels >= 1);
+  const double gbits = static_cast<double>(config_.chip_capacity_bytes) /
+                       static_cast<double>(units::Gbit(1));
+  density_energy_scale_ = std::pow(gbits / 4.0, kDramEnergyDensityExponent);
+}
+
+std::string DramModel::name() const {
+  std::ostringstream os;
+  os << "DDR4("
+     << (config_.chip_capacity_bytes * 8) / (units::Gbit(1) * 8) << "Gb)";
+  return os.str();
+}
+
+double DramModel::stream_read_energy_pj(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) * kDramStreamEnergyPerBytePj *
+         density_energy_scale_;
+}
+
+double DramModel::stream_write_energy_pj(std::uint64_t bytes) const {
+  // Write bursts cost marginally more than reads (ODT termination).
+  return static_cast<double>(bytes) * kDramStreamEnergyPerBytePj * 1.08 *
+         density_energy_scale_;
+}
+
+double DramModel::stream_read_time_ns(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) /
+         (kDramChannelGBps * config_.channels);  // GB/s == B/ns
+}
+
+double DramModel::stream_write_time_ns(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) / (kDramChannelGBps * config_.channels);
+}
+
+double DramModel::random_read_energy_pj(std::uint32_t bytes) const {
+  // One activate + one 64 B burst per independent access, whatever the
+  // useful payload; extra bursts for payloads beyond 64 B.
+  const double bursts = std::max(1.0, bytes / 64.0);
+  return (kDramRandomAccessEnergyPj +
+          (bursts - 1.0) * 64.0 * kDramStreamEnergyPerBytePj) *
+         density_energy_scale_;
+}
+
+double DramModel::random_write_energy_pj(std::uint32_t bytes) const {
+  return random_read_energy_pj(bytes) * 1.05;
+}
+
+double DramModel::random_access_latency_ns() const {
+  return kDramRandomAccessLatencyNs;
+}
+
+double DramModel::random_access_throughput_ns() const {
+  return kDramRandomAccessThroughputNsPerOp / config_.channels;
+}
+
+double DramModel::random_write_throughput_ns() const {
+  return kDramRandomWriteThroughputNsPerOp / config_.channels;
+}
+
+std::uint64_t DramModel::min_capacity_for_bandwidth_gbps(double gbps) const {
+  // One 64-bit channel (one rank of x8 chips) per kDramChannelGBps.
+  const int ranks =
+      std::max(1, static_cast<int>(std::ceil(gbps / kDramChannelGBps)));
+  return static_cast<std::uint64_t>(ranks) * kDramChipsPerRank *
+         config_.chip_capacity_bytes;
+}
+
+int DramModel::chips_for(std::uint64_t capacity_bytes) const {
+  const int chips = static_cast<int>(
+      (capacity_bytes + config_.chip_capacity_bytes - 1) /
+      config_.chip_capacity_bytes);
+  // DRAM is only sold in full ranks; round up to the rank width, and a
+  // multi-channel module populates at least one rank per channel.
+  const int ranks = std::max(
+      config_.channels, (chips + kDramChipsPerRank - 1) / kDramChipsPerRank);
+  return std::max(1, ranks) * kDramChipsPerRank;
+}
+
+double DramModel::background_power_mw(std::uint64_t capacity_bytes) const {
+  const double gbits_per_chip =
+      static_cast<double>(config_.chip_capacity_bytes) * 8.0 /
+      static_cast<double>(units::Gbit(1) * 8);
+  const double per_chip =
+      kDramChipBackgroundBaseMw + kDramChipBackgroundPerGbitMw * gbits_per_chip;
+  return chips_for(capacity_bytes) * per_chip;
+}
+
+}  // namespace hyve

@@ -1,0 +1,54 @@
+// DDR4 DRAM model (Micron system-power-calculator style, paper §7.1).
+//
+// Used as HyVE's off-chip vertex memory (sequential interval loads and
+// write-backs only) and as the edge/vertex memory of the conventional
+// baselines (acc+DRAM, acc+SRAM+DRAM, CPU+DRAM). Sequential energy is
+// row-activation-amortised; random accesses pay a full activate. The
+// refresh + standby background grows with chip density, which is what
+// turns the density axis of Fig. 9 in ReRAM's favour.
+#pragma once
+
+#include <cstdint>
+
+#include "memmodel/memory_model.hpp"
+#include "memmodel/techparams.hpp"
+
+namespace hyve {
+
+struct DramConfig {
+  std::uint64_t chip_capacity_bytes = tech::kDramChipCapacityDefault;  // 4 Gb
+  // Independent 64-bit channels ganged into one logical module (§3.3's
+  // "dual-channel bus" has the edge and vertex memories on one channel
+  // each; raise this to scale a single module's stream bandwidth).
+  int channels = 1;
+};
+
+class DramModel final : public MemoryModel {
+ public:
+  explicit DramModel(const DramConfig& config = {});
+
+  std::string name() const override;
+
+  double stream_read_energy_pj(std::uint64_t bytes) const override;
+  double stream_write_energy_pj(std::uint64_t bytes) const override;
+  double stream_read_time_ns(std::uint64_t bytes) const override;
+  double stream_write_time_ns(std::uint64_t bytes) const override;
+
+  double random_read_energy_pj(std::uint32_t bytes) const override;
+  double random_write_energy_pj(std::uint32_t bytes) const override;
+  double random_access_latency_ns() const override;
+  double random_access_throughput_ns() const override;
+  double random_write_throughput_ns() const override;
+
+  double background_power_mw(std::uint64_t capacity_bytes) const override;
+  int chips_for(std::uint64_t capacity_bytes) const override;
+  std::uint64_t min_capacity_for_bandwidth_gbps(double gbps) const override;
+
+  const DramConfig& config() const { return config_; }
+
+ private:
+  DramConfig config_;
+  double density_energy_scale_ = 1.0;
+};
+
+}  // namespace hyve

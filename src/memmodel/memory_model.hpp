@@ -1,0 +1,55 @@
+// Common interface of the off-chip memory models (ReRAM, DRAM).
+//
+// The simulator charges memories through exactly this interface: dynamic
+// energy per sequential stream or random access, stream time from
+// bandwidth, and background power for the module capacity in use. Models
+// return *dynamic* energies only; background energy is power x busy time,
+// integrated by the accounting layer (src/sim) which also understands
+// power gating.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hyve {
+
+class MemoryModel {
+ public:
+  virtual ~MemoryModel() = default;
+
+  virtual std::string name() const = 0;
+
+  // ---- sequential streaming (block/interval granularity) ----
+  virtual double stream_read_energy_pj(std::uint64_t bytes) const = 0;
+  virtual double stream_write_energy_pj(std::uint64_t bytes) const = 0;
+  virtual double stream_read_time_ns(std::uint64_t bytes) const = 0;
+  virtual double stream_write_time_ns(std::uint64_t bytes) const = 0;
+
+  // ---- random accesses (vertex granularity) ----
+  virtual double random_read_energy_pj(std::uint32_t bytes) const = 0;
+  virtual double random_write_energy_pj(std::uint32_t bytes) const = 0;
+  virtual double random_access_latency_ns() const = 0;
+  // Sustained random-access throughput (ns per independent access), with
+  // the device's internal bank parallelism.
+  virtual double random_access_throughput_ns() const = 0;
+  // Same for random writes (slower than reads on ReRAM: set-pulse bound).
+  virtual double random_write_throughput_ns() const = 0;
+
+  // ---- module-level background ----
+  // Power drawn by a module provisioned for `capacity_bytes`, while
+  // powered on (no power gating applied).
+  virtual double background_power_mw(std::uint64_t capacity_bytes) const = 0;
+
+  // Number of discrete chips a module of this capacity needs.
+  virtual int chips_for(std::uint64_t capacity_bytes) const = 0;
+
+  // Smallest module (in bytes of provisioned chips) that can sustain the
+  // given stream bandwidth. Memory modules are provisioned for bandwidth
+  // as well as capacity: HyVE's 8 PUs demand ~51 GB/s of edge stream,
+  // which takes several DRAM ranks / ReRAM chips regardless of how small
+  // the graph is, and that provisioning sets the background power.
+  virtual std::uint64_t min_capacity_for_bandwidth_gbps(
+      double gbps) const = 0;
+};
+
+}  // namespace hyve

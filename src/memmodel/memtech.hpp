@@ -1,0 +1,12 @@
+// Off-chip memory technology selector shared by configurations.
+#pragma once
+
+namespace hyve {
+
+enum class MemTech { kDram, kReram };
+
+inline const char* memtech_name(MemTech tech) {
+  return tech == MemTech::kDram ? "DRAM" : "ReRAM";
+}
+
+}  // namespace hyve

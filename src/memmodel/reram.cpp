@@ -1,0 +1,204 @@
+#include "memmodel/reram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hyve {
+namespace {
+
+using namespace tech;
+
+const ReramBankPoint& lookup_bank(const ReramConfig& cfg) {
+  const std::span<const ReramBankPoint> table =
+      cfg.optimization == ReramOptTarget::kEnergyOptimized
+          ? std::span<const ReramBankPoint>(kReramEnergyOpt)
+          : std::span<const ReramBankPoint>(kReramLatencyOpt);
+  for (const auto& point : table)
+    if (point.output_bits == cfg.output_bits) return point;
+  HYVE_CHECK_MSG(false, "unsupported ReRAM output width "
+                            << cfg.output_bits
+                            << " (Table 3 covers 64/128/256/512)");
+  __builtin_unreachable();
+}
+
+double mlc_scale(std::span<const double> table, int cell_bits) {
+  HYVE_CHECK_MSG(cell_bits >= 1 && cell_bits <= 3,
+                 "cell_bits " << cell_bits << " outside SLC..TLC");
+  return table[static_cast<std::size_t>(cell_bits - 1)];
+}
+
+}  // namespace
+
+ReramModel::ReramModel(const ReramConfig& config)
+    : config_(config), bank_(lookup_bank(config)) {
+  HYVE_CHECK(config_.chip_capacity_bytes > 0);
+  HYVE_CHECK_MSG(config_.cell_bits >= 1 && config_.cell_bits <= 3,
+                 "cell_bits " << config_.cell_bits << " outside SLC..TLC");
+  HYVE_CHECK(config_.channels >= 1);
+}
+
+std::string ReramModel::name() const {
+  std::ostringstream os;
+  os << "ReRAM(" << config_.cell_bits << "b-cell," << config_.output_bits
+     << "b,"
+     << (config_.optimization == ReramOptTarget::kEnergyOptimized ? "Eopt"
+                                                                  : "Lopt")
+     << ")";
+  return os.str();
+}
+
+double ReramModel::access_energy_pj() const {
+  const double gbits = static_cast<double>(config_.chip_capacity_bytes) /
+                       static_cast<double>(units::Gbit(1));
+  return bank_.energy_pj * mlc_scale(kMlcReadEnergyScale, config_.cell_bits) *
+         std::pow(gbits / 4.0, kReramEnergyDensityExponent);
+}
+
+double ReramModel::access_period_ns() const {
+  return units::ps(bank_.period_ps) *
+         mlc_scale(kMlcReadLatencyScale, config_.cell_bits);
+}
+
+double ReramModel::read_energy_per_bit_pj() const {
+  return access_energy_pj() / config_.output_bits;
+}
+
+double ReramModel::per_byte_read_energy_pj() const {
+  return access_energy_pj() / (config_.output_bits / 8.0) +
+         8.0 * kReramIoEnergyPerBitPj;
+}
+
+double ReramModel::per_byte_write_energy_pj() const {
+  // Cell programming (with verify pulses) dominates; periphery charged at
+  // the read-access rate.
+  const double cell = 8.0 * kReramSetEnergyPerBitPj * kReramWriteVerifyFactor *
+                      mlc_scale(kMlcWriteEnergyScale, config_.cell_bits);
+  return cell + access_energy_pj() / (config_.output_bits / 8.0) +
+         8.0 * kReramIoEnergyPerBitPj;
+}
+
+double ReramModel::read_bandwidth_bytes_per_ns() const {
+  const double per_access_bytes = config_.output_bits / 8.0;
+  double bw = per_access_bytes / access_period_ns();
+  // Without mat-level interleaving a bank stalls on row turnaround between
+  // consecutive accesses; HyVE's sub-bank interleaving (§3.1) hides it.
+  if (!config_.subbank_interleaving) bw *= 0.25;
+  // The off-chip interface caps what the mats can produce; MLC's serial
+  // reference-sensing steps throttle the I/O clock along with the mats.
+  const double channel =
+      kReramChannelGBps / mlc_scale(kMlcReadLatencyScale, config_.cell_bits);
+  return std::min(bw, channel) * config_.channels;
+}
+
+double ReramModel::write_bandwidth_bytes_per_ns() const {
+  const double per_access_bytes = config_.output_bits / 8.0;
+  const double chunk_time =
+      kReramSetPulseNs * mlc_scale(kMlcWriteLatencyScale, config_.cell_bits) +
+      access_period_ns();
+  double bw = per_access_bytes / chunk_time;
+  if (!config_.subbank_interleaving) bw *= 0.5;
+  return bw;
+}
+
+double ReramModel::stream_read_energy_pj(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) * per_byte_read_energy_pj();
+}
+
+double ReramModel::stream_write_energy_pj(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) * per_byte_write_energy_pj();
+}
+
+double ReramModel::stream_read_time_ns(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) / read_bandwidth_bytes_per_ns();
+}
+
+double ReramModel::stream_write_time_ns(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) / write_bandwidth_bytes_per_ns();
+}
+
+double ReramModel::random_read_energy_pj(std::uint32_t bytes) const {
+  // A random read still activates a full output-width access.
+  const double accesses =
+      std::max(1.0, std::ceil(bytes / (config_.output_bits / 8.0)));
+  return accesses * access_energy_pj() + bytes * 8.0 * kReramIoEnergyPerBitPj;
+}
+
+double ReramModel::random_write_energy_pj(std::uint32_t bytes) const {
+  // Writes program a full output-width row (write amplification: the
+  // array has no sub-row write granularity), however small the payload.
+  const double programmed_bits =
+      std::max<double>(config_.output_bits, bytes * 8.0);
+  const double cell = programmed_bits * kReramSetEnergyPerBitPj *
+                      kReramWriteVerifyFactor *
+                      mlc_scale(kMlcWriteEnergyScale, config_.cell_bits);
+  return cell + access_energy_pj() +
+         bytes * 8.0 * kReramIoEnergyPerBitPj;
+}
+
+double ReramModel::random_access_latency_ns() const {
+  // Global decode + mat access; matches the ReRAM read latency GraphR
+  // reports (29.31 ns) for SLC and scales with the MLC sensing scheme.
+  return 29.31 * mlc_scale(kMlcReadLatencyScale, config_.cell_bits);
+}
+
+double ReramModel::random_access_throughput_ns() const {
+  // Bank-level pipelining sustains one access every couple of periods.
+  return 2.0 * access_period_ns();
+}
+
+double ReramModel::random_write_throughput_ns() const {
+  // The 10 ns set pulse occupies the shared write drivers; only modest
+  // overlap across banks is possible before they saturate.
+  return kReramSetPulseNs *
+         mlc_scale(kMlcWriteLatencyScale, config_.cell_bits) * 0.45;
+}
+
+std::uint64_t ReramModel::min_capacity_for_bandwidth_gbps(double gbps) const {
+  const int chips =
+      std::max(1, static_cast<int>(std::ceil(gbps / kReramChannelGBps)));
+  return static_cast<std::uint64_t>(chips) * config_.chip_capacity_bytes *
+         static_cast<unsigned>(config_.cell_bits);
+}
+
+int ReramModel::chips_for(std::uint64_t capacity_bytes) const {
+  const std::uint64_t effective_chip =
+      config_.chip_capacity_bytes * static_cast<unsigned>(config_.cell_bits);
+  const auto chips = static_cast<int>((capacity_bytes + effective_chip - 1) /
+                                      effective_chip);
+  // At least one chip per channel keeps every channel driveable.
+  return std::max(chips, config_.channels);
+}
+
+double ReramModel::background_power_mw(std::uint64_t capacity_bytes) const {
+  const int chips = std::max(1, chips_for(capacity_bytes));
+  const double gbits_per_chip =
+      static_cast<double>(config_.chip_capacity_bytes) * 8.0 *
+      config_.cell_bits / static_cast<double>(units::Gbit(1) * 8);
+  const double per_chip =
+      kReramChipLeakageMw + kReramLeakagePerGbitMw * (gbits_per_chip - 4.0);
+  return chips * std::max(per_chip, kReramUngateableMw);
+}
+
+double ReramModel::gated_power_mw(std::uint64_t capacity_bytes,
+                                  int active_banks) const {
+  HYVE_CHECK(active_banks >= 0 && active_banks <= kReramBanksPerChip);
+  const int chips = std::max(1, chips_for(capacity_bytes));
+  const double per_chip_total = background_power_mw(capacity_bytes) / chips;
+  const double gateable =
+      std::max(0.0, per_chip_total - kReramUngateableMw);
+  const double per_bank = gateable / kReramBanksPerChip;
+  // Only the chip currently streaming keeps banks awake; the others sit
+  // fully gated at the residual fraction.
+  const double streaming_chip =
+      kReramUngateableMw + per_bank * active_banks +
+      per_bank * (kReramBanksPerChip - active_banks) *
+          kReramGatedResidualFraction;
+  const double idle_chip = per_chip_total * kReramGatedResidualFraction;
+  return streaming_chip + (chips - 1) * idle_chip;
+}
+
+}  // namespace hyve

@@ -1,0 +1,79 @@
+// ReRAM main-memory model (paper §2.3, §3.1, Table 3).
+//
+// Embeds the paper's NVSim bank configurations (energy- vs latency-
+// optimised, 64..512-bit output) and the §7.1 cell parameters, with MLC
+// scaling per the parallel-sensing scheme. HyVE uses this as the edge
+// memory: sub-bank (mat) interleaved so a single bank sustains the full
+// sequential read bandwidth, which both avoids multi-bank background
+// power and enables bank-level power gating (modelled in src/sim).
+#pragma once
+
+#include <cstdint>
+
+#include "memmodel/memory_model.hpp"
+#include "memmodel/techparams.hpp"
+
+namespace hyve {
+
+enum class ReramOptTarget { kEnergyOptimized, kLatencyOptimized };
+
+struct ReramConfig {
+  std::uint64_t chip_capacity_bytes = tech::kDramChipCapacityDefault;  // 4 Gb
+  int cell_bits = 1;       // 1 (SLC) .. 3
+  int output_bits = 512;   // 64, 128, 256, 512 (Table 3)
+  ReramOptTarget optimization = ReramOptTarget::kEnergyOptimized;
+  bool subbank_interleaving = true;
+  // Parallel chip channels ganged into one module (scales stream
+  // bandwidth; background scales through the per-channel chip floor).
+  int channels = 1;
+};
+
+class ReramModel final : public MemoryModel {
+ public:
+  explicit ReramModel(const ReramConfig& config = {});
+
+  std::string name() const override;
+
+  double stream_read_energy_pj(std::uint64_t bytes) const override;
+  double stream_write_energy_pj(std::uint64_t bytes) const override;
+  double stream_read_time_ns(std::uint64_t bytes) const override;
+  double stream_write_time_ns(std::uint64_t bytes) const override;
+
+  double random_read_energy_pj(std::uint32_t bytes) const override;
+  double random_write_energy_pj(std::uint32_t bytes) const override;
+  double random_access_latency_ns() const override;
+  double random_access_throughput_ns() const override;
+  double random_write_throughput_ns() const override;
+
+  double background_power_mw(std::uint64_t capacity_bytes) const override;
+  int chips_for(std::uint64_t capacity_bytes) const override;
+  std::uint64_t min_capacity_for_bandwidth_gbps(double gbps) const override;
+
+  const ReramConfig& config() const { return config_; }
+
+  // ---- power-gating hooks (consumed by sim::PowerGatingController) ----
+  // Power with all banks gated except `active_banks` per chip; the shared
+  // I/O and control region cannot be gated while the chip is selected.
+  double gated_power_mw(std::uint64_t capacity_bytes, int active_banks) const;
+  static int banks_per_chip() { return tech::kReramBanksPerChip; }
+  double bank_wake_latency_ns() const { return tech::kReramBankWakeLatencyNs; }
+  double bank_wake_energy_pj() const { return tech::kReramBankWakeEnergyPj; }
+
+  // ---- figures used directly by Table 3 / Fig. 13 benches ----
+  // Dynamic energy of one bank access (output_bits wide).
+  double access_energy_pj() const;
+  double access_period_ns() const;
+  // Energy per bit read, the paper's Table 3 "power/bit" numerator basis.
+  double read_energy_per_bit_pj() const;
+
+ private:
+  double per_byte_read_energy_pj() const;
+  double per_byte_write_energy_pj() const;
+  double read_bandwidth_bytes_per_ns() const;
+  double write_bandwidth_bytes_per_ns() const;
+
+  ReramConfig config_;
+  tech::ReramBankPoint bank_;
+};
+
+}  // namespace hyve

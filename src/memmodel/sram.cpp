@@ -1,0 +1,65 @@
+#include "memmodel/sram.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "memmodel/techparams.hpp"
+#include "util/check.hpp"
+
+namespace hyve {
+
+using namespace tech;
+
+SramModel::SramModel(std::uint64_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {
+  HYVE_CHECK(capacity_bytes_ >= units::KiB(1));
+  const double ratio = static_cast<double>(capacity_bytes_) /
+                       static_cast<double>(kSramAnchorCapacity);
+  const double lat_scale = std::pow(ratio, kSramLatencyCapacityExponent);
+  const double en_scale = std::pow(ratio, kSramEnergyCapacityExponent);
+  word_read_energy_pj_ = kSramAnchorReadEnergyPj * en_scale;
+  word_write_energy_pj_ = kSramAnchorWriteEnergyPj * en_scale;
+  read_latency_ns_ = kSramAnchorReadLatencyNs * lat_scale;
+  write_latency_ns_ = kSramAnchorWriteLatencyNs * lat_scale;
+  cycle_ns_ = kSramAnchorCycleNs * lat_scale;
+  leakage_mw_ = kSramLeakagePerMiBMw *
+                (static_cast<double>(capacity_bytes_) / units::MiB(1));
+}
+
+std::string SramModel::name() const {
+  std::ostringstream os;
+  os << "SRAM(" << capacity_bytes_ / units::KiB(1) << "KiB)";
+  return os.str();
+}
+
+namespace {
+double words(std::uint32_t bytes) {
+  return std::max(1.0, std::ceil(bytes / 4.0));
+}
+}  // namespace
+
+double SramModel::read_energy_pj(std::uint32_t bytes) const {
+  return words(bytes) * word_read_energy_pj_;
+}
+
+double SramModel::write_energy_pj(std::uint32_t bytes) const {
+  return words(bytes) * word_write_energy_pj_;
+}
+
+double RegisterFileModel::read_energy_pj(std::uint32_t bytes) const {
+  return words(bytes) * kRegFileReadEnergyPj;
+}
+
+double RegisterFileModel::write_energy_pj(std::uint32_t bytes) const {
+  return words(bytes) * kRegFileWriteEnergyPj;
+}
+
+double RegisterFileModel::read_latency_ns() const {
+  return kRegFileReadLatencyNs;
+}
+
+double RegisterFileModel::write_latency_ns() const {
+  return kRegFileWriteLatencyNs;
+}
+
+}  // namespace hyve

@@ -1,0 +1,55 @@
+// On-chip SRAM model (CACTI 6.5 style, paper §4.2 / §6.3 / §7.2.3).
+//
+// HyVE places the source and destination vertex sections of each
+// processing unit in SRAM; random vertex reads/writes land here instead
+// of in off-chip memory. The model is anchored on the paper's quoted
+// 2 MB / 4 MB CACTI points and scales access latency/energy ~sqrt(capacity)
+// and leakage ~linearly, which is what makes 16 MB arrays lose to 2 MB
+// ones in Table 4 despite the reduced off-chip traffic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hyve {
+
+class SramModel {
+ public:
+  // capacity_bytes: size of one SRAM array (per processing unit section
+  // pair, i.e. the "SRAM size" axis of Table 4).
+  explicit SramModel(std::uint64_t capacity_bytes);
+
+  std::string name() const;
+  std::uint64_t capacity_bytes() const { return capacity_bytes_; }
+
+  // 32-bit word access figures (the CACTI quote granularity); wider vertex
+  // records issue multiple word accesses.
+  double read_energy_pj(std::uint32_t bytes) const;
+  double write_energy_pj(std::uint32_t bytes) const;
+  double read_latency_ns() const { return read_latency_ns_; }
+  double write_latency_ns() const { return write_latency_ns_; }
+  // Random-access cycle (array busy time per access).
+  double cycle_ns() const { return cycle_ns_; }
+
+  double leakage_power_mw() const { return leakage_mw_; }
+
+ private:
+  std::uint64_t capacity_bytes_;
+  double word_read_energy_pj_;
+  double word_write_energy_pj_;
+  double read_latency_ns_;
+  double write_latency_ns_;
+  double cycle_ns_;
+  double leakage_mw_;
+};
+
+// GraphR's local vertex storage (§6.3): small register files.
+class RegisterFileModel {
+ public:
+  double read_energy_pj(std::uint32_t bytes) const;
+  double write_energy_pj(std::uint32_t bytes) const;
+  double read_latency_ns() const;
+  double write_latency_ns() const;
+};
+
+}  // namespace hyve

@@ -1,0 +1,220 @@
+// Technology constants for every memory/compute model in the reproduction.
+//
+// Single source of truth. Three classes of numbers live here:
+//   (1) constants quoted verbatim by the paper (cited inline: §x.y / Table n);
+//   (2) standard datasheet values the paper consumed through external tools
+//       (NVSim, CACTI 6.5, the Micron DDR4 power calculator) but did not
+//       reprint — taken from the corresponding public documents;
+//   (3) calibrated values, marked [calibrated]: free parameters the paper
+//       never states (e.g. peripheral leakage of an energy-optimised ReRAM
+//       chip) chosen so the paper's published *ratios* (Figs. 9, 14-17)
+//       hold. EXPERIMENTS.md records the resulting paper-vs-measured gaps.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace hyve::tech {
+
+using namespace hyve::units;
+
+// ---------------------------------------------------------------------------
+// ReRAM (edge memory) — NVSim-modelled, 22 nm (§7.1, Table 3)
+// ---------------------------------------------------------------------------
+
+// Table 3, energy-optimised bank configurations: {output bits, dynamic
+// energy per access (pJ), cycle period (ps)}. These are the NVSim outputs
+// the paper prints; we embed them directly.
+struct ReramBankPoint {
+  int output_bits;
+  double energy_pj;
+  double period_ps;
+};
+inline constexpr ReramBankPoint kReramEnergyOpt[] = {
+    {64, 20.13, 1221.0},
+    {128, 33.87, 1983.0},
+    {256, 57.31, 1983.0},
+    {512, 102.07, 1983.0},
+};
+inline constexpr ReramBankPoint kReramLatencyOpt[] = {
+    {64, 381.47, 653.0},
+    {128, 378.57, 590.0},
+    {256, 382.37, 590.0},
+    {512, 660.23, 527.0},
+};
+
+// Cell programming (§7.1): 10 ns set pulse, 0.6 pJ set energy per cell.
+inline constexpr double kReramSetPulseNs = 10.0;
+inline constexpr double kReramSetEnergyPerBitPj = 0.6;
+// Program-and-verify overhead on writes: iterative verify pulses cost
+// ~75% extra cell energy over a single set pulse, which is what brings
+// the sequential-write energy of Fig. 9 to near-parity with DRAM.
+inline constexpr double kReramWriteVerifyFactor = 1.75;
+
+// I/O + bus energy per bit for off-chip transfer. [calibrated] so the
+// sequential-read DRAM/ReRAM energy ratio lands at the ~4-6x of Fig. 9.
+inline constexpr double kReramIoEnergyPerBitPj = 0.12;
+
+// Chip I/O channel cap on streaming reads. The internal mat array can
+// produce 512 b / 1.98 ns (~32 GB/s) but the off-chip interface runs
+// slightly below the DDR4 channel, giving the few-percent execution-time
+// penalty of Fig. 18. [calibrated]
+inline constexpr double kReramChannelGBps = 15.5;
+
+// MLC multipliers (§7.2.1, parallel-sensing scheme of Xu et al., DAC'13):
+// extra reference sensing steps raise read energy and latency per access;
+// density per cell scales with bits. Index by (cell_bits - 1).
+inline constexpr double kMlcReadEnergyScale[] = {1.0, 1.65, 2.55};
+inline constexpr double kMlcReadLatencyScale[] = {1.0, 1.35, 1.80};
+inline constexpr double kMlcWriteEnergyScale[] = {1.0, 2.1, 3.6};
+inline constexpr double kMlcWriteLatencyScale[] = {1.0, 1.6, 2.4};
+
+// Chip organisation (Fig. 3): banks per chip; one bank active at a time
+// under HyVE's sub-bank (mat) interleaving, which is what makes bank-level
+// power-gating effective (§4.1).
+inline constexpr int kReramBanksPerChip = 8;
+inline constexpr int kReramMatsPerBank = 16;
+
+// Peripheral leakage of a powered-on energy-optimised chip. NVSim-style
+// periphery (global decoders, 512 sense amps, I/O) dominates; cells are
+// non-volatile and leak nothing. [calibrated] against Fig. 15's 1.53x
+// power-gating gain and Fig. 17's edge-memory share.
+inline constexpr double kReramChipLeakageMw = 150.0;    // per 4 Gb chip
+inline constexpr double kReramLeakagePerGbitMw = 11.0;  // density scaling
+// Residual draw of a power-gated bank region (gate leakage + retention of
+// the BPG controller itself).
+inline constexpr double kReramGatedResidualFraction = 0.02;
+// Shared I/O + control that BPG cannot gate while the chip is in use.
+inline constexpr double kReramUngateableMw = 16.0;
+// Bank wake-up: charging local bitlines/decoders after a power gate opens.
+inline constexpr double kReramBankWakeLatencyNs = 120.0;
+inline constexpr double kReramBankWakeEnergyPj = 2500.0;
+
+// ---------------------------------------------------------------------------
+// DRAM (off-chip vertex memory; edge memory in the acc+DRAM baselines) —
+// DDR4-2133 per the Micron system power calculator setup (§7.1).
+// ---------------------------------------------------------------------------
+
+// Sequential stream energy per byte, row-activation amortised, including
+// I/O and termination. ~1.3 pJ/bit array+periphery + ~0.7 pJ/bit bus is
+// the standard DDR4 system figure. [calibrated within datasheet range]
+inline constexpr double kDramStreamEnergyPerBytePj = 13.0;
+// Random access: a fresh row activation + one burst, little reuse.
+inline constexpr double kDramRandomAccessEnergyPj = 1500.0;
+inline constexpr double kDramRandomAccessLatencyNs = 45.0;
+// Channel bandwidth: DDR4-2133, 64-bit channel.
+inline constexpr double kDramChannelGBps = 17.0;
+// Effective random-access throughput per channel with bank-level
+// parallelism (16 banks, closed-page): accesses complete every ~tRC/banks.
+inline constexpr double kDramRandomAccessThroughputNsPerOp = 3.2;
+// Random writes drain through the controller's write buffer with bank
+// parallelism, sustaining a higher rate than dependent reads.
+inline constexpr double kDramRandomWriteThroughputNsPerOp = 1.6;
+// Background (active standby + refresh averaged) per chip, by density.
+// Micron DDR4 4 Gb x8: IDD3N ~ 55 mA at 1.2 V plus refresh average.
+inline constexpr double kDramChipBackgroundBaseMw = 38.0;
+inline constexpr double kDramChipBackgroundPerGbitMw = 9.5;
+inline constexpr std::uint64_t kDramChipCapacityDefault = Gbit(4);
+// Dynamic-energy density scaling: denser chips drive longer word/bit
+// lines. DRAM activation energy grows faster with density than ReRAM's
+// mat-local access, which is what tilts Fig. 9's density axis towards
+// ReRAM. Exponents on (chip_gbits / 4).
+inline constexpr double kDramEnergyDensityExponent = 0.15;
+inline constexpr double kReramEnergyDensityExponent = 0.05;
+// A DRAM module exposes whole chips; x8 chips on a 64-bit channel.
+inline constexpr int kDramChipsPerRank = 8;
+
+// ---------------------------------------------------------------------------
+// SRAM (on-chip vertex memory) — CACTI 6.5 at 22 nm (§4.2, §6.3)
+// ---------------------------------------------------------------------------
+
+// Anchor points quoted by the paper for a 2 MB array, 32-bit access:
+// read 960.03 ps / 23.84 pJ, write 557.089 ps / 24.74 pJ (§6.3); cycle
+// 1.071 ns at 2 MB and 1.808 ns at 4 MB (§4.2).
+inline constexpr std::uint64_t kSramAnchorCapacity = MiB(2);
+inline constexpr double kSramAnchorReadEnergyPj = 23.84;
+inline constexpr double kSramAnchorWriteEnergyPj = 24.74;
+inline constexpr double kSramAnchorReadLatencyNs = 0.96003;
+inline constexpr double kSramAnchorWriteLatencyNs = 0.557089;
+inline constexpr double kSramAnchorCycleNs = 1.071;
+inline constexpr double kSramCycleNs4MiB = 1.808;
+// Access energy/latency grow ~sqrt(capacity) (wordline/bitline length),
+// leakage grows linearly. Exponent fitted to the two quoted cycle points:
+// 1.808/1.071 = 1.688 ~ 2^0.755.
+inline constexpr double kSramLatencyCapacityExponent = 0.755;
+inline constexpr double kSramEnergyCapacityExponent = 0.5;
+// Leakage per MiB. [calibrated] Drives Table 4's efficiency drop from
+// 2 MiB to 16 MiB SRAM.
+inline constexpr double kSramLeakagePerMiBMw = 20.0;
+
+// Interval fill/drain port: SRAM arrays load intervals through a wide
+// streaming port (bytes moved per array cycle).
+inline constexpr double kSramFillPortBytes = 64.0;
+
+// Remote on-chip access through the N-to-N router (§4.2): ~5-10 SRAM
+// cycles of latency, fully pipelined (no throughput loss), small switch
+// energy per traversal.
+inline constexpr double kRouterHopLatencyNs = 8.8;
+inline constexpr double kRouterHopEnergyPj = 2.4;
+
+// ---------------------------------------------------------------------------
+// Register file (GraphR's local vertex storage) — §6.3
+// ---------------------------------------------------------------------------
+inline constexpr double kRegFileReadEnergyPj = 1.227;   // 32-bit read
+inline constexpr double kRegFileWriteEnergyPj = 1.209;  // 32-bit write
+inline constexpr double kRegFileReadLatencyNs = 0.011976;
+inline constexpr double kRegFileWriteLatencyNs = 0.010563;
+
+// ---------------------------------------------------------------------------
+// ReRAM crossbar (GraphR's processing substrate) — §6.4, §7.4.3
+// ---------------------------------------------------------------------------
+inline constexpr int kCrossbarDim = 8;          // 8x8 crossbars
+inline constexpr int kCrossbarCellBits = 4;     // 4-bit cells
+inline constexpr int kCrossbarsPerValue = 4;    // 4 crossbars for 16-bit data
+inline constexpr double kCrossbarReadLatencyNs = 29.31;
+inline constexpr double kCrossbarWriteLatencyNs = 50.88;
+inline constexpr double kCrossbarReadEnergyPj = 1.08;
+inline constexpr double kCrossbarWriteEnergyPj = nJ(3.91);  // per edge written
+
+// ---------------------------------------------------------------------------
+// Processing units (CMOS, HyVE §6.4)
+// ---------------------------------------------------------------------------
+// 32-bit floating-point multiplier: 3.7 pJ/op (Han et al., NIPS'15),
+// 18.783 ns unpipelined latency (Zipcores datasheet), pipelined to one
+// edge per cycle in the accelerator.
+inline constexpr double kCmosEdgeOpEnergyPj = 3.7;
+inline constexpr double kCmosMultiplierLatencyNs = 18.783;
+inline constexpr double kPuPipelineCycleNs = 1.3;  // ~770 MHz edge pipeline
+// Static power of the accelerator logic (8 PUs + HyVE controller + router),
+// Graphicionado-class logic at 22 nm. [calibrated]
+inline constexpr double kLogicStaticMw = 350.0;
+// Per-PU share of controller dynamic energy per edge (address mapping,
+// buffering). [calibrated, small]
+inline constexpr double kControllerPerEdgeEnergyPj = 1.9;
+
+// Baselines without on-chip vertex memory (acc+DRAM, acc+ReRAM) still run
+// the interval-block schedule ("the data scheduling in these four
+// configurations is the same", §7.3.3), so their off-chip random vertex
+// accesses enjoy partial row-buffer/bank locality. Factor applied to both
+// the energy and the effective service time of those accesses.
+// [calibrated]
+inline constexpr double kNoSramVertexLocalityFactor = 0.25;
+
+// Slack capacity provisioned over the raw data size (the §5 dynamic-graph
+// reserve: "e.g., 30% of a block size").
+inline constexpr double kCapacitySlackFactor = 1.3;
+
+// ---------------------------------------------------------------------------
+// CPU baseline (§7.1: hexa-core Intel i7 at 3.3 GHz, measured with PCM)
+// ---------------------------------------------------------------------------
+// Effective traversal energy of the software baselines. The paper reports
+// acc+HyVE-opt at ~145.71x CPU+DRAM and ~83.31x for the tuned Galois
+// baseline vs plain HyVE; we model the CPUs at the per-edge energy that
+// reproduces those gaps: package+DRAM power / achieved TEPS.
+inline constexpr double kCpuPackagePowerMw = 75'000.0;  // 75 W package
+inline constexpr double kCpuDramPowerMw = 9'000.0;      // DDR4 DIMMs
+inline constexpr double kCpuNaiveNsPerEdge = 2.0;       // NXgraph-like, 8 threads
+inline constexpr double kCpuOptNsPerEdge = 1.35;        // Galois
+
+}  // namespace hyve::tech

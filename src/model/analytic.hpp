@@ -1,0 +1,68 @@
+// The paper's §6 analytical model of graph processing on ReRAMs:
+// execution time (Eq. 1), energy (Eq. 2), the operation-count identities
+// (Eqs. 3-4, 7-9) and the Cauchy-Schwarz EDP lower bound (Eq. 6).
+//
+// The model decouples the design into edge storage, vertex storage and
+// processing units so each can be compared across technologies; HyVE's
+// design decisions (§6.6) are exactly the per-term minimisers.
+#pragma once
+
+#include <cstdint>
+
+namespace hyve::model {
+
+// Per-operation cost of a pipeline participant.
+struct OpCost {
+  double time_ns = 0;
+  double energy_pj = 0;
+};
+
+// The terms of Eq. 1/2. Superscripts R/W = read/write; subscripts:
+// (v,s) sequential vertex access, (v,r) random vertex access, e = edge
+// access, pu = processing an edge.
+struct ModelInputs {
+  std::uint64_t n_read_vertex_seq = 0;   // N^R_{v,s}
+  std::uint64_t n_write_vertex_seq = 0;  // N^W_{v,s}
+  std::uint64_t n_read_edge = 0;         // N^R_e
+
+  OpCost read_vertex_seq;    // T/E^R_{v,s}
+  OpCost write_vertex_seq;   // T/E^W_{v,s}
+  OpCost read_vertex_rand;   // T/E^R_{v,r}
+  OpCost write_vertex_rand;  // T/E^W_{v,r}
+  OpCost read_edge;          // T/E^R_e
+  OpCost process;            // T/E_pu
+};
+
+// Eq. 3/4: each edge triggers one local random read of each endpoint and
+// one local random write of the destination.
+inline std::uint64_t n_read_vertex_rand(const ModelInputs& in) {
+  return in.n_read_edge;
+}
+inline std::uint64_t n_write_vertex_rand(const ModelInputs& in) {
+  return in.n_read_edge;
+}
+
+// Eq. 1: pipeline-bound execution time (steps 2-5 overlap; the max is the
+// issue interval).
+double execution_time_ns(const ModelInputs& in);
+
+// Eq. 2: total energy.
+double energy_pj(const ModelInputs& in);
+
+// Eq. 5: energy-delay product.
+double edp(const ModelInputs& in);
+
+// Eq. 6: the Cauchy-Schwarz lower bound on the EDP. Guaranteed to be
+// <= edp(in); tested as a property.
+double edp_lower_bound(const ModelInputs& in);
+
+// Eq. 8: HyVE's global sequential vertex reads per iteration,
+// (P/N) * Nv, P intervals on N processing units.
+std::uint64_t hyve_vertex_loads(std::uint32_t num_intervals,
+                                std::uint32_t num_pus,
+                                std::uint64_t num_vertices);
+
+// Eq. 9: GraphR's global sequential vertex reads per iteration.
+std::uint64_t graphr_vertex_loads(std::uint64_t non_empty_blocks);
+
+}  // namespace hyve::model

@@ -1,0 +1,91 @@
+#include "sim/dram_timing.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hyve {
+
+DramTimingSim::DramTimingSim(const DramTimingParams& params)
+    : params_(params) {
+  HYVE_CHECK(params_.num_banks >= 1);
+  HYVE_CHECK(params_.row_bytes >= params_.burst_bytes);
+  HYVE_CHECK(params_.burst_bytes > 0);
+}
+
+DramTraceResult DramTimingSim::run(std::span<const MemRequest> trace) {
+  const double tck = params_.tck_ns;
+  const double t_rcd = params_.t_rcd * tck;
+  const double t_rp = params_.t_rp * tck;
+  const double t_cas = params_.t_cas * tck;
+  const double t_ras = params_.t_ras * tck;
+  const double t_ccd = params_.t_ccd * tck;
+  const double t_wr = params_.t_wr * tck;
+  const double t_burst = params_.burst_clocks * tck;
+
+  std::vector<BankState> banks(static_cast<std::size_t>(params_.num_banks));
+  // Banks interleave on consecutive rows so sequential scans rotate
+  // through all banks (standard row-interleaved address mapping).
+  auto bank_of = [&](std::uint64_t address) {
+    return (address / params_.row_bytes) % params_.num_banks;
+  };
+  auto row_of = [&](std::uint64_t address) {
+    return address / params_.row_bytes / params_.num_banks;
+  };
+
+  DramTraceResult result;
+  double bus_free_ns = 0;   // shared data bus
+  double finish_ns = 0;
+
+  for (const MemRequest& req : trace) {
+    const std::uint64_t bursts =
+        std::max<std::uint64_t>(1, (req.bytes + params_.burst_bytes - 1) /
+                                       params_.burst_bytes);
+    for (std::uint64_t b = 0; b < bursts; ++b) {
+      const std::uint64_t address =
+          req.address + b * params_.burst_bytes;
+      BankState& bank = banks[bank_of(address)];
+      const std::uint64_t row = row_of(address);
+
+      double column_issue_ns;
+      if (bank.row_open && bank.open_row == row) {
+        // Row hit: column command as soon as the bank allows.
+        column_issue_ns = bank.ready_ns;
+        ++result.row_hits;
+      } else {
+        // Row miss: honour tRAS on the old row, precharge, activate.
+        double pre_ns = bank.ready_ns;
+        if (bank.row_open)
+          pre_ns = std::max(pre_ns, bank.activated_ns + t_ras);
+        const double act_ns = pre_ns + (bank.row_open ? t_rp : 0.0);
+        bank.row_open = true;
+        bank.open_row = row;
+        bank.activated_ns = act_ns;
+        column_issue_ns = act_ns + t_rcd;
+        ++result.row_misses;
+      }
+
+      // The data bus serialises bursts across all banks.
+      const double data_start_ns =
+          std::max(column_issue_ns + t_cas, bus_free_ns);
+      const double data_end_ns = data_start_ns + t_burst;
+      bus_free_ns = data_end_ns;
+      // Bank is busy until it may accept the next column command; writes
+      // additionally hold the row for write recovery.
+      bank.ready_ns = column_issue_ns + t_ccd;
+      if (req.is_write) bank.ready_ns += t_wr - t_ccd;
+      finish_ns = std::max(finish_ns, data_end_ns);
+      ++result.bursts;
+    }
+  }
+
+  result.total_ns = finish_ns;
+  result.achieved_gbps =
+      finish_ns <= 0
+          ? 0.0
+          : static_cast<double>(result.bursts) * params_.burst_bytes /
+                finish_ns;
+  return result;
+}
+
+}  // namespace hyve

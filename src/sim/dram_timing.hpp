@@ -1,0 +1,74 @@
+// Cycle-level DDR4 bank/timing simulator.
+//
+// The analytic DramModel (src/memmodel) charges streams at the channel
+// bandwidth and random accesses at a fixed service interval; this module
+// is the cycle-level ground truth behind those constants: a bank state
+// machine honouring tRCD/tRP/tCAS/tRAS/tRC with an open-page policy, a
+// shared data bus, and bank-interleaved scheduling. The test suite
+// cross-validates the analytic model against it (sequential streams
+// reach ~peak bus bandwidth; random closed-row traffic is tRC/banks
+// bound), which is how the reproduction grounds its Fig. 9/16 numbers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/mem_request.hpp"
+
+namespace hyve {
+
+struct DramTimingParams {
+  double tck_ns = 0.9375;  // DDR4-2133: 1066 MHz memory clock
+  // JEDEC-style timings in memory-clock cycles (-093 speed grade class).
+  int t_rcd = 15;  // ACT to column command
+  int t_rp = 15;   // PRE to ACT
+  int t_cas = 15;  // column command to first data
+  int t_ras = 36;  // ACT to PRE (minimum row-open time)
+  int t_ccd = 4;   // column command to column command (same bank group)
+  int t_wr = 16;   // write recovery before PRE
+  int burst_clocks = 4;  // BL8 at double data rate
+  int num_banks = 16;
+  std::uint32_t row_bytes = 8192;   // page per rank
+  std::uint32_t burst_bytes = 64;   // BL8 x 64-bit channel
+
+  double t_rc_cycles() const { return t_ras + t_rp; }
+  double peak_gbps() const {
+    return burst_bytes / (burst_clocks * tck_ns);
+  }
+};
+
+struct DramTraceResult {
+  double total_ns = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;  // activations
+  std::uint64_t bursts = 0;
+  double achieved_gbps = 0;
+  double row_hit_rate() const {
+    const auto total = row_hits + row_misses;
+    return total == 0 ? 0.0 : static_cast<double>(row_hits) / total;
+  }
+};
+
+class DramTimingSim {
+ public:
+  explicit DramTimingSim(const DramTimingParams& params = {});
+
+  // Runs the trace in order (requests may overlap across banks; the data
+  // bus serialises bursts) and returns the timing profile.
+  DramTraceResult run(std::span<const MemRequest> trace);
+
+  const DramTimingParams& params() const { return params_; }
+
+ private:
+  struct BankState {
+    bool row_open = false;
+    std::uint64_t open_row = 0;
+    double ready_ns = 0;     // earliest next command issue
+    double activated_ns = 0; // when the open row was activated (tRAS)
+  };
+
+  DramTimingParams params_;
+};
+
+}  // namespace hyve

@@ -1,0 +1,70 @@
+#include "sim/energy.hpp"
+
+#include <numeric>
+
+namespace hyve {
+
+std::string component_name(EnergyComponent c) {
+  switch (c) {
+    case EnergyComponent::kEdgeMemDynamic: return "edge-mem dynamic";
+    case EnergyComponent::kEdgeMemBackground: return "edge-mem background";
+    case EnergyComponent::kOffchipVertexDynamic: return "vertex-mem dynamic";
+    case EnergyComponent::kOffchipVertexBackground:
+      return "vertex-mem background";
+    case EnergyComponent::kSramDynamic: return "sram dynamic";
+    case EnergyComponent::kSramLeakage: return "sram leakage";
+    case EnergyComponent::kRouter: return "router";
+    case EnergyComponent::kPuDynamic: return "pu dynamic";
+    case EnergyComponent::kLogicStatic: return "logic static";
+    case EnergyComponent::kCount: break;
+  }
+  return "?";
+}
+
+double EnergyBreakdown::total_pj() const {
+  return std::accumulate(pj_.begin(), pj_.end(), 0.0);
+}
+
+double EnergyBreakdown::edge_memory_pj() const {
+  return (*this)[EnergyComponent::kEdgeMemDynamic] +
+         (*this)[EnergyComponent::kEdgeMemBackground];
+}
+
+double EnergyBreakdown::vertex_memory_pj() const {
+  return (*this)[EnergyComponent::kOffchipVertexDynamic] +
+         (*this)[EnergyComponent::kOffchipVertexBackground] +
+         (*this)[EnergyComponent::kSramDynamic] +
+         (*this)[EnergyComponent::kSramLeakage];
+}
+
+double EnergyBreakdown::logic_pj() const {
+  return (*this)[EnergyComponent::kRouter] +
+         (*this)[EnergyComponent::kPuDynamic] +
+         (*this)[EnergyComponent::kLogicStatic];
+}
+
+EnergyBreakdown& EnergyBreakdown::operator+=(const EnergyBreakdown& other) {
+  for (std::size_t i = 0; i < pj_.size(); ++i) pj_[i] += other.pj_[i];
+  return *this;
+}
+
+AccessStats& AccessStats::operator+=(const AccessStats& other) {
+  edge_bytes_read += other.edge_bytes_read;
+  edge_stream_passes += other.edge_stream_passes;
+  offchip_vertex_bytes_read += other.offchip_vertex_bytes_read;
+  offchip_vertex_bytes_written += other.offchip_vertex_bytes_written;
+  offchip_vertex_random_reads += other.offchip_vertex_random_reads;
+  offchip_vertex_random_writes += other.offchip_vertex_random_writes;
+  sram_random_reads += other.sram_random_reads;
+  sram_random_writes += other.sram_random_writes;
+  sram_fill_bytes += other.sram_fill_bytes;
+  sram_drain_bytes += other.sram_drain_bytes;
+  router_hops += other.router_hops;
+  edge_ops += other.edge_ops;
+  vertex_ops += other.vertex_ops;
+  interval_loads += other.interval_loads;
+  interval_writebacks += other.interval_writebacks;
+  return *this;
+}
+
+}  // namespace hyve

@@ -1,0 +1,85 @@
+// Energy and traffic accounting primitives.
+//
+// Every simulated run produces an AccessStats (what was moved/computed)
+// and an EnergyBreakdown (where the picojoules went). The breakdown's
+// component set mirrors the paper's Fig. 17 buckets: edge memory, vertex
+// memory (off-chip + on-chip), and "other logic units".
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace hyve {
+
+enum class EnergyComponent : std::size_t {
+  kEdgeMemDynamic = 0,
+  kEdgeMemBackground,
+  kOffchipVertexDynamic,
+  kOffchipVertexBackground,
+  kSramDynamic,
+  kSramLeakage,
+  kRouter,
+  kPuDynamic,
+  kLogicStatic,
+  kCount,
+};
+
+std::string component_name(EnergyComponent c);
+
+class EnergyBreakdown {
+ public:
+  double& operator[](EnergyComponent c) {
+    return pj_[static_cast<std::size_t>(c)];
+  }
+  double operator[](EnergyComponent c) const {
+    return pj_[static_cast<std::size_t>(c)];
+  }
+
+  double total_pj() const;
+  // Fig. 17 groupings.
+  double edge_memory_pj() const;
+  double vertex_memory_pj() const;  // off-chip + on-chip SRAM
+  double memory_pj() const { return edge_memory_pj() + vertex_memory_pj(); }
+  double logic_pj() const;  // "other logic units"
+
+  EnergyBreakdown& operator+=(const EnergyBreakdown& other);
+
+ private:
+  std::array<double, static_cast<std::size_t>(EnergyComponent::kCount)> pj_{};
+};
+
+// Raw traffic/operation counts accumulated by a run.
+struct AccessStats {
+  // Edge memory (sequential stream, read-only at runtime).
+  std::uint64_t edge_bytes_read = 0;
+  std::uint64_t edge_stream_passes = 0;  // full-graph scans
+
+  // Off-chip vertex memory (sequential interval traffic only in HyVE).
+  std::uint64_t offchip_vertex_bytes_read = 0;
+  std::uint64_t offchip_vertex_bytes_written = 0;
+  // Baselines without on-chip SRAM random-access it instead.
+  std::uint64_t offchip_vertex_random_reads = 0;
+  std::uint64_t offchip_vertex_random_writes = 0;
+
+  // On-chip vertex SRAM.
+  std::uint64_t sram_random_reads = 0;
+  std::uint64_t sram_random_writes = 0;
+  std::uint64_t sram_fill_bytes = 0;   // interval loads into SRAM
+  std::uint64_t sram_drain_bytes = 0;  // write-backs out of SRAM
+
+  // Data-sharing router traversals (remote source-interval reads).
+  std::uint64_t router_hops = 0;
+
+  // Processing units.
+  std::uint64_t edge_ops = 0;    // one per processed edge
+  std::uint64_t vertex_ops = 0;  // apply-phase ops (e.g. PageRank scale)
+
+  // Interval-load bookkeeping (Eq. 8/9 cross-checks).
+  std::uint64_t interval_loads = 0;
+  std::uint64_t interval_writebacks = 0;
+
+  AccessStats& operator+=(const AccessStats& other);
+};
+
+}  // namespace hyve

@@ -1,0 +1,39 @@
+#include "sim/mem_request.hpp"
+
+#include "util/check.hpp"
+
+namespace hyve {
+
+std::vector<MemRequest> sequential_trace(std::uint64_t total_bytes,
+                                         std::uint32_t granularity,
+                                         bool is_write) {
+  HYVE_CHECK(granularity > 0);
+  std::vector<MemRequest> trace;
+  trace.reserve(total_bytes / granularity + 1);
+  for (std::uint64_t addr = 0; addr < total_bytes; addr += granularity) {
+    const auto payload = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(granularity, total_bytes - addr));
+    trace.push_back({addr, payload, is_write});
+  }
+  return trace;
+}
+
+std::vector<MemRequest> random_trace(std::uint64_t count,
+                                     std::uint64_t address_space,
+                                     std::uint32_t granularity, Rng& rng,
+                                     double write_fraction) {
+  HYVE_CHECK(granularity > 0 && address_space >= granularity);
+  std::vector<MemRequest> trace;
+  trace.reserve(count);
+  const std::uint64_t slots = address_space / granularity;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    MemRequest req;
+    req.address = rng.next_below(slots) * granularity;
+    req.bytes = granularity;
+    req.is_write = rng.next_bool(write_fraction);
+    trace.push_back(req);
+  }
+  return trace;
+}
+
+}  // namespace hyve

@@ -1,0 +1,28 @@
+// Memory request traces for the cycle-level device simulators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hyve {
+
+struct MemRequest {
+  std::uint64_t address = 0;  // byte address within the module
+  std::uint32_t bytes = 64;   // payload (device rounds up to its burst)
+  bool is_write = false;
+};
+
+// A linear scan of `total_bytes` in `granularity`-byte requests.
+std::vector<MemRequest> sequential_trace(std::uint64_t total_bytes,
+                                         std::uint32_t granularity,
+                                         bool is_write = false);
+
+// `count` independent accesses uniform over `address_space` bytes.
+std::vector<MemRequest> random_trace(std::uint64_t count,
+                                     std::uint64_t address_space,
+                                     std::uint32_t granularity, Rng& rng,
+                                     double write_fraction = 0.0);
+
+}  // namespace hyve

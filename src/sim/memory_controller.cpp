@@ -1,0 +1,100 @@
+#include "sim/memory_controller.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hyve {
+
+HyveAddressMap::HyveAddressMap(const Partitioning& schedule,
+                               std::uint32_t edge_bytes,
+                               std::uint32_t value_bytes, double slack)
+    : num_intervals_(schedule.num_intervals()) {
+  HYVE_CHECK(edge_bytes >= 8 && value_bytes >= 1 && slack >= 0.0);
+  const std::uint32_t p = num_intervals_;
+
+  blocks_.reserve(static_cast<std::size_t>(p) * p);
+  std::uint64_t cursor = 0;
+  for (std::uint32_t x = 0; x < p; ++x) {
+    for (std::uint32_t y = 0; y < p; ++y) {
+      const std::uint64_t payload =
+          schedule.block_edge_count(x, y) * edge_bytes;
+      // §5: reserve slack per block so dynamic additions stay in place.
+      const auto reserved = static_cast<std::uint64_t>(
+          std::ceil(static_cast<double>(payload) * (1.0 + slack)));
+      blocks_.push_back({cursor, kBlockHeaderBytes + payload});
+      cursor += kBlockHeaderBytes + reserved;
+    }
+  }
+  edge_memory_bytes_ = cursor;
+
+  intervals_.reserve(p);
+  cursor = 0;
+  for (std::uint32_t i = 0; i < p; ++i) {
+    const std::uint64_t payload =
+        static_cast<std::uint64_t>(schedule.interval_population(i)) *
+        value_bytes;
+    const auto reserved = static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(payload) * (1.0 + slack)));
+    intervals_.push_back({cursor, kIntervalHeaderBytes + payload});
+    cursor += kIntervalHeaderBytes + reserved;
+  }
+  vertex_memory_bytes_ = cursor;
+}
+
+AddressRange HyveAddressMap::block_range(std::uint32_t x,
+                                         std::uint32_t y) const {
+  HYVE_CHECK(x < num_intervals_ && y < num_intervals_);
+  return blocks_[static_cast<std::size_t>(x) * num_intervals_ + y];
+}
+
+AddressRange HyveAddressMap::interval_range(std::uint32_t i) const {
+  HYVE_CHECK(i < num_intervals_);
+  return intervals_[i];
+}
+
+MemoryController::MemoryController(const Partitioning& schedule,
+                                   std::uint32_t edge_bytes,
+                                   std::uint32_t value_bytes)
+    : schedule_(schedule), map_(schedule, edge_bytes, value_bytes) {}
+
+std::vector<MemRequest> MemoryController::range_requests(
+    const AddressRange& range, bool is_write) const {
+  std::vector<MemRequest> requests;
+  if (range.bytes == 0) return requests;
+  constexpr std::uint32_t kBurst = 64;
+  // Align the start down to the burst: the device transfers whole bursts.
+  const std::uint64_t first = range.offset / kBurst * kBurst;
+  for (std::uint64_t addr = first; addr < range.end(); addr += kBurst)
+    requests.push_back({addr, kBurst, is_write});
+  return requests;
+}
+
+std::vector<MemRequest> MemoryController::edge_stream(std::uint32_t x,
+                                                      std::uint32_t y) const {
+  return range_requests(map_.block_range(x, y), /*is_write=*/false);
+}
+
+std::vector<MemRequest> MemoryController::full_edge_scan() const {
+  std::vector<MemRequest> trace;
+  const std::uint32_t p = schedule_.num_intervals();
+  for (std::uint32_t y = 0; y < p; ++y) {
+    for (std::uint32_t x = 0; x < p; ++x) {
+      auto block = edge_stream(x, y);
+      trace.insert(trace.end(), block.begin(), block.end());
+    }
+  }
+  return trace;
+}
+
+std::vector<MemRequest> MemoryController::interval_load(
+    std::uint32_t i) const {
+  return range_requests(map_.interval_range(i), /*is_write=*/false);
+}
+
+std::vector<MemRequest> MemoryController::interval_writeback(
+    std::uint32_t i) const {
+  return range_requests(map_.interval_range(i), /*is_write=*/true);
+}
+
+}  // namespace hyve

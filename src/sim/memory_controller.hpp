@@ -1,0 +1,83 @@
+// The HyVE memory controller (§3.3) and data organisation (§3.4).
+//
+// §3.4 lays the data out as:
+//   * vertex memory — intervals stored sequentially, each as
+//     { interval index : u32, vertex count : u32, values[] };
+//   * edge memory — blocks stored sequentially, each as
+//     { src interval : u32, dst interval : u32, edge count : u32,
+//       (src id, dst id) pairs[] }.
+// The controller owns this address map and translates Algorithm 2's
+// phases into byte-accurate request traces for the cycle-level device
+// simulators (sim/dram_timing, sim/reram_timing): the "detailed mode"
+// that grounds the analytic per-phase times the machine uses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/partition.hpp"
+#include "sim/mem_request.hpp"
+
+namespace hyve {
+
+// Byte range of one object in a memory module.
+struct AddressRange {
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t end() const { return offset + bytes; }
+};
+
+class HyveAddressMap {
+ public:
+  // Builds the §3.4 layout for a partitioned graph. `edge_bytes` is the
+  // stored edge record width (8 or 12); `value_bytes` the vertex record.
+  HyveAddressMap(const Partitioning& schedule, std::uint32_t edge_bytes,
+                 std::uint32_t value_bytes, double slack = 0.3);
+
+  // Edge memory: block B[x][y] (header + edges + reserved slack).
+  AddressRange block_range(std::uint32_t x, std::uint32_t y) const;
+  // Vertex memory: interval I_i (header + values + reserved slack).
+  AddressRange interval_range(std::uint32_t i) const;
+
+  std::uint64_t edge_memory_bytes() const { return edge_memory_bytes_; }
+  std::uint64_t vertex_memory_bytes() const { return vertex_memory_bytes_; }
+
+  static constexpr std::uint32_t kBlockHeaderBytes = 12;    // §3.4
+  static constexpr std::uint32_t kIntervalHeaderBytes = 8;  // §3.4
+
+ private:
+  std::uint32_t num_intervals_;
+  std::vector<AddressRange> blocks_;     // P*P, x-major
+  std::vector<AddressRange> intervals_;  // P
+  std::uint64_t edge_memory_bytes_ = 0;
+  std::uint64_t vertex_memory_bytes_ = 0;
+};
+
+// Trace generation for the Algorithm-2 phases.
+class MemoryController {
+ public:
+  MemoryController(const Partitioning& schedule, std::uint32_t edge_bytes,
+                   std::uint32_t value_bytes);
+
+  const HyveAddressMap& address_map() const { return map_; }
+
+  // Processing phase: stream the edges of block B[x][y] (header included,
+  // 64-byte requests — the §3.3 edge buffer refills at burst granularity).
+  std::vector<MemRequest> edge_stream(std::uint32_t x, std::uint32_t y) const;
+
+  // One full pass over every block in Algorithm 2's column-major order.
+  std::vector<MemRequest> full_edge_scan() const;
+
+  // Loading / Updating phases: sequential interval transfer.
+  std::vector<MemRequest> interval_load(std::uint32_t i) const;
+  std::vector<MemRequest> interval_writeback(std::uint32_t i) const;
+
+ private:
+  std::vector<MemRequest> range_requests(const AddressRange& range,
+                                         bool is_write) const;
+
+  const Partitioning& schedule_;
+  HyveAddressMap map_;
+};
+
+}  // namespace hyve

@@ -1,0 +1,18 @@
+#include "sim/pipeline.hpp"
+
+#include <algorithm>
+
+namespace hyve {
+
+double PipelineStageTimes::bottleneck_ns() const {
+  return std::max({edge_read_ns, vertex_read_ns, update_ns, vertex_write_ns});
+}
+
+double block_processing_time_ns(std::uint64_t edges,
+                                const PipelineStageTimes& stages) {
+  if (edges == 0) return 0.0;
+  return static_cast<double>(edges) * stages.bottleneck_ns() +
+         stages.fill_latency_ns;
+}
+
+}  // namespace hyve

@@ -1,0 +1,28 @@
+// Edge-processing pipeline timing (paper Fig. 8, Eq. 1).
+//
+// Steps 2-5 of the processing flow (read edge, read vertices, update,
+// write vertex) run pipelined, so a block of n edges takes
+//   n * max(stage times) + fill
+// per processing unit. Under Algorithm 2 the N units synchronise after
+// each step, so a step costs the maximum over its N concurrent blocks.
+#pragma once
+
+#include <cstdint>
+
+namespace hyve {
+
+struct PipelineStageTimes {
+  double edge_read_ns = 0;     // per-PU share of the edge stream
+  double vertex_read_ns = 0;   // local (or remote, routed) source read
+  double update_ns = 0;        // PU op issue interval
+  double vertex_write_ns = 0;  // destination read-modify-write
+  double fill_latency_ns = 0;  // one-time pipe fill per block
+
+  double bottleneck_ns() const;
+};
+
+// Time for one PU to stream `edges` edges through the pipeline.
+double block_processing_time_ns(std::uint64_t edges,
+                                const PipelineStageTimes& stages);
+
+}  // namespace hyve

@@ -1,0 +1,54 @@
+#include "sim/power_gating.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace hyve {
+
+PowerGatingResult evaluate_power_gating(const ReramModel& reram,
+                                        const EdgeMemoryActivity& activity) {
+  HYVE_CHECK(activity.total_time_ns >= activity.streaming_time_ns);
+  HYVE_CHECK(activity.capacity_bytes > 0);
+
+  PowerGatingResult result;
+  const double ungated_mw = reram.background_power_mw(activity.capacity_bytes);
+  result.ungated_background_pj =
+      units::power_over(ungated_mw, activity.total_time_ns);
+
+  // While streaming: exactly one bank awake per the single streaming chip
+  // (sub-bank interleaving sustains full bandwidth from one bank, §3.1).
+  const double streaming_mw =
+      reram.gated_power_mw(activity.capacity_bytes, /*active_banks=*/1);
+  // Outside streaming windows the BPG timer has re-gated everything.
+  const double idle_mw =
+      reram.gated_power_mw(activity.capacity_bytes, /*active_banks=*/0);
+
+  const double idle_time_ns =
+      activity.total_time_ns - activity.streaming_time_ns;
+  result.gated_background_pj =
+      units::power_over(streaming_mw, activity.streaming_time_ns) +
+      units::power_over(idle_mw, idle_time_ns);
+
+  // One gate-open per bank touched by the sequential scan.
+  const std::uint64_t bank_bytes =
+      std::max<std::uint64_t>(1, activity.capacity_bytes /
+                                     ReramModel::banks_per_chip() /
+                                     std::max(1, reram.chips_for(
+                                                     activity.capacity_bytes)));
+  result.bank_wakes = activity.bytes_streamed / bank_bytes + 1;
+  result.wake_energy_pj =
+      static_cast<double>(result.bank_wakes) * reram.bank_wake_energy_pj();
+  result.gated_background_pj += result.wake_energy_pj;
+
+  // The scan order is known, so the controller opens the next gate one
+  // bank ahead; only the first wake of the run is exposed.
+  result.exposed_wake_time_ns = reram.bank_wake_latency_ns();
+
+  HYVE_CHECK(result.gated_background_pj <=
+             result.ungated_background_pj + result.wake_energy_pj);
+  return result;
+}
+
+}  // namespace hyve

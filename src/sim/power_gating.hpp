@@ -1,0 +1,41 @@
+// Bank-level power gating (BPG) for the non-volatile edge memory (§4.1).
+//
+// The edge memory is read strictly sequentially, so at any instant only
+// one bank per chip streams; HyVE deliberately uses sub-bank (mat)
+// interleaving *instead of* bank interleaving so every other bank can be
+// behind a power gate. Non-volatility removes the state-save cost, and
+// the predictable access order lets the BPG controller wake the next
+// bank ahead of the stream, hiding the wake latency. This module turns a
+// run's edge-memory activity profile into background energy with and
+// without BPG, including the wake overheads (Fig. 15 / Fig. 17's "opt").
+#pragma once
+
+#include <cstdint>
+
+#include "memmodel/reram.hpp"
+
+namespace hyve {
+
+// Activity profile of the edge memory over one simulated run.
+struct EdgeMemoryActivity {
+  double total_time_ns = 0;      // whole execution window
+  double streaming_time_ns = 0;  // portion spent actively streaming edges
+  std::uint64_t bytes_streamed = 0;
+  std::uint64_t capacity_bytes = 0;  // provisioned edge-memory size
+};
+
+struct PowerGatingResult {
+  double ungated_background_pj = 0;  // all banks powered the whole run
+  double gated_background_pj = 0;    // BPG: one bank awake while streaming
+  std::uint64_t bank_wakes = 0;      // gate-open transitions
+  double wake_energy_pj = 0;         // included in gated_background_pj
+  double exposed_wake_time_ns = 0;   // wake latency not hidden by prefetch
+};
+
+// Evaluates BPG for a ReRAM edge memory. The sequential scan order makes
+// wakes predictable: all but the first wake per pass are prefetched and
+// hidden; the BPG timer also re-gates banks during non-streaming phases.
+PowerGatingResult evaluate_power_gating(const ReramModel& reram,
+                                        const EdgeMemoryActivity& activity);
+
+}  // namespace hyve

@@ -1,0 +1,54 @@
+// Cycle-level ReRAM chip timing simulator (Fig. 3's organisation).
+//
+// A chip holds banks of mats; a bank access occupies one mat for the
+// Table-3 cycle period, and HyVE's sub-bank interleaving (§3.1) rotates
+// sequential accesses across the mats of ONE bank so the chip I/O can be
+// saturated without waking other banks. Without interleaving a sequential
+// scan serialises on a single mat's cycle + row turnaround. Writes hold a
+// mat for the full set pulse. The test suite cross-validates the analytic
+// ReramModel bandwidths against this simulator, and the bank-activity
+// profile it produces is what bank-level power gating exploits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "memmodel/reram.hpp"
+#include "sim/mem_request.hpp"
+
+namespace hyve {
+
+struct ReramTimingParams {
+  ReramConfig config;        // bank access width/period from Table 3
+  int mats_per_bank = 16;    // Fig. 3: M x N mats per bank
+  int banks_per_chip = 8;
+  // Row turnaround a mat needs between back-to-back accesses when it
+  // cannot be hidden by interleaving.
+  double mat_turnaround_factor = 4.0;  // x access period
+};
+
+struct ReramTraceResult {
+  double total_ns = 0;
+  std::uint64_t accesses = 0;
+  double achieved_gbps = 0;
+  // Distinct banks touched, and the max concurrently-awake bank count —
+  // the quantity bank-level power gating bounds to 1 under sequential
+  // scans.
+  std::uint32_t banks_touched = 0;
+  std::uint32_t max_concurrent_banks = 0;
+};
+
+class ReramTimingSim {
+ public:
+  explicit ReramTimingSim(const ReramTimingParams& params = {});
+
+  ReramTraceResult run(std::span<const MemRequest> trace);
+
+  const ReramTimingParams& params() const { return params_; }
+
+ private:
+  ReramTimingParams params_;
+};
+
+}  // namespace hyve

@@ -1,0 +1,45 @@
+// Precondition / invariant checking.
+//
+// Model code validates its inputs with HYVE_CHECK and throws
+// hyve::InvariantError on violation; tests assert on these throws so
+// contract violations surface loudly instead of corrupting results.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hyve {
+
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace hyve
+
+#define HYVE_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::hyve::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define HYVE_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream hyve_check_os_;                              \
+      hyve_check_os_ << msg;                                          \
+      ::hyve::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                   hyve_check_os_.str());             \
+    }                                                                 \
+  } while (false)

@@ -1,0 +1,43 @@
+#include "util/log.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace hyve {
+namespace {
+
+LogLevel parse_level() {
+  const char* env = std::getenv("HYVE_LOG");
+  if (env == nullptr) return LogLevel::kInfo;
+  const std::string v(env);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_threshold() {
+  static const LogLevel threshold = parse_level();
+  return threshold;
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  static std::mutex mu;
+  const std::scoped_lock lock(mu);
+  std::cerr << "[hyve " << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace hyve

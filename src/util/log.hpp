@@ -1,0 +1,37 @@
+// Minimal leveled logging to stderr.
+//
+// Benches and examples stay quiet at Info level unless something is
+// noteworthy; set HYVE_LOG=debug in the environment for verbose traces.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hyve {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Current threshold (from HYVE_LOG env var; defaults to Info).
+LogLevel log_threshold();
+
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, os_.str()); }
+  std::ostringstream& stream() { return os_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace hyve
+
+#define HYVE_LOG(level)                                        \
+  if (::hyve::LogLevel::level < ::hyve::log_threshold()) {     \
+  } else                                                       \
+    ::hyve::detail::LogMessage(::hyve::LogLevel::level).stream()

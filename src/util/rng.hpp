@@ -1,0 +1,38 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic inputs to the reproduction (synthetic graphs, request
+// streams, property-test fixtures) draw from this generator so every run
+// of every bench and test is bit-identical. xoshiro256** seeded via
+// SplitMix64, following the reference implementations by Blackman/Vigna.
+#pragma once
+
+#include <cstdint>
+
+namespace hyve {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  // Uniform over [0, 2^64).
+  std::uint64_t next_u64();
+
+  // Uniform over [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform over [0, 1).
+  double next_double();
+
+  // Bernoulli draw.
+  bool next_bool(double p_true) { return next_double() < p_true; }
+
+  // Uniform over [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace hyve

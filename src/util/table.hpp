@@ -1,0 +1,37 @@
+// Plain-text table rendering for the bench binaries.
+//
+// Every bench prints its reproduction of a paper table/figure as an
+// aligned ASCII table plus an optional CSV block, so results can be
+// eyeballed against the paper and machine-parsed from the same output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hyve {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a section banner ("==== title ====") used by bench binaries.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace hyve

@@ -1,0 +1,62 @@
+// Units and conversion helpers used throughout the HyVE models.
+//
+// All energy bookkeeping is done in picojoules (pJ) and all time in
+// nanoseconds (ns) as plain doubles; powers are derived as pJ/ns == mW.
+// The helpers below exist so literals in the technology tables read the
+// same way the paper quotes them (e.g. "3.91 nJ", "50.88 ns", "0.16 uW").
+#pragma once
+
+#include <cstdint>
+
+namespace hyve::units {
+
+// ---- energy (canonical unit: picojoule) ----
+constexpr double pJ(double v) { return v; }
+constexpr double nJ(double v) { return v * 1e3; }
+constexpr double uJ(double v) { return v * 1e6; }
+constexpr double mJ(double v) { return v * 1e9; }
+constexpr double J(double v) { return v * 1e12; }
+
+constexpr double pj_to_joule(double pj) { return pj * 1e-12; }
+constexpr double pj_to_uj(double pj) { return pj * 1e-6; }
+
+// ---- time (canonical unit: nanosecond) ----
+constexpr double ps(double v) { return v * 1e-3; }
+constexpr double ns(double v) { return v; }
+constexpr double us(double v) { return v * 1e3; }
+constexpr double ms(double v) { return v * 1e6; }
+constexpr double s(double v) { return v * 1e9; }
+
+constexpr double ns_to_s(double t) { return t * 1e-9; }
+
+// ---- power (canonical unit: milliwatt == pJ/ns) ----
+constexpr double mW(double v) { return v; }
+constexpr double uW(double v) { return v * 1e-3; }
+constexpr double W(double v) { return v * 1e3; }
+
+// Energy accumulated by a power draw over a duration.
+constexpr double power_over(double power_mw, double time_ns) {
+  return power_mw * time_ns;  // mW * ns == pJ
+}
+
+// ---- capacity ----
+constexpr std::uint64_t KiB(std::uint64_t v) { return v << 10; }
+constexpr std::uint64_t MiB(std::uint64_t v) { return v << 20; }
+constexpr std::uint64_t GiB(std::uint64_t v) { return v << 30; }
+// Memory-chip densities are quoted in gigabits in the paper (4/8/16 Gb).
+constexpr std::uint64_t Gbit(std::uint64_t v) { return (v << 30) / 8; }
+
+// ---- derived figures of merit ----
+
+// Million traversed edges per second per watt, the paper's headline metric.
+// MTEPS/W == traversed_edges / total_energy_in_microjoules.
+constexpr double mteps_per_watt(double traversed_edges, double energy_pj) {
+  return energy_pj <= 0.0 ? 0.0 : traversed_edges / pj_to_uj(energy_pj);
+}
+
+// Energy-delay product in pJ*ns; only ever used in ratios.
+constexpr double edp(double energy_pj, double delay_ns) {
+  return energy_pj * delay_ns;
+}
+
+}  // namespace hyve::units

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "memmodel/area.hpp"
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace hyve {
+namespace {
+
+AreaInputs default_inputs() {
+  AreaInputs in;
+  in.num_pus = 8;
+  in.sram_bytes_per_pu = units::MiB(2);
+  in.edge_capacity_bytes = units::Gbit(8);
+  return in;
+}
+
+TEST(Area, AllComponentsPositive) {
+  const AreaBreakdown a = estimate_area(default_inputs());
+  EXPECT_GT(a.sram_mm2, 0.0);
+  EXPECT_GT(a.pu_mm2, 0.0);
+  EXPECT_GT(a.router_mm2, 0.0);
+  EXPECT_GT(a.controller_mm2, 0.0);
+  EXPECT_GT(a.edge_chip_mm2, 0.0);
+  EXPECT_GE(a.edge_chips, 1);
+}
+
+TEST(Area, PowerGatePenaltyIsLow) {
+  // §4.1: one gate per bank means "low area penalty" — a few percent.
+  const AreaBreakdown a = estimate_area(default_inputs());
+  EXPECT_GT(a.power_gate_mm2, 0.0);
+  EXPECT_LT(a.power_gate_overhead(), 0.05);
+}
+
+TEST(Area, NoPowerGatingNoGateArea) {
+  AreaInputs in = default_inputs();
+  in.power_gating = false;
+  EXPECT_EQ(estimate_area(in).power_gate_mm2, 0.0);
+}
+
+TEST(Area, SramDominatesAcceleratorAtLargeCapacity) {
+  AreaInputs in = default_inputs();
+  in.sram_bytes_per_pu = units::MiB(16);
+  const AreaBreakdown a = estimate_area(in);
+  EXPECT_GT(a.sram_mm2, a.pu_mm2 + a.router_mm2 + a.controller_mm2);
+}
+
+TEST(Area, SramAreaLinearInCapacity) {
+  AreaInputs small = default_inputs();
+  AreaInputs big = default_inputs();
+  big.sram_bytes_per_pu = 4 * small.sram_bytes_per_pu;
+  EXPECT_NEAR(estimate_area(big).sram_mm2 / estimate_area(small).sram_mm2,
+              4.0, 1e-9);
+}
+
+TEST(Area, MlcShrinksArrayPerBit) {
+  EXPECT_LT(reram_array_mm2_per_gbit(2), reram_array_mm2_per_gbit(1));
+  EXPECT_LT(reram_array_mm2_per_gbit(3), reram_array_mm2_per_gbit(2));
+  EXPECT_THROW(reram_array_mm2_per_gbit(0), InvariantError);
+}
+
+TEST(Area, ReramDenserThanSramPerBit) {
+  // 4F^2 crosspoints vs 146F^2 SRAM cells: ReRAM must be far denser.
+  const double reram_mm2_per_mib =
+      reram_array_mm2_per_gbit(1) / 1024.0 * 8.0;
+  EXPECT_LT(reram_mm2_per_mib, sram_mm2_per_mib() / 10.0);
+}
+
+TEST(Area, EdgeChipsFollowCapacity) {
+  AreaInputs in = default_inputs();
+  in.edge_capacity_bytes = units::Gbit(4) * 5;
+  EXPECT_EQ(estimate_area(in).edge_chips, 5);
+}
+
+TEST(Area, RouterGrowsQuadraticallyWithPorts) {
+  AreaInputs n8 = default_inputs();
+  AreaInputs n16 = default_inputs();
+  n16.num_pus = 16;
+  EXPECT_NEAR(estimate_area(n16).router_mm2 / estimate_area(n8).router_mm2,
+              4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hyve

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "graph/generators.hpp"
+#include "memmodel/dram.hpp"
+#include "memmodel/reram.hpp"
+#include "util/check.hpp"
+
+namespace hyve {
+namespace {
+
+TEST(Channels, DramStreamBandwidthScales) {
+  DramConfig one;
+  DramConfig two;
+  two.channels = 2;
+  const DramModel a(one);
+  const DramModel b(two);
+  EXPECT_NEAR(a.stream_read_time_ns(1 << 20) / b.stream_read_time_ns(1 << 20),
+              2.0, 1e-9);
+  EXPECT_NEAR(a.random_access_throughput_ns() /
+                  b.random_access_throughput_ns(),
+              2.0, 1e-9);
+}
+
+TEST(Channels, DramBackgroundScalesWithPopulatedRanks) {
+  DramConfig four;
+  four.channels = 4;
+  const DramModel a{DramConfig{}};
+  const DramModel b(four);
+  // Tiny capacity: one rank vs four ranks populated.
+  EXPECT_NEAR(b.background_power_mw(1024) / a.background_power_mw(1024), 4.0,
+              1e-9);
+}
+
+TEST(Channels, DramEnergyPerByteUnchanged) {
+  // Channels buy bandwidth, not efficiency: per-byte dynamic energy is
+  // channel-count invariant.
+  DramConfig two;
+  two.channels = 2;
+  EXPECT_DOUBLE_EQ(DramModel(two).stream_read_energy_pj(4096),
+                   DramModel(DramConfig{}).stream_read_energy_pj(4096));
+}
+
+TEST(Channels, ReramStreamBandwidthScales) {
+  ReramConfig one;
+  ReramConfig two;
+  two.channels = 2;
+  const ReramModel a(one);
+  const ReramModel b(two);
+  EXPECT_NEAR(a.stream_read_time_ns(1 << 20) / b.stream_read_time_ns(1 << 20),
+              2.0, 1e-9);
+}
+
+TEST(Channels, ReramChipFloorPerChannel) {
+  ReramConfig three;
+  three.channels = 3;
+  EXPECT_EQ(ReramModel(three).chips_for(1024), 3);
+}
+
+TEST(Channels, RejectsNonPositive) {
+  DramConfig d;
+  d.channels = 0;
+  EXPECT_THROW(DramModel{d}, InvariantError);
+  ReramConfig r;
+  r.channels = -1;
+  EXPECT_THROW(ReramModel{r}, InvariantError);
+}
+
+TEST(Channels, WiderEdgeChannelLiftsTransferBoundWorkloads) {
+  // Doubling the edge-memory channel speeds processing-bound iterations;
+  // energy rises only through the extra provisioned chips.
+  const Graph g = generate_rmat(20000, 120000, {}, 2024);
+  HyveConfig narrow = HyveConfig::hyve_opt();
+  HyveConfig wide = HyveConfig::hyve_opt();
+  wide.reram.channels = 2;
+  const RunReport rn = HyveMachine(narrow).run(g, Algorithm::kBfs);
+  const RunReport rw = HyveMachine(wide).run(g, Algorithm::kBfs);
+  EXPECT_LT(rw.exec_time_ns, rn.exec_time_ns);
+  EXPECT_GT(rw.mteps(), rn.mteps());
+}
+
+TEST(Channels, DefaultsPreserveCalibration) {
+  // The default configuration must be bit-identical to the calibrated
+  // single-channel behaviour (regression pin for the bench outputs).
+  const Graph g = generate_rmat(20000, 120000, {}, 2025);
+  HyveConfig explicit_one = HyveConfig::hyve_opt();
+  explicit_one.reram.channels = 1;
+  explicit_one.dram.channels = 1;
+  const RunReport a = HyveMachine(HyveConfig::hyve_opt()).run(g, Algorithm::kPageRank);
+  const RunReport b = HyveMachine(explicit_one).run(g, Algorithm::kPageRank);
+  EXPECT_DOUBLE_EQ(a.total_energy_pj(), b.total_energy_pj());
+  EXPECT_DOUBLE_EQ(a.exec_time_ns, b.exec_time_ns);
+}
+
+}  // namespace
+}  // namespace hyve

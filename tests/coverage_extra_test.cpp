@@ -1,0 +1,146 @@
+// Additional targeted coverage: provisioning floors, frontier x sharing
+// interaction, GraphR memory options, and algorithm parameter handling.
+#include <gtest/gtest.h>
+
+#include "algos/pagerank.hpp"
+#include "algos/runner.hpp"
+#include "baselines/graphr.hpp"
+#include "core/machine.hpp"
+#include "graph/generators.hpp"
+#include "sim/memory_controller.hpp"
+#include "util/check.hpp"
+
+namespace hyve {
+namespace {
+
+Graph small_graph() { return generate_rmat(20000, 100000, {}, 606); }
+
+// ---- bandwidth-floor provisioning ----
+
+TEST(Provisioning, EdgeMemoryBackgroundHasBandwidthFloor) {
+  // Two graphs far below the bandwidth-provisioned capacity must see the
+  // same edge-memory background power (the module is sized for the N-PU
+  // stream rate, not the tiny edge list).
+  const Graph tiny = generate_rmat(5000, 20000, {}, 607);
+  const Graph small = generate_rmat(10000, 60000, {}, 608);
+  const HyveConfig cfg = HyveConfig::hyve();  // no power gating
+  const RunReport a = HyveMachine(cfg).run(tiny, Algorithm::kBfs);
+  const RunReport b = HyveMachine(cfg).run(small, Algorithm::kBfs);
+  const double power_a =
+      a.energy[EnergyComponent::kEdgeMemBackground] / a.exec_time_ns;
+  const double power_b =
+      b.energy[EnergyComponent::kEdgeMemBackground] / b.exec_time_ns;
+  EXPECT_NEAR(power_a, power_b, 1e-9 * power_a);
+}
+
+// ---- frontier x sharing interaction ----
+
+TEST(FrontierSharing, InactiveIntervalsSkipSourceLoads) {
+  const Graph g = small_graph();
+  HyveConfig dense = HyveConfig::hyve_opt();
+  HyveConfig skip = HyveConfig::hyve_opt();
+  skip.frontier_block_skipping = true;
+  const RunReport rd = HyveMachine(dense).run(g, Algorithm::kBfs);
+  const RunReport rs = HyveMachine(skip).run(g, Algorithm::kBfs);
+  // Converged-tail iterations stop loading the dormant source intervals.
+  EXPECT_LT(rs.stats.offchip_vertex_bytes_read,
+            rd.stats.offchip_vertex_bytes_read);
+  EXPECT_LT(rs.stats.interval_loads, rd.stats.interval_loads);
+  // Destination write-backs are identical: every interval still owns its
+  // results.
+  EXPECT_EQ(rs.stats.offchip_vertex_bytes_written,
+            rd.stats.offchip_vertex_bytes_written);
+}
+
+TEST(FrontierSharing, WorksWithoutSharingToo) {
+  const Graph g = small_graph();
+  HyveConfig cfg = HyveConfig::hyve_opt();
+  cfg.data_sharing = false;
+  cfg.frontier_block_skipping = true;
+  const RunReport r = HyveMachine(cfg).run(g, Algorithm::kCc);
+  EXPECT_GT(r.mteps_per_watt(), 0.0);
+  EXPECT_EQ(r.stats.router_hops, 0u);
+}
+
+// ---- GraphR options ----
+
+TEST(GraphROptions, DramGlobalMemoryIsWorseForGraphR) {
+  // Fig. 10's conclusion applied to the full model: GraphR's read-heavy
+  // global traffic prefers ReRAM.
+  const Graph g = small_graph();
+  GraphRConfig reram_cfg;
+  GraphRConfig dram_cfg;
+  dram_cfg.global_memory_tech = MemTech::kDram;
+  const GraphRReport rr = GraphRModel(reram_cfg).run(g, Algorithm::kPageRank);
+  const GraphRReport rd = GraphRModel(dram_cfg).run(g, Algorithm::kPageRank);
+  EXPECT_LT(rr.energy[EnergyComponent::kOffchipVertexDynamic],
+            rd.energy[EnergyComponent::kOffchipVertexDynamic]);
+}
+
+// ---- algorithm parameters ----
+
+TEST(AlgorithmParams, PagerankDampingChangesResult) {
+  const Graph g = generate_rmat(500, 3000, {}, 609);
+  PageRankProgram high(10, 0.85);
+  PageRankProgram low(10, 0.5);
+  run_functional(g, high);
+  run_functional(g, low);
+  // Lower damping pulls ranks towards uniform.
+  double high_spread = 0;
+  double low_spread = 0;
+  const double uniform = 1.0 / g.num_vertices();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    high_spread += std::abs(high.ranks()[v] - uniform);
+    low_spread += std::abs(low.ranks()[v] - uniform);
+  }
+  EXPECT_LT(low_spread, high_spread);
+}
+
+TEST(AlgorithmParams, PagerankIterationCountMatters) {
+  const Graph g = generate_rmat(500, 3000, {}, 610);
+  PageRankProgram one(1);
+  PageRankProgram ten(10);
+  run_functional(g, one);
+  run_functional(g, ten);
+  bool any_diff = false;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    any_diff |= std::abs(one.ranks()[v] - ten.ranks()[v]) > 1e-12;
+  EXPECT_TRUE(any_diff);
+}
+
+// ---- address map parameters ----
+
+TEST(AddressMapParams, ZeroSlackPacksTight) {
+  const Graph g = generate_rmat(1000, 5000, {}, 611);
+  const Partitioning part(g, 4);
+  const HyveAddressMap tight(part, 8, 4, /*slack=*/0.0);
+  const HyveAddressMap slack(part, 8, 4, /*slack=*/0.3);
+  EXPECT_LT(tight.edge_memory_bytes(), slack.edge_memory_bytes());
+  std::uint64_t expected = 0;
+  for (std::uint32_t x = 0; x < 4; ++x)
+    for (std::uint32_t y = 0; y < 4; ++y)
+      expected +=
+          HyveAddressMap::kBlockHeaderBytes + part.block_edge_count(x, y) * 8;
+  EXPECT_EQ(tight.edge_memory_bytes(), expected);
+}
+
+TEST(AddressMapParams, WeightedEdgesWidenBlocks) {
+  const Graph g = generate_rmat(1000, 5000, {}, 612);
+  const Partitioning part(g, 4);
+  const HyveAddressMap narrow(part, 8, 4);
+  const HyveAddressMap wide(part, 12, 4);
+  EXPECT_GT(wide.edge_memory_bytes(), narrow.edge_memory_bytes());
+}
+
+// ---- report field coherence across a weighted run ----
+
+TEST(WeightedRun, TwelveByteEdgesAccountedEverywhere) {
+  const Graph g = small_graph();
+  HyveConfig cfg = HyveConfig::hyve_opt();
+  cfg.edge_bytes = 12;
+  const RunReport r = HyveMachine(cfg).run(g, Algorithm::kSssp);
+  EXPECT_EQ(r.stats.edge_bytes_read, r.stats.edge_ops * 12);
+}
+
+}  // namespace
+}  // namespace hyve

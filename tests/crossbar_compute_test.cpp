@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/crossbar_compute.hpp"
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace hyve {
+namespace {
+
+using Weights = std::array<std::array<double, 8>, 8>;
+
+Weights zero_weights() {
+  Weights w;
+  for (auto& row : w) row.fill(0.0);
+  return w;
+}
+
+TEST(QuantizedCrossbar, ExactOnRepresentableValues) {
+  Weights w = zero_weights();
+  w[0][0] = 1.0;
+  w[3][5] = 0.5;
+  const QuantizedCrossbarBlock cb(w);
+  std::array<double, 8> x{};
+  x[0] = 1.0;
+  x[3] = 1.0;
+  const auto y = cb.mvm(x, 1.0);
+  EXPECT_NEAR(y[0], 1.0, 1e-4);
+  EXPECT_NEAR(y[5], 0.5, 1e-4);
+  EXPECT_NEAR(y[1], 0.0, 1e-12);
+}
+
+TEST(QuantizedCrossbar, QuantizationErrorBounded) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    Weights w = zero_weights();
+    std::array<double, 8> x{};
+    for (int s = 0; s < 8; ++s) {
+      x[s] = rng.next_double();
+      for (int d = 0; d < 8; ++d)
+        if (rng.next_bool(0.3)) w[s][d] = rng.next_double();
+    }
+    const QuantizedCrossbarBlock cb(w);
+    const auto y = cb.mvm(x, 1.0);
+    for (int d = 0; d < 8; ++d) {
+      double exact = 0;
+      for (int s = 0; s < 8; ++s) exact += w[s][d] * x[s];
+      // 16-bit weights + 8-bit DAC over 8 summands.
+      EXPECT_NEAR(y[d], exact, 8 * (1.0 / 255.0 + 1.0 / 65535.0) + 1e-9);
+    }
+  }
+}
+
+TEST(QuantizedCrossbar, RejectsOutOfRangeWeights) {
+  Weights w = zero_weights();
+  w[1][1] = 1.5;
+  EXPECT_THROW(QuantizedCrossbarBlock{w}, InvariantError);
+}
+
+TEST(QuantizedCrossbar, CountsProgrammedCells) {
+  Weights w = zero_weights();
+  w[0][0] = 0.25;
+  w[7][7] = 0.75;
+  const QuantizedCrossbarBlock cb(w);
+  // 2 non-zero weights x 4 bit slices.
+  EXPECT_EQ(cb.cells_programmed(), 8u);
+}
+
+TEST(QuantizedCrossbar, DacClampsOverrangeInputs) {
+  Weights w = zero_weights();
+  w[0][0] = 1.0;
+  const QuantizedCrossbarBlock cb(w);
+  std::array<double, 8> x{};
+  x[0] = 5.0;  // beyond the calibrated scale
+  const auto y = cb.mvm(x, 1.0);
+  EXPECT_NEAR(y[0], 1.0, 1e-4);  // clamped to full scale
+}
+
+TEST(CrossbarPagerank, TracksFloatPagerankClosely) {
+  const Graph g = generate_rmat(2048, 10000, {}, 4242);
+  const CrossbarPagerankResult r = crossbar_pagerank(g, 10);
+  EXPECT_EQ(r.ranks.size(), g.num_vertices());
+  // Quantisation noise stays well below the rank scale (1/V ~ 5e-4).
+  EXPECT_LT(r.mean_abs_error, 2e-5);
+  EXPECT_LT(r.max_abs_error, 5e-4);
+  EXPECT_GT(r.blocks_evaluated, 0u);
+  EXPECT_GT(r.cells_programmed, 0u);
+}
+
+TEST(CrossbarPagerank, BlocksEvaluatedMatchGrid) {
+  const Graph g = generate_rmat(1024, 5000, {}, 4343);
+  const CrossbarPagerankResult r = crossbar_pagerank(g, 3);
+  // blocks_evaluated = non-empty blocks x iterations.
+  EXPECT_EQ(r.blocks_evaluated % 3, 0u);
+}
+
+TEST(CrossbarPagerank, RanksArePlausibleDistribution) {
+  const Graph g = generate_rmat(512, 3000, {}, 4444);
+  const CrossbarPagerankResult r = crossbar_pagerank(g, 10);
+  double sum = 0;
+  for (const double x : r.ranks) {
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_GT(sum, 0.2);
+  EXPECT_LE(sum, 1.05);
+}
+
+}  // namespace
+}  // namespace hyve

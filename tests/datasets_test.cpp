@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "graph/datasets.hpp"
+#include "graph/stats.hpp"
+
+namespace hyve {
+namespace {
+
+TEST(Datasets, SpecsCoverAllFive) {
+  EXPECT_EQ(kAllDatasets.size(), 5u);
+  EXPECT_EQ(dataset_name(DatasetId::kYT), "YT");
+  EXPECT_EQ(dataset_name(DatasetId::kWK), "WK");
+  EXPECT_EQ(dataset_name(DatasetId::kAS), "AS");
+  EXPECT_EQ(dataset_name(DatasetId::kLJ), "LJ");
+  EXPECT_EQ(dataset_name(DatasetId::kTW), "TW");
+}
+
+TEST(Datasets, ScalePreservesAverageDegree) {
+  for (const DatasetId id : kAllDatasets) {
+    const DatasetSpec& spec = dataset_spec(id);
+    const double full_degree = static_cast<double>(spec.full_edges) /
+                               static_cast<double>(spec.full_vertices);
+    const double scaled_degree =
+        static_cast<double>(spec.edges) / static_cast<double>(spec.vertices);
+    EXPECT_NEAR(scaled_degree / full_degree, 1.0, 0.05)
+        << dataset_name(id);
+  }
+}
+
+TEST(Datasets, ScaleFactorsAsDocumented) {
+  // 1/20 for the SNAP graphs, 1/200 for twitter-2010 (DESIGN.md).
+  for (const DatasetId id : kAllDatasets) {
+    const DatasetSpec& spec = dataset_spec(id);
+    const double expected = id == DatasetId::kTW ? 200.0 : 20.0;
+    EXPECT_DOUBLE_EQ(spec.scale_factor, expected);
+    EXPECT_NEAR(static_cast<double>(spec.full_vertices) / spec.vertices,
+                expected, expected * 0.02);
+  }
+}
+
+TEST(Datasets, RmatProbabilitiesSumToOne) {
+  for (const DatasetId id : kAllDatasets) {
+    const RmatParams& p = dataset_spec(id).rmat;
+    EXPECT_NEAR(p.a + p.b + p.c + p.d, 1.0, 1e-9);
+  }
+}
+
+TEST(Datasets, GraphMatchesSpecSize) {
+  const DatasetSpec& spec = dataset_spec(DatasetId::kYT);
+  const Graph& g = dataset_graph(DatasetId::kYT);
+  EXPECT_EQ(g.num_vertices(), spec.vertices);
+  EXPECT_LE(g.num_edges(), spec.edges);
+  EXPECT_GE(g.num_edges(), spec.edges * 95 / 100);
+}
+
+TEST(Datasets, GraphIsMemoised) {
+  const Graph& a = dataset_graph(DatasetId::kYT);
+  const Graph& b = dataset_graph(DatasetId::kYT);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Datasets, SyntheticSkewIsHeavyTailed) {
+  const DegreeStats s = degree_stats(dataset_graph(DatasetId::kYT));
+  // Social graphs concentrate a large edge share on the top 1% hubs.
+  EXPECT_GT(s.top1pct_out_edge_share, 0.08);
+}
+
+TEST(Datasets, N8BlockOccupancyInTable1Band) {
+  // Table 1's point for the full datasets is 1.23-2.38; the scaled
+  // substitutes must stay in a comparable sparse band.
+  const BlockOccupancy occ = block_occupancy(dataset_graph(DatasetId::kYT), 8);
+  EXPECT_GT(occ.avg_edges_per_non_empty, 1.0);
+  EXPECT_LT(occ.avg_edges_per_non_empty, 4.0);
+}
+
+}  // namespace
+}  // namespace hyve

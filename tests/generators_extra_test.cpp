@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+#include "util/check.hpp"
+
+namespace hyve {
+namespace {
+
+// ---------- Barabási–Albert ----------
+
+TEST(BarabasiAlbert, ProducesExpectedScale) {
+  const Graph g = generate_barabasi_albert(5000, 4, 1);
+  EXPECT_EQ(g.num_vertices(), 5000u);
+  // ~m edges per vertex, minus dedup losses.
+  EXPECT_GT(g.num_edges(), 5000u * 4 * 8 / 10);
+  EXPECT_LE(g.num_edges(), 5000u * 4 + 5);
+}
+
+TEST(BarabasiAlbert, Deterministic) {
+  EXPECT_EQ(generate_barabasi_albert(1000, 3, 7).edges(),
+            generate_barabasi_albert(1000, 3, 7).edges());
+}
+
+TEST(BarabasiAlbert, NoSelfLoopsOrDuplicates) {
+  const Graph g = generate_barabasi_albert(2000, 3, 9);
+  auto edges = g.edges();
+  std::sort(edges.begin(), edges.end());
+  EXPECT_EQ(std::adjacent_find(edges.begin(), edges.end()), edges.end());
+  for (const Edge& e : edges) EXPECT_NE(e.src, e.dst);
+}
+
+TEST(BarabasiAlbert, HeavyTailedInDegrees) {
+  // Preferential attachment concentrates in-edges on early vertices.
+  const Graph ba = generate_barabasi_albert(10000, 4, 11);
+  const Graph er = generate_erdos_renyi(10000, ba.num_edges(), 11);
+  const auto ba_in = ba.in_degrees();
+  const auto er_in = er.in_degrees();
+  EXPECT_GT(*std::max_element(ba_in.begin(), ba_in.end()),
+            4 * *std::max_element(er_in.begin(), er_in.end()));
+}
+
+TEST(BarabasiAlbert, RejectsDegenerateParams) {
+  EXPECT_THROW(generate_barabasi_albert(4, 4, 1), InvariantError);
+  EXPECT_THROW(generate_barabasi_albert(100, 0, 1), InvariantError);
+}
+
+// ---------- Watts–Strogatz ----------
+
+TEST(WattsStrogatz, LatticeWhenBetaZero) {
+  const Graph g = generate_watts_strogatz(100, 4, 0.0, 1);
+  EXPECT_EQ(g.num_edges(), 200u);  // V * k/2
+  // Pure ring lattice: every edge spans distance 1 or 2.
+  for (const Edge& e : g.edges()) {
+    const std::uint32_t d = (e.dst + 100 - e.src) % 100;
+    EXPECT_TRUE(d == 1 || d == 2) << e.src << "->" << e.dst;
+  }
+}
+
+TEST(WattsStrogatz, RewiringBreaksLocality) {
+  const Graph lattice = generate_watts_strogatz(5000, 6, 0.0, 3);
+  const Graph rewired = generate_watts_strogatz(5000, 6, 0.5, 3);
+  auto long_edges = [](const Graph& g) {
+    std::uint64_t count = 0;
+    for (const Edge& e : g.edges()) {
+      const std::uint32_t d =
+          (e.dst + g.num_vertices() - e.src) % g.num_vertices();
+      count += (d > 10 && d < g.num_vertices() - 10) ? 1 : 0;
+    }
+    return count;
+  };
+  EXPECT_EQ(long_edges(lattice), 0u);
+  EXPECT_GT(long_edges(rewired), rewired.num_edges() / 4);
+}
+
+TEST(WattsStrogatz, LowSkewComparedToRmat) {
+  const Graph ws = generate_watts_strogatz(10000, 6, 0.1, 5);
+  const Graph rm = generate_rmat(10000, ws.num_edges(), {}, 5);
+  EXPECT_LT(degree_stats(ws).top1pct_out_edge_share,
+            degree_stats(rm).top1pct_out_edge_share / 2);
+}
+
+TEST(WattsStrogatz, Deterministic) {
+  EXPECT_EQ(generate_watts_strogatz(500, 4, 0.3, 2).edges(),
+            generate_watts_strogatz(500, 4, 0.3, 2).edges());
+}
+
+TEST(WattsStrogatz, RejectsBadParams) {
+  EXPECT_THROW(generate_watts_strogatz(100, 3, 0.1, 1), InvariantError);
+  EXPECT_THROW(generate_watts_strogatz(100, 0, 0.1, 1), InvariantError);
+  EXPECT_THROW(generate_watts_strogatz(100, 4, 1.5, 1), InvariantError);
+}
+
+}  // namespace
+}  // namespace hyve

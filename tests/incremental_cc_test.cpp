@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "algos/cc.hpp"
+#include "algos/runner.hpp"
+#include "dynamic/incremental_cc.hpp"
+#include "dynamic/requests.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace hyve {
+namespace {
+
+DynamicGraphOptions options() {
+  DynamicGraphOptions o;
+  o.num_intervals = 8;
+  return o;
+}
+
+// Reference: component representative = min id, via dense propagation on
+// the symmetrised snapshot.
+std::vector<VertexId> reference_components(const Graph& g) {
+  CcProgram cc;
+  run_functional(symmetrized(g), cc);
+  return cc.labels();
+}
+
+TEST(IncrementalCc, MatchesBatchOnInitialGraph) {
+  const Graph g = generate_rmat(2000, 8000, {}, 77);
+  DynamicGraphStore store(g, options());
+  IncrementalCc inc(store);
+  const auto ref = reference_components(g);
+  for (VertexId v = 0; v < g.num_vertices(); v += 17)
+    EXPECT_EQ(inc.component_of(v), ref[v]);
+}
+
+TEST(IncrementalCc, EdgeAdditionMergesWithoutRecompute) {
+  DynamicGraphStore store(Graph(6, {{0, 1}, {3, 4}}), options());
+  IncrementalCc inc(store);
+  EXPECT_NE(inc.component_of(0), inc.component_of(3));
+  const std::uint64_t before = inc.recompute_count();
+  store.add_edge({1, 3});
+  inc.on_add_edge({1, 3});
+  EXPECT_EQ(inc.component_of(0), inc.component_of(4));
+  EXPECT_EQ(inc.component_of(0), 0u);  // min-id representative
+  EXPECT_EQ(inc.recompute_count(), before);  // O(alpha) path only
+}
+
+TEST(IncrementalCc, VertexAdditionIsSingleton) {
+  DynamicGraphStore store(Graph(4, {{0, 1}}), options());
+  IncrementalCc inc(store);
+  const VertexId v = store.add_vertex();
+  inc.on_add_vertex(v);
+  EXPECT_EQ(inc.component_of(v), v);
+  EXPECT_EQ(inc.num_components(), 4u);  // {0,1},{2},{3},{4}
+}
+
+TEST(IncrementalCc, DeletionTriggersLazyRecompute) {
+  DynamicGraphStore store(Graph(4, {{0, 1}, {1, 2}}), options());
+  IncrementalCc inc(store);
+  EXPECT_EQ(inc.component_of(2), 0u);
+  store.delete_edge({1, 2});
+  inc.on_delete_edge({1, 2});
+  EXPECT_TRUE(inc.recompute_pending());
+  // The next query resolves against the mutated snapshot: 2 split off.
+  EXPECT_EQ(inc.component_of(2), 2u);
+  EXPECT_FALSE(inc.recompute_pending());
+}
+
+TEST(IncrementalCc, DeleteVertexKeepsConnectivity) {
+  // §5: deleting a vertex only invalidates its value; edges remain.
+  DynamicGraphStore store(Graph(3, {{0, 1}, {1, 2}}), options());
+  IncrementalCc inc(store);
+  store.delete_vertex(1);
+  inc.on_delete_vertex(1);
+  EXPECT_FALSE(inc.recompute_pending());
+  EXPECT_EQ(inc.component_of(2), 0u);
+}
+
+TEST(IncrementalCc, TracksMixedRequestStream) {
+  const Graph g = generate_rmat(3000, 12000, {}, 79);
+  DynamicGraphStore store(g, options());
+  IncrementalCc inc(store);
+  const auto requests = generate_requests(g, 3000, {}, 81);
+  for (const DynamicRequest& req : requests) {
+    switch (req.type) {
+      case DynamicRequestType::kAddEdge:
+        if (store.add_edge(req.edge)) inc.on_add_edge(req.edge);
+        break;
+      case DynamicRequestType::kDeleteEdge:
+        if (store.delete_edge(req.edge)) inc.on_delete_edge(req.edge);
+        break;
+      case DynamicRequestType::kAddVertex:
+        inc.on_add_vertex(store.add_vertex());
+        break;
+      case DynamicRequestType::kDeleteVertex:
+        if (store.delete_vertex(req.vertex)) inc.on_delete_vertex(req.vertex);
+        break;
+    }
+  }
+  const Graph snapshot = store.snapshot();
+  const auto ref = reference_components(snapshot);
+  for (VertexId v = 0; v < snapshot.num_vertices(); v += 23)
+    EXPECT_EQ(inc.component_of(v), ref[v]) << v;
+}
+
+TEST(IncrementalCc, AdditionsOnlyNeverRecompute) {
+  const Graph g = generate_rmat(2000, 6000, {}, 83);
+  DynamicGraphStore store(g, options());
+  IncrementalCc inc(store);
+  const std::uint64_t initial = inc.recompute_count();
+  Rng rng(85);
+  for (int i = 0; i < 2000; ++i) {
+    const Edge e{static_cast<VertexId>(rng.next_below(2000)),
+                 static_cast<VertexId>(rng.next_below(2000))};
+    if (store.add_edge(e)) inc.on_add_edge(e);
+  }
+  EXPECT_GT(inc.num_components(), 0u);
+  EXPECT_EQ(inc.recompute_count(), initial);
+}
+
+}  // namespace
+}  // namespace hyve

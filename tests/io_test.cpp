@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace hyve {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("hyve-io-test-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, TextRoundTrip) {
+  const Graph g = generate_rmat(200, 900, {}, 1);
+  save_edge_list_text(g, path("g.txt"));
+  const Graph loaded = load_edge_list_text(path("g.txt"));
+  EXPECT_EQ(loaded.num_vertices(), g.num_vertices());
+  EXPECT_EQ(loaded.edges(), g.edges());
+}
+
+TEST_F(IoTest, TextDeclaredVertexCountWins) {
+  // A SNAP header can declare isolated trailing vertices.
+  std::ofstream out(path("h.txt"));
+  out << "# Nodes: 50 Edges: 1\n0 1\n";
+  out.close();
+  const Graph g = load_edge_list_text(path("h.txt"));
+  EXPECT_EQ(g.num_vertices(), 50u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST_F(IoTest, TextWithoutHeaderInfersVertexCount) {
+  std::ofstream out(path("i.txt"));
+  out << "3 9\n1 2\n";
+  out.close();
+  const Graph g = load_edge_list_text(path("i.txt"));
+  EXPECT_EQ(g.num_vertices(), 10u);  // max id + 1
+}
+
+TEST_F(IoTest, TextSkipsCommentsAndBlankLines) {
+  std::ofstream out(path("j.txt"));
+  out << "# comment\n\n0 1\n# another\n1 0\n";
+  out.close();
+  EXPECT_EQ(load_edge_list_text(path("j.txt")).num_edges(), 2u);
+}
+
+TEST_F(IoTest, TextMalformedLineThrows) {
+  std::ofstream out(path("k.txt"));
+  out << "0 notanumber\n";
+  out.close();
+  EXPECT_THROW(load_edge_list_text(path("k.txt")), std::runtime_error);
+}
+
+TEST_F(IoTest, TextMissingFileThrows) {
+  EXPECT_THROW(load_edge_list_text(path("missing.txt")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  const Graph g = generate_rmat(500, 4000, {}, 2);
+  save_graph_binary(g, path("g.bin"));
+  const Graph loaded = load_graph_binary(path("g.bin"));
+  EXPECT_EQ(loaded.num_vertices(), g.num_vertices());
+  EXPECT_EQ(loaded.edges(), g.edges());
+}
+
+TEST_F(IoTest, BinaryEmptyGraphRoundTrip) {
+  const Graph g(7, {});
+  save_graph_binary(g, path("e.bin"));
+  const Graph loaded = load_graph_binary(path("e.bin"));
+  EXPECT_EQ(loaded.num_vertices(), 7u);
+  EXPECT_EQ(loaded.num_edges(), 0u);
+}
+
+TEST_F(IoTest, BinaryBadMagicThrows) {
+  std::ofstream out(path("bad.bin"), std::ios::binary);
+  out << "this is not a graph file at all, definitely";
+  out.close();
+  EXPECT_THROW(load_graph_binary(path("bad.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryTruncatedThrows) {
+  const Graph g = generate_rmat(100, 400, {}, 3);
+  save_graph_binary(g, path("t.bin"));
+  std::filesystem::resize_file(path("t.bin"),
+                               std::filesystem::file_size(path("t.bin")) / 2);
+  EXPECT_THROW(load_graph_binary(path("t.bin")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hyve

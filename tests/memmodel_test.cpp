@@ -1,0 +1,352 @@
+#include <gtest/gtest.h>
+
+#include "memmodel/crossbar.hpp"
+#include "memmodel/dram.hpp"
+#include "memmodel/reram.hpp"
+#include "memmodel/sram.hpp"
+#include "memmodel/techparams.hpp"
+#include "util/check.hpp"
+
+namespace hyve {
+namespace {
+
+using namespace tech;
+
+ReramConfig reram_cfg(int output_bits, ReramOptTarget opt, int cell_bits = 1) {
+  ReramConfig cfg;
+  cfg.output_bits = output_bits;
+  cfg.optimization = opt;
+  cfg.cell_bits = cell_bits;
+  return cfg;
+}
+
+// ---------- Table 3 fidelity ----------
+
+struct Table3Row {
+  ReramOptTarget opt;
+  int bits;
+  double energy_pj;
+  double period_ps;
+  double power_per_bit_mw;  // the paper's third column
+};
+
+class Table3Test : public ::testing::TestWithParam<Table3Row> {};
+
+TEST_P(Table3Test, MatchesPaperValues) {
+  const Table3Row row = GetParam();
+  const ReramModel m(reram_cfg(row.bits, row.opt));
+  EXPECT_DOUBLE_EQ(m.access_energy_pj(), row.energy_pj);
+  EXPECT_NEAR(m.access_period_ns(), row.period_ps / 1000.0, 1e-9);
+  // power/bit = energy / period / bits.
+  const double power_per_bit =
+      m.access_energy_pj() / m.access_period_ns() / row.bits;
+  EXPECT_NEAR(power_per_bit, row.power_per_bit_mw, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, Table3Test,
+    ::testing::Values(
+        Table3Row{ReramOptTarget::kEnergyOptimized, 64, 20.13, 1221, 0.26},
+        Table3Row{ReramOptTarget::kEnergyOptimized, 128, 33.87, 1983, 0.13},
+        Table3Row{ReramOptTarget::kEnergyOptimized, 256, 57.31, 1983, 0.11},
+        Table3Row{ReramOptTarget::kEnergyOptimized, 512, 102.07, 1983, 0.10},
+        Table3Row{ReramOptTarget::kLatencyOptimized, 64, 381.47, 653, 9.13},
+        Table3Row{ReramOptTarget::kLatencyOptimized, 128, 378.57, 590, 5.01},
+        Table3Row{ReramOptTarget::kLatencyOptimized, 256, 382.37, 590, 2.53},
+        Table3Row{ReramOptTarget::kLatencyOptimized, 512, 660.23, 527,
+                  2.45}));
+
+TEST(Reram, EnergyOptimized512IsMostEfficientPerBit) {
+  // §7.2.2: the energy-optimised 512-bit configuration wins joules/bit.
+  double best = 1e18;
+  int best_bits = 0;
+  for (int bits : {64, 128, 256, 512}) {
+    const ReramModel m(
+        reram_cfg(bits, ReramOptTarget::kEnergyOptimized));
+    if (m.read_energy_per_bit_pj() < best) {
+      best = m.read_energy_per_bit_pj();
+      best_bits = bits;
+    }
+  }
+  EXPECT_EQ(best_bits, 512);
+  for (int bits : {64, 128, 256, 512}) {
+    const ReramModel lat(reram_cfg(bits, ReramOptTarget::kLatencyOptimized));
+    EXPECT_GT(lat.read_energy_per_bit_pj(), best);
+  }
+}
+
+TEST(Reram, RejectsUnsupportedWidth) {
+  EXPECT_THROW(ReramModel(reram_cfg(96, ReramOptTarget::kEnergyOptimized)),
+               InvariantError);
+}
+
+TEST(Reram, RejectsBadCellBits) {
+  EXPECT_THROW(ReramModel(reram_cfg(512, ReramOptTarget::kEnergyOptimized, 4)),
+               InvariantError);
+  EXPECT_THROW(ReramModel(reram_cfg(512, ReramOptTarget::kEnergyOptimized, 0)),
+               InvariantError);
+}
+
+// ---------- MLC scaling (Fig. 13's mechanism) ----------
+
+TEST(Reram, MlcRaisesAccessEnergyAndLatency) {
+  const ReramModel slc(reram_cfg(512, ReramOptTarget::kEnergyOptimized, 1));
+  const ReramModel mlc2(reram_cfg(512, ReramOptTarget::kEnergyOptimized, 2));
+  const ReramModel mlc3(reram_cfg(512, ReramOptTarget::kEnergyOptimized, 3));
+  EXPECT_LT(slc.access_energy_pj(), mlc2.access_energy_pj());
+  EXPECT_LT(mlc2.access_energy_pj(), mlc3.access_energy_pj());
+  EXPECT_LT(slc.access_period_ns(), mlc2.access_period_ns());
+  EXPECT_LT(mlc2.access_period_ns(), mlc3.access_period_ns());
+}
+
+TEST(Reram, MlcIncreasesChipDensity) {
+  const ReramModel slc(reram_cfg(512, ReramOptTarget::kEnergyOptimized, 1));
+  const ReramModel mlc(reram_cfg(512, ReramOptTarget::kEnergyOptimized, 2));
+  const std::uint64_t cap = units::Gbit(16);
+  EXPECT_LE(mlc.chips_for(cap), slc.chips_for(cap));
+}
+
+// ---------- streaming / random access ----------
+
+TEST(Reram, StreamEnergyLinearInBytes) {
+  const ReramModel m;
+  EXPECT_DOUBLE_EQ(m.stream_read_energy_pj(2000),
+                   2.0 * m.stream_read_energy_pj(1000));
+}
+
+TEST(Reram, WritesCostMoreThanReads) {
+  const ReramModel m;
+  EXPECT_GT(m.stream_write_energy_pj(1 << 20),
+            m.stream_read_energy_pj(1 << 20));
+  EXPECT_GT(m.stream_write_time_ns(1 << 20), m.stream_read_time_ns(1 << 20));
+}
+
+TEST(Reram, SubbankInterleavingBoostsBandwidth) {
+  ReramConfig with = reram_cfg(512, ReramOptTarget::kEnergyOptimized);
+  ReramConfig without = with;
+  without.subbank_interleaving = false;
+  const ReramModel a(with);
+  const ReramModel b(without);
+  EXPECT_LT(a.stream_read_time_ns(1 << 20), b.stream_read_time_ns(1 << 20));
+}
+
+TEST(Reram, RandomWriteProgramsFullRow) {
+  const ReramModel m;
+  // A 4-byte random write still programs >= output_bits cells.
+  EXPECT_GE(m.random_write_energy_pj(4),
+            512 * kReramSetEnergyPerBitPj);
+}
+
+TEST(Reram, RandomWriteSlowerThanRead) {
+  const ReramModel m;
+  EXPECT_GT(m.random_write_throughput_ns(), m.random_access_throughput_ns());
+}
+
+// ---------- background & power gating hooks ----------
+
+TEST(Reram, BackgroundScalesWithChips) {
+  const ReramModel m;
+  const double one = m.background_power_mw(units::MiB(1));
+  const double many = m.background_power_mw(units::Gbit(4) * 3);
+  EXPECT_GT(many, 2.0 * one);
+}
+
+TEST(Reram, GatedPowerBelowUngated) {
+  const ReramModel m;
+  const std::uint64_t cap = units::Gbit(8);
+  for (int active = 0; active <= kReramBanksPerChip; ++active) {
+    EXPECT_LE(m.gated_power_mw(cap, active), m.background_power_mw(cap))
+        << active;
+  }
+}
+
+TEST(Reram, GatedPowerMonotonicInActiveBanks) {
+  const ReramModel m;
+  const std::uint64_t cap = units::Gbit(4);
+  double prev = -1;
+  for (int active = 0; active <= kReramBanksPerChip; ++active) {
+    const double p = m.gated_power_mw(cap, active);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Reram, GatedPowerRejectsBadBankCount) {
+  const ReramModel m;
+  EXPECT_THROW(m.gated_power_mw(units::Gbit(4), -1), InvariantError);
+  EXPECT_THROW(m.gated_power_mw(units::Gbit(4), kReramBanksPerChip + 1),
+               InvariantError);
+}
+
+TEST(Reram, BandwidthProvisioning) {
+  const ReramModel m;
+  const auto one_chip = m.min_capacity_for_bandwidth_gbps(1.0);
+  const auto many = m.min_capacity_for_bandwidth_gbps(4 * kReramChannelGBps);
+  EXPECT_EQ(one_chip, m.config().chip_capacity_bytes);
+  EXPECT_EQ(many, 4 * m.config().chip_capacity_bytes);
+}
+
+// ---------- DRAM ----------
+
+TEST(Dram, SequentialCheaperThanRandomPerByte) {
+  const DramModel m;
+  const double seq_per_byte = m.stream_read_energy_pj(64) / 64.0;
+  const double rand_per_byte = m.random_read_energy_pj(8) / 8.0;
+  EXPECT_GT(rand_per_byte, 10.0 * seq_per_byte);
+}
+
+TEST(Dram, BackgroundGrowsWithDensity) {
+  const DramModel small(DramConfig{units::Gbit(4)});
+  const DramModel big(DramConfig{units::Gbit(16)});
+  // One rank each; denser chips refresh more.
+  EXPECT_GT(big.background_power_mw(units::Gbit(4)),
+            small.background_power_mw(units::Gbit(4)));
+}
+
+TEST(Dram, ChipsRoundToFullRanks) {
+  const DramModel m;
+  EXPECT_EQ(m.chips_for(1), kDramChipsPerRank);
+  EXPECT_EQ(m.chips_for(units::Gbit(4) * 8), kDramChipsPerRank);
+  EXPECT_EQ(m.chips_for(units::Gbit(4) * 8 + 1), 2 * kDramChipsPerRank);
+}
+
+TEST(Dram, StreamTimeMatchesChannelBandwidth) {
+  const DramModel m;
+  // 17 GB == 1 s at the DDR4-2133 channel rate.
+  EXPECT_NEAR(m.stream_read_time_ns(static_cast<std::uint64_t>(
+                  kDramChannelGBps * 1e9)),
+              1e9, 1e6);
+}
+
+TEST(Dram, BandwidthProvisioningInRanks) {
+  const DramModel m;
+  EXPECT_EQ(m.min_capacity_for_bandwidth_gbps(kDramChannelGBps - 1),
+            kDramChipsPerRank * m.config().chip_capacity_bytes);
+  EXPECT_EQ(m.min_capacity_for_bandwidth_gbps(2.5 * kDramChannelGBps),
+            3 * kDramChipsPerRank * m.config().chip_capacity_bytes);
+}
+
+// ---------- Fig. 9 shape: DRAM vs ReRAM per-operation ratios ----------
+
+TEST(Fig9Shape, SequentialReadFavorsReramOnEnergy) {
+  const DramModel dram;
+  const ReramModel reram;
+  const std::uint64_t bytes = units::MiB(8);
+  const double ratio =
+      dram.stream_read_energy_pj(bytes) / reram.stream_read_energy_pj(bytes);
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 9.0);
+}
+
+TEST(Fig9Shape, SequentialReadDelayFavorsDramSlightly) {
+  const DramModel dram;
+  const ReramModel reram;
+  const std::uint64_t bytes = units::MiB(8);
+  const double ratio =
+      dram.stream_read_time_ns(bytes) / reram.stream_read_time_ns(bytes);
+  EXPECT_LT(ratio, 1.0);
+  EXPECT_GT(ratio, 0.7);
+}
+
+TEST(Fig9Shape, SequentialWriteFavorsDramOnDelay) {
+  const DramModel dram;
+  const ReramModel reram;
+  const std::uint64_t bytes = units::MiB(8);
+  EXPECT_LT(dram.stream_write_time_ns(bytes) / reram.stream_write_time_ns(bytes),
+            0.5);
+}
+
+// ---------- SRAM ----------
+
+TEST(Sram, AnchorPointMatchesCacti2MB) {
+  const SramModel m(units::MiB(2));
+  EXPECT_DOUBLE_EQ(m.read_energy_pj(4), kSramAnchorReadEnergyPj);
+  EXPECT_DOUBLE_EQ(m.write_energy_pj(4), kSramAnchorWriteEnergyPj);
+  EXPECT_DOUBLE_EQ(m.read_latency_ns(), kSramAnchorReadLatencyNs);
+  EXPECT_DOUBLE_EQ(m.cycle_ns(), kSramAnchorCycleNs);
+}
+
+TEST(Sram, CycleAt4MBMatchesCactiQuote) {
+  // §4.2 quotes 1.808 ns for a 4 MB array; the fitted exponent must land
+  // within a couple of percent.
+  const SramModel m(units::MiB(4));
+  EXPECT_NEAR(m.cycle_ns(), kSramCycleNs4MiB, 0.05);
+}
+
+TEST(Sram, WiderAccessesCostProportionally) {
+  const SramModel m(units::MiB(2));
+  EXPECT_DOUBLE_EQ(m.read_energy_pj(8), 2.0 * m.read_energy_pj(4));
+  EXPECT_DOUBLE_EQ(m.read_energy_pj(3), m.read_energy_pj(4));  // word floor
+}
+
+TEST(Sram, LeakageLinearInCapacity) {
+  const SramModel a(units::MiB(2));
+  const SramModel b(units::MiB(8));
+  EXPECT_NEAR(b.leakage_power_mw() / a.leakage_power_mw(), 4.0, 1e-9);
+}
+
+TEST(Sram, BiggerArraysSlowerAndHungrier) {
+  const SramModel small(units::MiB(2));
+  const SramModel big(units::MiB(16));
+  EXPECT_GT(big.cycle_ns(), small.cycle_ns());
+  EXPECT_GT(big.read_energy_pj(4), small.read_energy_pj(4));
+}
+
+TEST(Sram, RejectsTinyCapacity) {
+  EXPECT_THROW(SramModel(16), InvariantError);
+}
+
+TEST(RegisterFile, FasterAndCheaperThanSram) {
+  // §6.3's comparison: register files beat SRAM per access...
+  const RegisterFileModel rf;
+  const SramModel sram(units::MiB(2));
+  EXPECT_LT(rf.read_energy_pj(4), sram.read_energy_pj(4) / 10.0);
+  EXPECT_LT(rf.read_latency_ns(), sram.read_latency_ns() / 10.0);
+}
+
+// ---------- crossbar (GraphR) ----------
+
+TEST(Crossbar, ConfigureCostDominatedByWrites) {
+  const CrossbarModel cb;
+  const CrossbarBlockCost cost = cb.configure_block(2);
+  EXPECT_DOUBLE_EQ(cost.time_ns, 2 * kCrossbarWriteLatencyNs);
+  EXPECT_GT(cost.energy_pj, 2 * kCrossbarWriteEnergyPj);
+}
+
+TEST(Crossbar, Eq15PerEdgeEnergyMvm) {
+  const CrossbarModel cb;
+  const double n_avg = 1.5;
+  const double expected = kCrossbarsPerValue * kCrossbarWriteEnergyPj +
+                          kCrossbarsPerValue * kCrossbarReadEnergyPj / n_avg;
+  EXPECT_DOUBLE_EQ(cb.per_edge_energy_mvm_pj(n_avg), expected);
+}
+
+TEST(Crossbar, Eq16PerEdgeLatency) {
+  const CrossbarModel cb;
+  EXPECT_DOUBLE_EQ(cb.per_edge_latency_mvm_ns(2.0),
+                   kCrossbarWriteLatencyNs + kCrossbarReadLatencyNs / 2.0);
+}
+
+TEST(Crossbar, CmosBeatsCrossbarPerEdge) {
+  // §6.4's conclusion: E^cb_pu,mv > E^cmos_pu because a crossbar write
+  // (3.91 nJ) dwarfs a CMOS multiply (3.7 pJ).
+  const CrossbarModel cb;
+  for (double n_avg : {1.23, 1.44, 1.49, 1.73, 2.38}) {  // Table 1
+    EXPECT_GT(cb.per_edge_energy_mvm_pj(n_avg), kCmosEdgeOpEnergyPj * 100);
+    EXPECT_GT(cb.per_edge_energy_non_mvm_pj(n_avg), kCmosEdgeOpEnergyPj);
+  }
+}
+
+TEST(Crossbar, SparserBlocksAmortizeWorse) {
+  const CrossbarModel cb;
+  EXPECT_GT(cb.per_edge_energy_non_mvm_pj(1.2),
+            cb.per_edge_energy_non_mvm_pj(2.4));
+}
+
+TEST(Crossbar, RejectsNonPositiveNavg) {
+  const CrossbarModel cb;
+  EXPECT_THROW(cb.per_edge_energy_mvm_pj(0.0), InvariantError);
+}
+
+}  // namespace
+}  // namespace hyve

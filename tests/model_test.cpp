@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "model/analytic.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace hyve {
+namespace {
+
+using model::ModelInputs;
+using model::OpCost;
+
+ModelInputs sample_inputs() {
+  ModelInputs in;
+  in.n_read_vertex_seq = 1000;
+  in.n_write_vertex_seq = 500;
+  in.n_read_edge = 100000;
+  in.read_vertex_seq = {0.5, 10.0};
+  in.write_vertex_seq = {0.6, 12.0};
+  in.read_vertex_rand = {1.0, 24.0};
+  in.write_vertex_rand = {0.6, 25.0};
+  in.read_edge = {2.0, 1.6};
+  in.process = {1.3, 3.7};
+  return in;
+}
+
+TEST(Model, Eq3Eq4Identities) {
+  const ModelInputs in = sample_inputs();
+  EXPECT_EQ(model::n_read_vertex_rand(in), in.n_read_edge);
+  EXPECT_EQ(model::n_write_vertex_rand(in), in.n_read_edge);
+}
+
+TEST(Model, ExecutionTimeIsPipelineBound) {
+  ModelInputs in = sample_inputs();
+  // The per-edge interval is the max of the four pipelined stages (2.0).
+  const double expected = 1000 * 0.5 + 100000 * 2.0 + 500 * 0.6;
+  EXPECT_DOUBLE_EQ(model::execution_time_ns(in), expected);
+  // Raising a non-bottleneck stage below the max changes nothing.
+  in.process.time_ns = 1.9;
+  EXPECT_DOUBLE_EQ(model::execution_time_ns(in), expected);
+  // Raising it above the max moves the bound.
+  in.process.time_ns = 3.0;
+  EXPECT_GT(model::execution_time_ns(in), expected);
+}
+
+TEST(Model, EnergyCountsRandomReadsTwice) {
+  // Eq. 2's 2 * N^R_{v,r} * E^R_{v,r} term (source + destination reads).
+  ModelInputs in = sample_inputs();
+  const double base = model::energy_pj(in);
+  in.read_vertex_rand.energy_pj += 1.0;
+  EXPECT_NEAR(model::energy_pj(in) - base, 2.0 * in.n_read_edge, 1e-6);
+}
+
+TEST(Model, EdpIsProduct) {
+  const ModelInputs in = sample_inputs();
+  EXPECT_DOUBLE_EQ(model::edp(in),
+                   model::execution_time_ns(in) * model::energy_pj(in));
+}
+
+TEST(Model, CauchySchwarzBoundHolds) {
+  const ModelInputs in = sample_inputs();
+  EXPECT_LE(model::edp_lower_bound(in), model::edp(in));
+}
+
+// Property: the Eq. 6 bound holds for arbitrary positive inputs.
+class EdpBoundSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EdpBoundSweep, BoundNeverExceedsEdp) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    ModelInputs in;
+    in.n_read_vertex_seq = rng.next_below(100000) + 1;
+    in.n_write_vertex_seq = rng.next_below(100000) + 1;
+    in.n_read_edge = rng.next_below(1000000) + 1;
+    auto cost = [&] {
+      return OpCost{rng.next_double() * 10 + 1e-3,
+                    rng.next_double() * 100 + 1e-3};
+    };
+    in.read_vertex_seq = cost();
+    in.write_vertex_seq = cost();
+    in.read_vertex_rand = cost();
+    in.write_vertex_rand = cost();
+    in.read_edge = cost();
+    in.process = cost();
+    EXPECT_LE(model::edp_lower_bound(in), model::edp(in) * (1 + 1e-12));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdpBoundSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Model, BoundTightWhenStagesBalanced) {
+  // With all four pipeline stages equal, Eq. 1's max == the 1/4-sum and
+  // the Cauchy-Schwarz step is the only slack left.
+  ModelInputs in = sample_inputs();
+  const OpCost uniform{2.0, 20.0};
+  in.read_vertex_rand = uniform;
+  in.write_vertex_rand = uniform;
+  in.read_edge = uniform;
+  in.process = uniform;
+  in.read_vertex_seq = uniform;
+  in.write_vertex_seq = uniform;
+  const double ratio = model::edp_lower_bound(in) / model::edp(in);
+  EXPECT_GT(ratio, 0.95);
+  EXPECT_LE(ratio, 1.0 + 1e-12);
+}
+
+TEST(Model, Eq8HyveLoads) {
+  EXPECT_EQ(model::hyve_vertex_loads(64, 8, 1000000), 8000000u);
+  EXPECT_EQ(model::hyve_vertex_loads(8, 8, 500), 500u);
+}
+
+TEST(Model, Eq8RequiresDivisibility) {
+  EXPECT_THROW(model::hyve_vertex_loads(10, 8, 100), InvariantError);
+}
+
+TEST(Model, Eq9GraphRLoads) {
+  EXPECT_EQ(model::graphr_vertex_loads(7), 112u);
+}
+
+TEST(Model, HyveLoadsFewerVerticesThanGraphROnSparseGraphs) {
+  // §6.3/Fig. 11: with few partitions, (P/N)*Nv << 16*N_blocks since the
+  // non-empty 8x8 block count approaches E on sparse graphs.
+  const std::uint64_t nv = 1000000;
+  const std::uint64_t non_empty_blocks = 2400000;  // E/N_avg, E=3M
+  EXPECT_LT(model::hyve_vertex_loads(16, 8, nv),
+            model::graphr_vertex_loads(non_empty_blocks));
+}
+
+}  // namespace
+}  // namespace hyve

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/report_io.hpp"
+#include "graph/generators.hpp"
+
+namespace hyve {
+namespace {
+
+RunReport sample_report() {
+  const Graph g = generate_rmat(10000, 60000, {}, 31337);
+  return HyveMachine(HyveConfig::hyve_opt()).run(g, Algorithm::kBfs);
+}
+
+TEST(ReportIo, ContainsCoreFields) {
+  const std::string json = report_to_json(sample_report());
+  for (const char* key :
+       {"\"config\":", "\"algorithm\":", "\"iterations\":",
+        "\"exec_time_ns\":", "\"energy_pj\":", "\"mteps_per_watt\":",
+        "\"energy_breakdown_pj\":", "\"stats\":", "\"power_gating\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(json.find("\"acc+HyVE-opt\""), std::string::npos);
+  EXPECT_NE(json.find("\"BFS\""), std::string::npos);
+}
+
+TEST(ReportIo, BalancedBracesAndQuotes) {
+  const std::string json = report_to_json(sample_report());
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '"') % 2, 0);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ReportIo, EscapesControlCharacters) {
+  RunReport r = sample_report();
+  r.config_label = "odd \"label\"\nwith\tescapes\\";
+  const std::string json = report_to_json(r);
+  EXPECT_NE(json.find("\\\"label\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+  EXPECT_NE(json.find("\\\\"), std::string::npos);
+  // No raw control characters survive.
+  for (const char c : json) EXPECT_GE(static_cast<unsigned char>(c), 0x20);
+}
+
+TEST(ReportIo, BreakdownComponentsAllPresent) {
+  const std::string json = report_to_json(sample_report());
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(EnergyComponent::kCount); ++i) {
+    const auto c = static_cast<EnergyComponent>(i);
+    EXPECT_NE(json.find('"' + component_name(c) + '"'), std::string::npos)
+        << component_name(c);
+  }
+}
+
+TEST(ReportIo, Deterministic) {
+  const RunReport r = sample_report();
+  EXPECT_EQ(report_to_json(r), report_to_json(r));
+}
+
+}  // namespace
+}  // namespace hyve

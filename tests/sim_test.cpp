@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "sim/energy.hpp"
+#include "sim/pipeline.hpp"
+#include "sim/power_gating.hpp"
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace hyve {
+namespace {
+
+// ---------- EnergyBreakdown ----------
+
+TEST(EnergyBreakdown, TotalsSumComponents) {
+  EnergyBreakdown e;
+  e[EnergyComponent::kEdgeMemDynamic] = 1;
+  e[EnergyComponent::kEdgeMemBackground] = 2;
+  e[EnergyComponent::kOffchipVertexDynamic] = 4;
+  e[EnergyComponent::kOffchipVertexBackground] = 8;
+  e[EnergyComponent::kSramDynamic] = 16;
+  e[EnergyComponent::kSramLeakage] = 32;
+  e[EnergyComponent::kRouter] = 64;
+  e[EnergyComponent::kPuDynamic] = 128;
+  e[EnergyComponent::kLogicStatic] = 256;
+  EXPECT_DOUBLE_EQ(e.total_pj(), 511.0);
+  EXPECT_DOUBLE_EQ(e.edge_memory_pj(), 3.0);
+  EXPECT_DOUBLE_EQ(e.vertex_memory_pj(), 60.0);
+  EXPECT_DOUBLE_EQ(e.logic_pj(), 448.0);
+  // Fig. 17 partition covers everything exactly once.
+  EXPECT_DOUBLE_EQ(e.memory_pj() + e.logic_pj(), e.total_pj());
+}
+
+TEST(EnergyBreakdown, Accumulation) {
+  EnergyBreakdown a;
+  a[EnergyComponent::kRouter] = 1.5;
+  EnergyBreakdown b;
+  b[EnergyComponent::kRouter] = 2.5;
+  b[EnergyComponent::kPuDynamic] = 1.0;
+  a += b;
+  EXPECT_DOUBLE_EQ(a[EnergyComponent::kRouter], 4.0);
+  EXPECT_DOUBLE_EQ(a[EnergyComponent::kPuDynamic], 1.0);
+}
+
+TEST(EnergyBreakdown, ComponentNamesDistinct) {
+  std::set<std::string> names;
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(EnergyComponent::kCount); ++i)
+    names.insert(component_name(static_cast<EnergyComponent>(i)));
+  EXPECT_EQ(names.size(),
+            static_cast<std::size_t>(EnergyComponent::kCount));
+}
+
+TEST(AccessStats, Accumulation) {
+  AccessStats a;
+  a.edge_bytes_read = 10;
+  a.sram_random_reads = 5;
+  AccessStats b;
+  b.edge_bytes_read = 7;
+  b.router_hops = 2;
+  a += b;
+  EXPECT_EQ(a.edge_bytes_read, 17u);
+  EXPECT_EQ(a.sram_random_reads, 5u);
+  EXPECT_EQ(a.router_hops, 2u);
+}
+
+// ---------- pipeline ----------
+
+TEST(Pipeline, BottleneckIsMaxStage) {
+  PipelineStageTimes s;
+  s.edge_read_ns = 1.0;
+  s.vertex_read_ns = 3.0;
+  s.update_ns = 2.0;
+  s.vertex_write_ns = 0.5;
+  EXPECT_DOUBLE_EQ(s.bottleneck_ns(), 3.0);
+}
+
+TEST(Pipeline, BlockTimeLinearPlusFill) {
+  PipelineStageTimes s;
+  s.edge_read_ns = 2.0;
+  s.fill_latency_ns = 10.0;
+  EXPECT_DOUBLE_EQ(block_processing_time_ns(100, s), 210.0);
+}
+
+TEST(Pipeline, EmptyBlockIsFree) {
+  PipelineStageTimes s;
+  s.edge_read_ns = 2.0;
+  s.fill_latency_ns = 10.0;
+  EXPECT_DOUBLE_EQ(block_processing_time_ns(0, s), 0.0);
+}
+
+// ---------- power gating ----------
+
+EdgeMemoryActivity sample_activity() {
+  EdgeMemoryActivity a;
+  a.total_time_ns = units::ms(1.0);
+  a.streaming_time_ns = units::ms(0.4);
+  a.bytes_streamed = units::MiB(64);
+  a.capacity_bytes = units::Gbit(8);
+  return a;
+}
+
+TEST(PowerGating, GatedNeverExceedsUngatedPlusWakes) {
+  const ReramModel reram;
+  const PowerGatingResult r = evaluate_power_gating(reram, sample_activity());
+  EXPECT_LT(r.gated_background_pj, r.ungated_background_pj);
+  EXPECT_GT(r.gated_background_pj, 0.0);
+}
+
+TEST(PowerGating, SavingsGrowWithIdleTime) {
+  const ReramModel reram;
+  EdgeMemoryActivity busy = sample_activity();
+  busy.streaming_time_ns = busy.total_time_ns;  // always streaming
+  EdgeMemoryActivity idle = sample_activity();
+  idle.streaming_time_ns = 0.1 * idle.total_time_ns;
+  const auto r_busy = evaluate_power_gating(reram, busy);
+  const auto r_idle = evaluate_power_gating(reram, idle);
+  EXPECT_LT(r_idle.gated_background_pj, r_busy.gated_background_pj);
+  // Ungated energy only depends on total time.
+  EXPECT_DOUBLE_EQ(r_idle.ungated_background_pj,
+                   r_busy.ungated_background_pj);
+}
+
+TEST(PowerGating, WakeCountTracksBanksTouched) {
+  const ReramModel reram;
+  EdgeMemoryActivity a = sample_activity();
+  a.capacity_bytes = reram.config().chip_capacity_bytes;  // one chip
+  const std::uint64_t bank_bytes =
+      a.capacity_bytes / ReramModel::banks_per_chip();
+  a.bytes_streamed = 3 * bank_bytes;
+  const auto r = evaluate_power_gating(reram, a);
+  EXPECT_GE(r.bank_wakes, 3u);
+  EXPECT_LE(r.bank_wakes, 5u);
+  EXPECT_DOUBLE_EQ(r.wake_energy_pj,
+                   static_cast<double>(r.bank_wakes) *
+                       reram.bank_wake_energy_pj());
+}
+
+TEST(PowerGating, OnlyFirstWakeExposed) {
+  const ReramModel reram;
+  const auto r = evaluate_power_gating(reram, sample_activity());
+  EXPECT_DOUBLE_EQ(r.exposed_wake_time_ns, reram.bank_wake_latency_ns());
+}
+
+TEST(PowerGating, RejectsInconsistentActivity) {
+  const ReramModel reram;
+  EdgeMemoryActivity a = sample_activity();
+  a.streaming_time_ns = 2 * a.total_time_ns;
+  EXPECT_THROW(evaluate_power_gating(reram, a), InvariantError);
+  EdgeMemoryActivity b = sample_activity();
+  b.capacity_bytes = 0;
+  EXPECT_THROW(evaluate_power_gating(reram, b), InvariantError);
+}
+
+TEST(PowerGating, BigSavingsOnSequentialScan) {
+  // The headline §4.1 effect: with one bank streaming, most of the chip's
+  // leakage disappears.
+  const ReramModel reram;
+  const auto r = evaluate_power_gating(reram, sample_activity());
+  EXPECT_LT(r.gated_background_pj, 0.5 * r.ungated_background_pj);
+}
+
+}  // namespace
+}  // namespace hyve

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+#include "util/check.hpp"
+
+namespace hyve {
+namespace {
+
+TEST(BlockOccupancy, HandBuiltGrid) {
+  // 16 vertices, block width 4 -> 4x4 grid. Three edges in two blocks.
+  const Graph g(16, {{0, 1}, {1, 2}, {8, 12}});
+  const BlockOccupancy occ = block_occupancy(g, 4);
+  EXPECT_EQ(occ.total_blocks, 16u);
+  EXPECT_EQ(occ.non_empty_blocks, 2u);  // B(0,0) holds 2, B(2,3) holds 1
+  EXPECT_DOUBLE_EQ(occ.avg_edges_per_non_empty, 1.5);
+  EXPECT_EQ(occ.max_edges_in_block, 2u);
+}
+
+TEST(BlockOccupancy, SingleBlockRun) {
+  // All edges land in one block — exercises the trailing-run logic.
+  const Graph g(8, {{0, 1}, {1, 0}, {0, 2}});
+  const BlockOccupancy occ = block_occupancy(g, 8);
+  EXPECT_EQ(occ.non_empty_blocks, 1u);
+  EXPECT_EQ(occ.max_edges_in_block, 3u);
+  EXPECT_DOUBLE_EQ(occ.avg_edges_per_non_empty, 3.0);
+}
+
+TEST(BlockOccupancy, EmptyGraph) {
+  const Graph g(10, {});
+  const BlockOccupancy occ = block_occupancy(g, 2);
+  EXPECT_EQ(occ.non_empty_blocks, 0u);
+  EXPECT_EQ(occ.avg_edges_per_non_empty, 0.0);
+  EXPECT_EQ(occ.total_blocks, 25u);
+}
+
+TEST(BlockOccupancy, WidthOneIsPerEdge) {
+  const Graph g(6, {{0, 1}, {2, 3}, {2, 3}, {4, 5}});
+  const BlockOccupancy occ = block_occupancy(g, 1);
+  EXPECT_EQ(occ.non_empty_blocks, 3u);  // duplicate edge shares its block
+  EXPECT_EQ(occ.max_edges_in_block, 2u);
+}
+
+TEST(BlockOccupancy, RejectsZeroWidth) {
+  EXPECT_THROW(block_occupancy(Graph(2, {}), 0), InvariantError);
+}
+
+TEST(BlockOccupancy, Table1RangeOnRmat) {
+  // The paper's Table 1 reports N_avg of only 1.23-2.38 on real graphs at
+  // 8x8 granularity; a skewed R-MAT of similar density must land in a
+  // comparably small band (sparse blocks, the GraphR indictment).
+  const Graph g = generate_rmat(50000, 130000, {}, 41);
+  const BlockOccupancy occ = block_occupancy(g, 8);
+  EXPECT_GT(occ.avg_edges_per_non_empty, 1.0);
+  EXPECT_LT(occ.avg_edges_per_non_empty, 4.0);
+  // Far below the 64-edge crossbar capacity.
+  EXPECT_LT(occ.avg_edges_per_non_empty, 64.0 / 8);
+}
+
+TEST(BlockOccupancy, CoarserBlocksAreDenser) {
+  const Graph g = generate_rmat(4096, 30000, {}, 43);
+  const BlockOccupancy fine = block_occupancy(g, 8);
+  const BlockOccupancy coarse = block_occupancy(g, 64);
+  EXPECT_GT(coarse.avg_edges_per_non_empty, fine.avg_edges_per_non_empty);
+  EXPECT_LT(coarse.non_empty_blocks, fine.non_empty_blocks);
+}
+
+TEST(DegreeStats, HandBuilt) {
+  const Graph g(4, {{0, 1}, {0, 2}, {0, 3}, {1, 0}});
+  const DegreeStats s = degree_stats(g);
+  EXPECT_DOUBLE_EQ(s.avg_out_degree, 1.0);
+  EXPECT_EQ(s.max_out_degree, 3u);
+  EXPECT_EQ(s.max_in_degree, 1u);
+}
+
+TEST(DegreeStats, EmptyGraph) {
+  const DegreeStats s = degree_stats(Graph(0, {}));
+  EXPECT_EQ(s.max_out_degree, 0u);
+  EXPECT_EQ(s.avg_out_degree, 0.0);
+}
+
+TEST(DegreeStats, Top1PctShareBounds) {
+  const Graph g = generate_rmat(10000, 80000, {}, 47);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_GT(s.top1pct_out_edge_share, 0.01);  // more than uniform share
+  EXPECT_LE(s.top1pct_out_edge_share, 1.0);
+}
+
+}  // namespace
+}  // namespace hyve

@@ -1,0 +1,139 @@
+// Cross-configuration property sweep: machine invariants that must hold
+// for EVERY (variant, algorithm, graph family) combination. This is the
+// broad-net companion to machine_test's targeted cases.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/machine.hpp"
+#include "graph/generators.hpp"
+
+namespace hyve {
+namespace {
+
+enum class GraphFamily { kRmatSocial, kRmatSkewed, kErdosRenyi };
+
+Graph make_family(GraphFamily family) {
+  switch (family) {
+    case GraphFamily::kRmatSocial:
+      return generate_rmat(12000, 70000, {}, 101);
+    case GraphFamily::kRmatSkewed:
+      return generate_rmat(12000, 70000, {0.7, 0.15, 0.1, 0.05, false, true},
+                           102);
+    case GraphFamily::kErdosRenyi:
+      return generate_erdos_renyi(12000, 70000, 103);
+  }
+  return Graph(0, {});
+}
+
+const char* family_name(GraphFamily f) {
+  switch (f) {
+    case GraphFamily::kRmatSocial: return "rmat";
+    case GraphFamily::kRmatSkewed: return "rmat-skewed";
+    case GraphFamily::kErdosRenyi: return "er";
+  }
+  return "?";
+}
+
+enum class Variant { kOpt, kHyve, kSd, kDram, kReram };
+
+HyveConfig variant_config(Variant v) {
+  switch (v) {
+    case Variant::kOpt: return HyveConfig::hyve_opt();
+    case Variant::kHyve: return HyveConfig::hyve();
+    case Variant::kSd: return HyveConfig::sram_dram();
+    case Variant::kDram: return HyveConfig::acc_dram();
+    case Variant::kReram: return HyveConfig::acc_reram();
+  }
+  return HyveConfig::hyve_opt();
+}
+
+using SweepParam = std::tuple<Variant, Algorithm, GraphFamily>;
+
+class MachineSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(MachineSweep, UniversalInvariants) {
+  const auto [variant, algorithm, family] = GetParam();
+  const Graph g = make_family(family);
+  const HyveMachine machine(variant_config(variant));
+  const RunReport r = machine.run(g, algorithm);
+
+  SCOPED_TRACE(std::string(r.config_label) + "/" + algorithm_name(algorithm) +
+               "/" + family_name(family));
+
+  // Basic sanity.
+  EXPECT_GT(r.exec_time_ns, 0.0);
+  EXPECT_GT(r.total_energy_pj(), 0.0);
+  EXPECT_GE(r.iterations, 1u);
+  EXPECT_EQ(r.edges_traversed,
+            static_cast<std::uint64_t>(r.iterations) * g.num_edges());
+
+  // Energy breakdown partitions the total (Fig. 17 buckets).
+  EXPECT_NEAR(r.energy.memory_pj() + r.energy.logic_pj(), r.total_energy_pj(),
+              1e-6 * r.total_energy_pj());
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(EnergyComponent::kCount); ++i)
+    EXPECT_GE(r.energy[static_cast<EnergyComponent>(i)], 0.0);
+
+  // The paper's premise: memory dominates in every configuration.
+  EXPECT_GT(r.energy.memory_pj() / r.total_energy_pj(), 0.4);
+
+  // Streaming never exceeds total time.
+  EXPECT_LE(r.streaming_time_ns, r.exec_time_ns + 1e-9);
+
+  // Derived metrics are consistent.
+  EXPECT_NEAR(r.mteps_per_watt(),
+              static_cast<double>(r.edges_traversed) /
+                  (r.total_energy_pj() * 1e-6),
+              1e-6 * r.mteps_per_watt());
+
+  // Eq. 3/4 identities wherever an on-chip vertex level exists.
+  if (machine.config().has_onchip_vertex_memory()) {
+    EXPECT_GE(r.stats.sram_random_reads, 2 * r.stats.edge_ops);
+    EXPECT_GE(r.stats.sram_random_writes, r.stats.edge_ops);
+  } else {
+    EXPECT_EQ(r.stats.offchip_vertex_random_reads, 2 * r.stats.edge_ops);
+    EXPECT_EQ(r.stats.offchip_vertex_random_writes, r.stats.edge_ops);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MachineSweep,
+    ::testing::Combine(
+        ::testing::Values(Variant::kOpt, Variant::kHyve, Variant::kSd,
+                          Variant::kDram, Variant::kReram),
+        ::testing::Values(Algorithm::kBfs, Algorithm::kCc,
+                          Algorithm::kPageRank, Algorithm::kSssp,
+                          Algorithm::kSpmv),
+        ::testing::Values(GraphFamily::kRmatSocial, GraphFamily::kRmatSkewed,
+                          GraphFamily::kErdosRenyi)));
+
+// Orderings that must hold on every graph family and algorithm.
+using OrderParam = std::tuple<Algorithm, GraphFamily>;
+class OrderingSweep : public ::testing::TestWithParam<OrderParam> {};
+
+TEST_P(OrderingSweep, HierarchyOrderingHolds) {
+  const auto [algorithm, family] = GetParam();
+  const Graph g = make_family(family);
+  const double opt =
+      HyveMachine(HyveConfig::hyve_opt()).run(g, algorithm).mteps_per_watt();
+  const double hyve =
+      HyveMachine(HyveConfig::hyve()).run(g, algorithm).mteps_per_watt();
+  const double sd =
+      HyveMachine(HyveConfig::sram_dram()).run(g, algorithm).mteps_per_watt();
+  SCOPED_TRACE(std::string(algorithm_name(algorithm)) + "/" +
+               family_name(family));
+  EXPECT_GT(opt, hyve);
+  EXPECT_GT(hyve, sd);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OrderingSweep,
+    ::testing::Combine(::testing::Values(Algorithm::kBfs, Algorithm::kCc,
+                                         Algorithm::kPageRank),
+                       ::testing::Values(GraphFamily::kRmatSocial,
+                                         GraphFamily::kRmatSkewed,
+                                         GraphFamily::kErdosRenyi)));
+
+}  // namespace
+}  // namespace hyve

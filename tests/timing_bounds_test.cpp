@@ -1,0 +1,92 @@
+// Bounds properties of the cycle-level simulators over randomized traces:
+// every schedule must land between the pure-bandwidth lower bound and the
+// fully-serialised upper bound, monotone in trace size.
+#include <gtest/gtest.h>
+
+#include "sim/dram_timing.hpp"
+#include "sim/mem_request.hpp"
+#include "sim/reram_timing.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace hyve {
+namespace {
+
+class DramBoundsSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DramBoundsSweep, RandomTraceWithinPhysicalBounds) {
+  Rng rng(GetParam());
+  DramTimingSim sim;
+  const auto& p = sim.params();
+  const std::uint64_t count = 2000 + rng.next_below(8000);
+  const double write_fraction = rng.next_double() * 0.5;
+  const auto trace =
+      random_trace(count, units::GiB(1), 64, rng, write_fraction);
+  const DramTraceResult r = sim.run(trace);
+
+  // Lower bound: the data bus must carry every burst.
+  const double bus_ns =
+      static_cast<double>(r.bursts) * p.burst_clocks * p.tck_ns;
+  EXPECT_GE(r.total_ns, bus_ns * 0.999);
+  // Upper bound: strictly serial row-miss handling of every access.
+  const double serial_ns =
+      static_cast<double>(r.bursts) *
+      (p.t_rc_cycles() + p.t_rcd + p.t_cas + p.burst_clocks + p.t_wr) *
+      p.tck_ns;
+  EXPECT_LE(r.total_ns, serial_ns);
+  // Accounting closes: every access is a hit or a miss.
+  EXPECT_EQ(r.row_hits + r.row_misses, r.bursts);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DramBoundsSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+class ReramBoundsSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReramBoundsSweep, RandomTraceWithinPhysicalBounds) {
+  Rng rng(GetParam());
+  ReramTimingSim sim;
+  const ReramModel model(sim.params().config);
+  const std::uint64_t count = 1000 + rng.next_below(4000);
+  const double write_fraction = rng.next_double() * 0.3;
+  const auto trace =
+      random_trace(count, units::MiB(512), 64, rng, write_fraction);
+  const ReramTraceResult r = sim.run(trace);
+
+  // Lower bound: the chip I/O must carry every access width.
+  const double io_ns = static_cast<double>(r.accesses) * 64.0 /
+                       tech::kReramChannelGBps;
+  EXPECT_GE(r.total_ns, io_ns * 0.999);
+  // Upper bound: every access serialised at the write-hold time.
+  const double serial_ns =
+      static_cast<double>(r.accesses) *
+      (tech::kReramSetPulseNs + 2.0 * model.access_period_ns() + 64.0 /
+                                                                     tech::
+                                                                         kReramChannelGBps);
+  EXPECT_LE(r.total_ns, serial_ns);
+  EXPECT_GE(r.banks_touched, 1u);
+  EXPECT_LE(r.max_concurrent_banks,
+            static_cast<std::uint32_t>(sim.params().banks_per_chip));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReramBoundsSweep,
+                         ::testing::Values(7, 14, 21, 28, 35, 42));
+
+TEST(TimingBounds, MonotoneInTraceLength) {
+  DramTimingSim dram;
+  ReramTimingSim reram;
+  double prev_dram = 0;
+  double prev_reram = 0;
+  for (const std::uint64_t mib : {1, 2, 4, 8}) {
+    const auto trace = sequential_trace(units::MiB(mib), 64);
+    const double d = dram.run(trace).total_ns;
+    const double rr = reram.run(trace).total_ns;
+    EXPECT_GT(d, prev_dram);
+    EXPECT_GT(rr, prev_reram);
+    prev_dram = d;
+    prev_reram = rr;
+  }
+}
+
+}  // namespace
+}  // namespace hyve

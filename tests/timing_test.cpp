@@ -1,0 +1,207 @@
+// Cycle-level device-simulator tests, including the cross-validation of
+// the analytic memmodel constants against the bank/mat state machines.
+#include <gtest/gtest.h>
+
+#include "memmodel/dram.hpp"
+#include "memmodel/reram.hpp"
+#include "memmodel/techparams.hpp"
+#include "sim/dram_timing.hpp"
+#include "sim/mem_request.hpp"
+#include "sim/reram_timing.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace hyve {
+namespace {
+
+// ---------- traces ----------
+
+TEST(MemRequest, SequentialTraceCoversBytes) {
+  const auto trace = sequential_trace(1000, 64);
+  ASSERT_EQ(trace.size(), 16u);
+  EXPECT_EQ(trace.front().address, 0u);
+  EXPECT_EQ(trace.back().address, 960u);
+  EXPECT_EQ(trace.back().bytes, 40u);  // tail payload
+}
+
+TEST(MemRequest, RandomTraceAligned) {
+  Rng rng(1);
+  const auto trace = random_trace(500, 1 << 20, 64, rng, 0.3);
+  std::uint64_t writes = 0;
+  for (const MemRequest& r : trace) {
+    EXPECT_EQ(r.address % 64, 0u);
+    EXPECT_LT(r.address, 1u << 20);
+    writes += r.is_write;
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / trace.size(), 0.3, 0.07);
+}
+
+TEST(MemRequest, RejectsBadGranularity) {
+  Rng rng(1);
+  EXPECT_THROW(sequential_trace(100, 0), InvariantError);
+  EXPECT_THROW(random_trace(10, 32, 64, rng), InvariantError);
+}
+
+// ---------- DRAM ----------
+
+TEST(DramTiming, SequentialStreamNearsPeakBandwidth) {
+  DramTimingSim sim;
+  const auto trace = sequential_trace(units::MiB(8), 64);
+  const DramTraceResult r = sim.run(trace);
+  EXPECT_GT(r.achieved_gbps, 0.9 * sim.params().peak_gbps());
+  // Row-interleaved mapping: one activation per row.
+  EXPECT_GT(r.row_hit_rate(), 0.98);
+}
+
+TEST(DramTiming, SingleBankRandomIsTrcBound) {
+  DramTimingSim sim;
+  // All requests in one bank (addresses within one bank's row stride).
+  std::vector<MemRequest> trace;
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    // Same bank, random rows: bank = (addr/row) % banks == 0.
+    const std::uint64_t row = rng.next_below(4096) * sim.params().num_banks;
+    trace.push_back({row * sim.params().row_bytes, 64, false});
+  }
+  const DramTraceResult r = sim.run(trace);
+  const double ns_per_access = r.total_ns / 2000.0;
+  const double t_rc_ns = sim.params().t_rc_cycles() * sim.params().tck_ns;
+  EXPECT_GT(ns_per_access, 0.9 * t_rc_ns);
+}
+
+TEST(DramTiming, BankParallelismHidesRowCycles) {
+  DramTimingSim sim;
+  Rng rng(3);
+  const auto trace = random_trace(20000, units::GiB(1), 64, rng);
+  const DramTraceResult r = sim.run(trace);
+  const double ns_per_access = r.total_ns / 20000.0;
+  const double t_rc_ns = sim.params().t_rc_cycles() * sim.params().tck_ns;
+  // Far better than one tRC each, far worse than pure burst streaming.
+  EXPECT_LT(ns_per_access, t_rc_ns / 4);
+  EXPECT_GT(ns_per_access, sim.params().burst_clocks * sim.params().tck_ns);
+}
+
+TEST(DramTiming, AnalyticStreamTimeMatchesCycleSim) {
+  // Cross-validation: the DramModel charges streams at kDramChannelGBps;
+  // the bank state machine must land within ~15%.
+  const DramModel model;
+  DramTimingSim sim;
+  const std::uint64_t bytes = units::MiB(16);
+  const auto trace = sequential_trace(bytes, 64);
+  const double sim_ns = sim.run(trace).total_ns;
+  const double analytic_ns = model.stream_read_time_ns(bytes);
+  EXPECT_NEAR(sim_ns / analytic_ns, 1.0, 0.15);
+}
+
+TEST(DramTiming, AnalyticRandomThroughputMatchesCycleSim) {
+  // kDramRandomAccessThroughputNsPerOp models banked random service time.
+  DramTimingSim sim;
+  Rng rng(4);
+  const auto trace = random_trace(50000, units::GiB(2), 64, rng);
+  const double sim_ns_per_op = sim.run(trace).total_ns / 50000.0;
+  EXPECT_NEAR(sim_ns_per_op / tech::kDramRandomAccessThroughputNsPerOp, 1.0,
+              0.35);
+}
+
+TEST(DramTiming, WritesSlowerThanReadsOnReuse) {
+  DramTimingSim sim;
+  // Hammering columns in few rows: write recovery throttles the bank.
+  std::vector<MemRequest> reads, writes;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t addr = (i % 128) * 64;
+    reads.push_back({addr, 64, false});
+    writes.push_back({addr, 64, true});
+  }
+  EXPECT_GT(sim.run(writes).total_ns, sim.run(reads).total_ns);
+}
+
+TEST(DramTiming, EmptyTraceIsFree) {
+  DramTimingSim sim;
+  EXPECT_EQ(sim.run({}).total_ns, 0.0);
+}
+
+// ---------- ReRAM ----------
+
+TEST(ReramTiming, SequentialReadSaturatesChannel) {
+  ReramTimingSim sim;
+  const auto trace = sequential_trace(units::MiB(8), 64);
+  const ReramTraceResult r = sim.run(trace);
+  EXPECT_GT(r.achieved_gbps, 0.9 * tech::kReramChannelGBps);
+}
+
+TEST(ReramTiming, SubbankInterleavingRequired) {
+  ReramTimingParams no_ilv;
+  no_ilv.config.subbank_interleaving = false;
+  ReramTimingSim with(ReramTimingParams{});
+  ReramTimingSim without(no_ilv);
+  const auto trace = sequential_trace(units::MiB(4), 64);
+  // A single mat with row turnaround cannot keep up...
+  EXPECT_GT(with.run(trace).achieved_gbps,
+            1.8 * without.run(trace).achieved_gbps);
+  // ...and the analytic model's 4x de-rating matches the cycle sim.
+  ReramConfig cfg;
+  cfg.subbank_interleaving = false;
+  const ReramModel model(cfg);
+  const double analytic_gbps =
+      units::MiB(4) / model.stream_read_time_ns(units::MiB(4));
+  EXPECT_NEAR(without.run(trace).achieved_gbps / analytic_gbps, 1.0, 0.1);
+}
+
+TEST(ReramTiming, SequentialScanKeepsOneBankBusy) {
+  // §4.1's enabling property: at most one bank is awake at a time under
+  // a sequential scan, so all the others can be power gated.
+  ReramTimingSim sim;
+  const auto trace = sequential_trace(units::MiB(32), 64);
+  const ReramTraceResult r = sim.run(trace);
+  EXPECT_EQ(r.max_concurrent_banks, 1u);
+}
+
+TEST(ReramTiming, LargeScanTouchesManyBanksInTurn) {
+  ReramTimingParams p;
+  p.config.chip_capacity_bytes = units::MiB(64);  // small chip: 8 MiB banks
+  ReramTimingSim sim(p);
+  const auto trace = sequential_trace(units::MiB(48), 64);
+  const ReramTraceResult r = sim.run(trace);
+  EXPECT_GE(r.banks_touched, 6u);
+  EXPECT_EQ(r.max_concurrent_banks, 1u);
+}
+
+TEST(ReramTiming, WritesSetPulseBound) {
+  ReramTimingSim sim;
+  const auto reads = sequential_trace(units::KiB(256), 64);
+  const auto writes = sequential_trace(units::KiB(256), 64, /*write=*/true);
+  const double read_ns = sim.run(reads).total_ns;
+  const double write_ns = sim.run(writes).total_ns;
+  EXPECT_GT(write_ns, 2.0 * read_ns);
+  // Cross-validation against the analytic write bandwidth.
+  const ReramModel model;
+  EXPECT_NEAR(write_ns / model.stream_write_time_ns(units::KiB(256)), 1.0,
+              0.15);
+}
+
+TEST(ReramTiming, AnalyticStreamTimeMatchesCycleSim) {
+  const ReramModel model;
+  ReramTimingSim sim;
+  const std::uint64_t bytes = units::MiB(16);
+  const auto trace = sequential_trace(bytes, 64);
+  const double sim_ns = sim.run(trace).total_ns;
+  const double analytic_ns = model.stream_read_time_ns(bytes);
+  EXPECT_NEAR(sim_ns / analytic_ns, 1.0, 0.15);
+}
+
+TEST(ReramTiming, MlcSlowsTheScan) {
+  ReramTimingParams slc;
+  ReramTimingParams mlc;
+  mlc.config.cell_bits = 2;
+  const auto trace = sequential_trace(units::MiB(2), 64);
+  // MLC's longer sensing period lowers the mat-level rate; with 16-way
+  // interleaving the channel may still saturate, so compare mat-bound
+  // configurations (no interleaving).
+  slc.config.subbank_interleaving = false;
+  mlc.config.subbank_interleaving = false;
+  EXPECT_GT(ReramTimingSim(mlc).run(trace).total_ns,
+            ReramTimingSim(slc).run(trace).total_ns);
+}
+
+}  // namespace
+}  // namespace hyve

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace hyve {
+namespace {
+
+// ---------- Rng ----------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng rng(0);
+  // SplitMix expansion must not produce the all-zero xoshiro state.
+  std::uint64_t acc = 0;
+  for (int i = 0; i < 10; ++i) acc |= rng.next_u64();
+  EXPECT_NE(acc, 0u);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowZeroBoundReturnsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanIsCentered) {
+  Rng rng(5);
+  double sum = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng rng(123);
+  const auto first = rng.next_u64();
+  rng.next_u64();
+  rng.reseed(123);
+  EXPECT_EQ(rng.next_u64(), first);
+}
+
+// ---------- units ----------
+
+TEST(Units, EnergyConversions) {
+  EXPECT_DOUBLE_EQ(units::nJ(1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(units::uJ(1.0), 1e6);
+  EXPECT_DOUBLE_EQ(units::pj_to_joule(1e12), 1.0);
+  EXPECT_DOUBLE_EQ(units::pj_to_uj(5e6), 5.0);
+}
+
+TEST(Units, TimeConversions) {
+  EXPECT_DOUBLE_EQ(units::ps(1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(units::us(1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(units::s(1.0), 1e9);
+  EXPECT_DOUBLE_EQ(units::ns_to_s(1e9), 1.0);
+}
+
+TEST(Units, PowerOverDuration) {
+  // 1 mW for 1 ns is 1 pJ.
+  EXPECT_DOUBLE_EQ(units::power_over(1.0, 1.0), 1.0);
+  // 1 W for 1 s is 1 J.
+  EXPECT_DOUBLE_EQ(units::power_over(units::W(1.0), units::s(1.0)), units::J(1.0));
+}
+
+TEST(Units, Capacities) {
+  EXPECT_EQ(units::KiB(1), 1024u);
+  EXPECT_EQ(units::MiB(2), 2u * 1024 * 1024);
+  EXPECT_EQ(units::Gbit(4), 4ull * (1ull << 30) / 8);
+}
+
+TEST(Units, MtepsPerWattDefinition) {
+  // 1e6 edges at 1 J total == 1 MTEPS/W.
+  EXPECT_NEAR(units::mteps_per_watt(1e6, units::J(1.0)), 1.0, 1e-12);
+  EXPECT_EQ(units::mteps_per_watt(100, 0.0), 0.0);
+}
+
+TEST(Units, EdpIsProduct) {
+  EXPECT_DOUBLE_EQ(units::edp(3.0, 4.0), 12.0);
+}
+
+// ---------- Table ----------
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), InvariantError);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), InvariantError);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), InvariantError);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "v"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| longer |"), std::string::npos);
+  EXPECT_NE(out.find("|   name |"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+// ---------- check macros ----------
+
+TEST(Check, ThrowsWithLocation) {
+  try {
+    HYVE_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "expected throw";
+  } catch (const InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom 42"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  EXPECT_NO_THROW(HYVE_CHECK(true));
+}
+
+}  // namespace
+}  // namespace hyve

@@ -1,0 +1,226 @@
+// hyve_sim — command-line driver for the HyVE simulator.
+//
+// Runs any algorithm on any graph (built-in dataset, SNAP edge-list file,
+// or a fresh R-MAT) under any machine configuration, and prints the full
+// time/energy/area report.
+//
+//   hyve_sim --dataset YT --algo pr
+//   hyve_sim --graph web.txt --algo bfs --config sd
+//   hyve_sim --rmat 100000x600000 --algo cc --sram-mb 4 --pus 16 \
+//            --cell-bits 2 --no-sharing --no-power-gating --compare
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "baselines/cpu.hpp"
+#include "baselines/graphr.hpp"
+#include "core/machine.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "memmodel/area.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hyve;
+
+[[noreturn]] void usage(const char* argv0, const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  input (one of):\n"
+      << "    --dataset YT|WK|AS|LJ|TW     built-in synthetic dataset\n"
+      << "    --graph PATH                 SNAP-style edge-list file\n"
+      << "    --rmat VxE                   fresh R-MAT graph (e.g. 100000x600000)\n"
+      << "  workload:\n"
+      << "    --algo bfs|cc|pr|sssp|spmv   algorithm (default pr)\n"
+      << "  machine:\n"
+      << "    --config opt|hyve|sd|dram|reram   named variant (default opt)\n"
+      << "    --sram-mb N       per-PU SRAM capacity (default 2)\n"
+      << "    --pus N           processing units (default 8)\n"
+      << "    --cell-bits N     ReRAM cell bits 1..3 (default 1)\n"
+      << "    --no-sharing      disable inter-PU data sharing\n"
+      << "    --no-power-gating disable bank-level power gating\n"
+      << "  output:\n"
+      << "    --compare         also run GraphR and the CPU baselines\n"
+      << "    --area            print the silicon area estimate\n"
+      << "    --csv             machine-readable breakdown\n";
+  std::exit(error.empty() ? 0 : 2);
+}
+
+std::optional<Algorithm> parse_algo(const std::string& s) {
+  if (s == "bfs") return Algorithm::kBfs;
+  if (s == "cc") return Algorithm::kCc;
+  if (s == "pr") return Algorithm::kPageRank;
+  if (s == "sssp") return Algorithm::kSssp;
+  if (s == "spmv") return Algorithm::kSpmv;
+  return std::nullopt;
+}
+
+std::optional<DatasetId> parse_dataset(const std::string& s) {
+  for (const DatasetId id : kAllDatasets)
+    if (s == dataset_name(id)) return id;
+  return std::nullopt;
+}
+
+std::optional<HyveConfig> parse_config(const std::string& s) {
+  if (s == "opt") return HyveConfig::hyve_opt();
+  if (s == "hyve") return HyveConfig::hyve();
+  if (s == "sd") return HyveConfig::sram_dram();
+  if (s == "dram") return HyveConfig::acc_dram();
+  if (s == "reram") return HyveConfig::acc_reram();
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<Graph> graph;
+  std::string graph_label = "?";
+  Algorithm algo = Algorithm::kPageRank;
+  HyveConfig config = HyveConfig::hyve_opt();
+  bool compare = false;
+  bool area = false;
+  bool csv = false;
+
+  auto next_arg = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(argv[0], std::string(argv[i]) + " needs a value");
+    return argv[++i];
+  };
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        usage(argv[0]);
+      } else if (arg == "--dataset") {
+        const auto id = parse_dataset(next_arg(i));
+        if (!id) usage(argv[0], "unknown dataset");
+        graph = dataset_graph(*id);
+        graph_label = dataset_name(*id);
+      } else if (arg == "--graph") {
+        const std::string path = next_arg(i);
+        graph = (path.size() > 4 && path.substr(path.size() - 4) == ".bin")
+                    ? load_graph_binary(path)
+                    : load_edge_list_text(path);
+        graph_label = path;
+      } else if (arg == "--rmat") {
+        const std::string spec = next_arg(i);
+        const auto x = spec.find('x');
+        if (x == std::string::npos) usage(argv[0], "--rmat expects VxE");
+        const auto v = std::stoull(spec.substr(0, x));
+        const auto e = std::stoull(spec.substr(x + 1));
+        graph = generate_rmat(static_cast<VertexId>(v), e, {}, 1);
+        graph_label = "rmat:" + spec;
+      } else if (arg == "--algo") {
+        const auto a = parse_algo(next_arg(i));
+        if (!a) usage(argv[0], "unknown algorithm");
+        algo = *a;
+      } else if (arg == "--config") {
+        const auto c = parse_config(next_arg(i));
+        if (!c) usage(argv[0], "unknown config");
+        const HyveConfig base = config;
+        config = *c;
+        config.sram_bytes_per_pu =
+            config.has_onchip_vertex_memory() ? base.sram_bytes_per_pu
+                                              : config.sram_bytes_per_pu;
+      } else if (arg == "--sram-mb") {
+        config.sram_bytes_per_pu =
+            units::MiB(std::stoull(next_arg(i)));
+      } else if (arg == "--pus") {
+        config.num_pus = std::stoi(next_arg(i));
+      } else if (arg == "--cell-bits") {
+        config.reram.cell_bits = std::stoi(next_arg(i));
+      } else if (arg == "--no-sharing") {
+        config.data_sharing = false;
+      } else if (arg == "--no-power-gating") {
+        config.power_gating = false;
+      } else if (arg == "--compare") {
+        compare = true;
+      } else if (arg == "--area") {
+        area = true;
+      } else if (arg == "--csv") {
+        csv = true;
+      } else {
+        usage(argv[0], "unknown option " + arg);
+      }
+    }
+
+    if (!graph) usage(argv[0], "no input graph (--dataset/--graph/--rmat)");
+
+    const HyveMachine machine(config);
+    const RunReport r = machine.run(*graph, algo);
+
+    if (csv) {
+      Table t({"graph", "algo", "config", "P", "iterations", "time_ns",
+               "energy_pj", "mteps", "mteps_per_watt"});
+      t.add_row({graph_label, r.algorithm, r.config_label,
+                 std::to_string(r.num_intervals),
+                 std::to_string(r.iterations), Table::num(r.exec_time_ns, 0),
+                 Table::num(r.total_energy_pj(), 0), Table::num(r.mteps(), 1),
+                 Table::num(r.mteps_per_watt(), 1)});
+      t.print_csv(std::cout);
+    } else {
+      std::cout << graph_label << ": V=" << graph->num_vertices()
+                << " E=" << graph->num_edges() << "\n"
+                << r.config_label << " running " << r.algorithm << ": P="
+                << r.num_intervals << ", " << r.iterations << " iterations\n"
+                << "  time    " << Table::num(r.exec_time_ns / 1e6, 3)
+                << " ms  (" << Table::num(r.mteps(), 0) << " MTEPS)\n"
+                << "  energy  " << Table::num(r.total_energy_pj() / 1e6, 1)
+                << " uJ  (" << Table::num(r.mteps_per_watt(), 0)
+                << " MTEPS/W)\n"
+                << "  memory share "
+                << Table::num(100.0 * r.energy.memory_pj() /
+                                  r.total_energy_pj(),
+                              1)
+                << "%\n";
+    }
+
+    if (compare) {
+      Table t({"system", "time (ms)", "energy (uJ)", "MTEPS/W"});
+      t.add_row({r.config_label, Table::num(r.exec_time_ns / 1e6, 3),
+                 Table::num(r.total_energy_pj() / 1e6, 1),
+                 Table::num(r.mteps_per_watt(), 0)});
+      const GraphRReport gr = GraphRModel().run(*graph, algo);
+      t.add_row({"GraphR", Table::num(gr.exec_time_ns / 1e6, 3),
+                 Table::num(gr.total_energy_pj() / 1e6, 1),
+                 Table::num(gr.mteps_per_watt(), 0)});
+      for (const CpuBaseline kind :
+           {CpuBaseline::kNaive, CpuBaseline::kOptimized}) {
+        const CpuReport cr = CpuModel(kind).run(*graph, algo);
+        t.add_row({cr.config_label, Table::num(cr.exec_time_ns / 1e6, 3),
+                   Table::num(cr.energy_pj / 1e6, 1),
+                   Table::num(cr.mteps_per_watt(), 0)});
+      }
+      std::cout << '\n';
+      t.print(std::cout);
+    }
+
+    if (area) {
+      AreaInputs in;
+      in.num_pus = config.num_pus;
+      in.sram_bytes_per_pu = config.sram_bytes_per_pu;
+      in.edge_reram = config.reram;
+      in.edge_capacity_bytes = graph->num_edges() * 8;
+      in.power_gating = config.power_gating;
+      const AreaBreakdown a = estimate_area(in);
+      std::cout << "\narea estimate (22 nm):\n"
+                << "  accelerator " << Table::num(a.accelerator_mm2(), 2)
+                << " mm^2 (SRAM " << Table::num(a.sram_mm2, 2) << ", PUs "
+                << Table::num(a.pu_mm2, 2) << ", router "
+                << Table::num(a.router_mm2, 2) << ", controller "
+                << Table::num(a.controller_mm2, 2) << ")\n"
+                << "  edge memory " << a.edge_chips << " chip(s) x "
+                << Table::num(a.edge_chip_mm2, 1) << " mm^2, power gates +"
+                << Table::num(100.0 * a.power_gate_overhead(), 2) << "%\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
