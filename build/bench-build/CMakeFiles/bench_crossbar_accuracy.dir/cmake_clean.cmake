@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_crossbar_accuracy"
+  "../bench/bench_crossbar_accuracy.pdb"
+  "CMakeFiles/bench_crossbar_accuracy.dir/bench_crossbar_accuracy.cpp.o"
+  "CMakeFiles/bench_crossbar_accuracy.dir/bench_crossbar_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crossbar_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11.cpp" "bench-build/CMakeFiles/bench_fig11.dir/bench_fig11.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig11.dir/bench_fig11.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hyve_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hyve_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamic/CMakeFiles/hyve_dynamic.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hyve_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hyve_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/memmodel/CMakeFiles/hyve_memmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/algos/CMakeFiles/hyve_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hyve_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hyve_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

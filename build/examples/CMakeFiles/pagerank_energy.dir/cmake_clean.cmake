@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_energy.dir/pagerank_energy.cpp.o"
+  "CMakeFiles/pagerank_energy.dir/pagerank_energy.cpp.o.d"
+  "pagerank_energy"
+  "pagerank_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/bfs.cpp" "src/algos/CMakeFiles/hyve_algos.dir/bfs.cpp.o" "gcc" "src/algos/CMakeFiles/hyve_algos.dir/bfs.cpp.o.d"
+  "/root/repo/src/algos/cc.cpp" "src/algos/CMakeFiles/hyve_algos.dir/cc.cpp.o" "gcc" "src/algos/CMakeFiles/hyve_algos.dir/cc.cpp.o.d"
+  "/root/repo/src/algos/frontier.cpp" "src/algos/CMakeFiles/hyve_algos.dir/frontier.cpp.o" "gcc" "src/algos/CMakeFiles/hyve_algos.dir/frontier.cpp.o.d"
+  "/root/repo/src/algos/gas.cpp" "src/algos/CMakeFiles/hyve_algos.dir/gas.cpp.o" "gcc" "src/algos/CMakeFiles/hyve_algos.dir/gas.cpp.o.d"
+  "/root/repo/src/algos/pagerank.cpp" "src/algos/CMakeFiles/hyve_algos.dir/pagerank.cpp.o" "gcc" "src/algos/CMakeFiles/hyve_algos.dir/pagerank.cpp.o.d"
+  "/root/repo/src/algos/runner.cpp" "src/algos/CMakeFiles/hyve_algos.dir/runner.cpp.o" "gcc" "src/algos/CMakeFiles/hyve_algos.dir/runner.cpp.o.d"
+  "/root/repo/src/algos/spmv.cpp" "src/algos/CMakeFiles/hyve_algos.dir/spmv.cpp.o" "gcc" "src/algos/CMakeFiles/hyve_algos.dir/spmv.cpp.o.d"
+  "/root/repo/src/algos/sssp.cpp" "src/algos/CMakeFiles/hyve_algos.dir/sssp.cpp.o" "gcc" "src/algos/CMakeFiles/hyve_algos.dir/sssp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hyve_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hyve_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

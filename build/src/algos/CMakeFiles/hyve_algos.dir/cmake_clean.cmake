@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyve_algos.dir/bfs.cpp.o"
+  "CMakeFiles/hyve_algos.dir/bfs.cpp.o.d"
+  "CMakeFiles/hyve_algos.dir/cc.cpp.o"
+  "CMakeFiles/hyve_algos.dir/cc.cpp.o.d"
+  "CMakeFiles/hyve_algos.dir/frontier.cpp.o"
+  "CMakeFiles/hyve_algos.dir/frontier.cpp.o.d"
+  "CMakeFiles/hyve_algos.dir/gas.cpp.o"
+  "CMakeFiles/hyve_algos.dir/gas.cpp.o.d"
+  "CMakeFiles/hyve_algos.dir/pagerank.cpp.o"
+  "CMakeFiles/hyve_algos.dir/pagerank.cpp.o.d"
+  "CMakeFiles/hyve_algos.dir/runner.cpp.o"
+  "CMakeFiles/hyve_algos.dir/runner.cpp.o.d"
+  "CMakeFiles/hyve_algos.dir/spmv.cpp.o"
+  "CMakeFiles/hyve_algos.dir/spmv.cpp.o.d"
+  "CMakeFiles/hyve_algos.dir/sssp.cpp.o"
+  "CMakeFiles/hyve_algos.dir/sssp.cpp.o.d"
+  "libhyve_algos.a"
+  "libhyve_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyve_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

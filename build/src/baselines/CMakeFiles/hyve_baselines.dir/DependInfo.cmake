@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cpu.cpp" "src/baselines/CMakeFiles/hyve_baselines.dir/cpu.cpp.o" "gcc" "src/baselines/CMakeFiles/hyve_baselines.dir/cpu.cpp.o.d"
+  "/root/repo/src/baselines/crossbar_compute.cpp" "src/baselines/CMakeFiles/hyve_baselines.dir/crossbar_compute.cpp.o" "gcc" "src/baselines/CMakeFiles/hyve_baselines.dir/crossbar_compute.cpp.o.d"
+  "/root/repo/src/baselines/graphr.cpp" "src/baselines/CMakeFiles/hyve_baselines.dir/graphr.cpp.o" "gcc" "src/baselines/CMakeFiles/hyve_baselines.dir/graphr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hyve_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hyve_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/memmodel/CMakeFiles/hyve_memmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hyve_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/algos/CMakeFiles/hyve_algos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyve_baselines.dir/cpu.cpp.o"
+  "CMakeFiles/hyve_baselines.dir/cpu.cpp.o.d"
+  "CMakeFiles/hyve_baselines.dir/crossbar_compute.cpp.o"
+  "CMakeFiles/hyve_baselines.dir/crossbar_compute.cpp.o.d"
+  "CMakeFiles/hyve_baselines.dir/graphr.cpp.o"
+  "CMakeFiles/hyve_baselines.dir/graphr.cpp.o.d"
+  "libhyve_baselines.a"
+  "libhyve_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyve_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

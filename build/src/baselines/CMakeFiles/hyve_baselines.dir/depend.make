@@ -1,0 +1,2 @@
+# Empty dependencies file for hyve_baselines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyve_core.dir/config.cpp.o"
+  "CMakeFiles/hyve_core.dir/config.cpp.o.d"
+  "CMakeFiles/hyve_core.dir/machine.cpp.o"
+  "CMakeFiles/hyve_core.dir/machine.cpp.o.d"
+  "CMakeFiles/hyve_core.dir/report_io.cpp.o"
+  "CMakeFiles/hyve_core.dir/report_io.cpp.o.d"
+  "libhyve_core.a"
+  "libhyve_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyve_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

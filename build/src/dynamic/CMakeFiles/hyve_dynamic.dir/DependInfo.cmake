@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dynamic/dynamic_graph.cpp" "src/dynamic/CMakeFiles/hyve_dynamic.dir/dynamic_graph.cpp.o" "gcc" "src/dynamic/CMakeFiles/hyve_dynamic.dir/dynamic_graph.cpp.o.d"
+  "/root/repo/src/dynamic/incremental_cc.cpp" "src/dynamic/CMakeFiles/hyve_dynamic.dir/incremental_cc.cpp.o" "gcc" "src/dynamic/CMakeFiles/hyve_dynamic.dir/incremental_cc.cpp.o.d"
+  "/root/repo/src/dynamic/requests.cpp" "src/dynamic/CMakeFiles/hyve_dynamic.dir/requests.cpp.o" "gcc" "src/dynamic/CMakeFiles/hyve_dynamic.dir/requests.cpp.o.d"
+  "/root/repo/src/dynamic/wear.cpp" "src/dynamic/CMakeFiles/hyve_dynamic.dir/wear.cpp.o" "gcc" "src/dynamic/CMakeFiles/hyve_dynamic.dir/wear.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hyve_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hyve_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

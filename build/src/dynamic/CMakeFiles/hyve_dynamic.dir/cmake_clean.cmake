@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyve_dynamic.dir/dynamic_graph.cpp.o"
+  "CMakeFiles/hyve_dynamic.dir/dynamic_graph.cpp.o.d"
+  "CMakeFiles/hyve_dynamic.dir/incremental_cc.cpp.o"
+  "CMakeFiles/hyve_dynamic.dir/incremental_cc.cpp.o.d"
+  "CMakeFiles/hyve_dynamic.dir/requests.cpp.o"
+  "CMakeFiles/hyve_dynamic.dir/requests.cpp.o.d"
+  "CMakeFiles/hyve_dynamic.dir/wear.cpp.o"
+  "CMakeFiles/hyve_dynamic.dir/wear.cpp.o.d"
+  "libhyve_dynamic.a"
+  "libhyve_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyve_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhyve_dynamic.a"
+)

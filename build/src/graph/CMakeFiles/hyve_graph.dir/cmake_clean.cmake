@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyve_graph.dir/datasets.cpp.o"
+  "CMakeFiles/hyve_graph.dir/datasets.cpp.o.d"
+  "CMakeFiles/hyve_graph.dir/generators.cpp.o"
+  "CMakeFiles/hyve_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/hyve_graph.dir/graph.cpp.o"
+  "CMakeFiles/hyve_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/hyve_graph.dir/io.cpp.o"
+  "CMakeFiles/hyve_graph.dir/io.cpp.o.d"
+  "CMakeFiles/hyve_graph.dir/partition.cpp.o"
+  "CMakeFiles/hyve_graph.dir/partition.cpp.o.d"
+  "CMakeFiles/hyve_graph.dir/stats.cpp.o"
+  "CMakeFiles/hyve_graph.dir/stats.cpp.o.d"
+  "libhyve_graph.a"
+  "libhyve_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyve_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

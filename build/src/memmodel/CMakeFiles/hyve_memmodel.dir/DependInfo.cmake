@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memmodel/area.cpp" "src/memmodel/CMakeFiles/hyve_memmodel.dir/area.cpp.o" "gcc" "src/memmodel/CMakeFiles/hyve_memmodel.dir/area.cpp.o.d"
+  "/root/repo/src/memmodel/crossbar.cpp" "src/memmodel/CMakeFiles/hyve_memmodel.dir/crossbar.cpp.o" "gcc" "src/memmodel/CMakeFiles/hyve_memmodel.dir/crossbar.cpp.o.d"
+  "/root/repo/src/memmodel/dram.cpp" "src/memmodel/CMakeFiles/hyve_memmodel.dir/dram.cpp.o" "gcc" "src/memmodel/CMakeFiles/hyve_memmodel.dir/dram.cpp.o.d"
+  "/root/repo/src/memmodel/reram.cpp" "src/memmodel/CMakeFiles/hyve_memmodel.dir/reram.cpp.o" "gcc" "src/memmodel/CMakeFiles/hyve_memmodel.dir/reram.cpp.o.d"
+  "/root/repo/src/memmodel/sram.cpp" "src/memmodel/CMakeFiles/hyve_memmodel.dir/sram.cpp.o" "gcc" "src/memmodel/CMakeFiles/hyve_memmodel.dir/sram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hyve_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyve_memmodel.dir/area.cpp.o"
+  "CMakeFiles/hyve_memmodel.dir/area.cpp.o.d"
+  "CMakeFiles/hyve_memmodel.dir/crossbar.cpp.o"
+  "CMakeFiles/hyve_memmodel.dir/crossbar.cpp.o.d"
+  "CMakeFiles/hyve_memmodel.dir/dram.cpp.o"
+  "CMakeFiles/hyve_memmodel.dir/dram.cpp.o.d"
+  "CMakeFiles/hyve_memmodel.dir/reram.cpp.o"
+  "CMakeFiles/hyve_memmodel.dir/reram.cpp.o.d"
+  "CMakeFiles/hyve_memmodel.dir/sram.cpp.o"
+  "CMakeFiles/hyve_memmodel.dir/sram.cpp.o.d"
+  "libhyve_memmodel.a"
+  "libhyve_memmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyve_memmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyve_model.dir/analytic.cpp.o"
+  "CMakeFiles/hyve_model.dir/analytic.cpp.o.d"
+  "libhyve_model.a"
+  "libhyve_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyve_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

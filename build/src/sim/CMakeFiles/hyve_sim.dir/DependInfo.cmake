@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dram_timing.cpp" "src/sim/CMakeFiles/hyve_sim.dir/dram_timing.cpp.o" "gcc" "src/sim/CMakeFiles/hyve_sim.dir/dram_timing.cpp.o.d"
+  "/root/repo/src/sim/energy.cpp" "src/sim/CMakeFiles/hyve_sim.dir/energy.cpp.o" "gcc" "src/sim/CMakeFiles/hyve_sim.dir/energy.cpp.o.d"
+  "/root/repo/src/sim/mem_request.cpp" "src/sim/CMakeFiles/hyve_sim.dir/mem_request.cpp.o" "gcc" "src/sim/CMakeFiles/hyve_sim.dir/mem_request.cpp.o.d"
+  "/root/repo/src/sim/memory_controller.cpp" "src/sim/CMakeFiles/hyve_sim.dir/memory_controller.cpp.o" "gcc" "src/sim/CMakeFiles/hyve_sim.dir/memory_controller.cpp.o.d"
+  "/root/repo/src/sim/pipeline.cpp" "src/sim/CMakeFiles/hyve_sim.dir/pipeline.cpp.o" "gcc" "src/sim/CMakeFiles/hyve_sim.dir/pipeline.cpp.o.d"
+  "/root/repo/src/sim/power_gating.cpp" "src/sim/CMakeFiles/hyve_sim.dir/power_gating.cpp.o" "gcc" "src/sim/CMakeFiles/hyve_sim.dir/power_gating.cpp.o.d"
+  "/root/repo/src/sim/reram_timing.cpp" "src/sim/CMakeFiles/hyve_sim.dir/reram_timing.cpp.o" "gcc" "src/sim/CMakeFiles/hyve_sim.dir/reram_timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hyve_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/memmodel/CMakeFiles/hyve_memmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hyve_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyve_sim.dir/dram_timing.cpp.o"
+  "CMakeFiles/hyve_sim.dir/dram_timing.cpp.o.d"
+  "CMakeFiles/hyve_sim.dir/energy.cpp.o"
+  "CMakeFiles/hyve_sim.dir/energy.cpp.o.d"
+  "CMakeFiles/hyve_sim.dir/mem_request.cpp.o"
+  "CMakeFiles/hyve_sim.dir/mem_request.cpp.o.d"
+  "CMakeFiles/hyve_sim.dir/memory_controller.cpp.o"
+  "CMakeFiles/hyve_sim.dir/memory_controller.cpp.o.d"
+  "CMakeFiles/hyve_sim.dir/pipeline.cpp.o"
+  "CMakeFiles/hyve_sim.dir/pipeline.cpp.o.d"
+  "CMakeFiles/hyve_sim.dir/power_gating.cpp.o"
+  "CMakeFiles/hyve_sim.dir/power_gating.cpp.o.d"
+  "CMakeFiles/hyve_sim.dir/reram_timing.cpp.o"
+  "CMakeFiles/hyve_sim.dir/reram_timing.cpp.o.d"
+  "libhyve_sim.a"
+  "libhyve_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyve_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyve_util.dir/log.cpp.o"
+  "CMakeFiles/hyve_util.dir/log.cpp.o.d"
+  "CMakeFiles/hyve_util.dir/rng.cpp.o"
+  "CMakeFiles/hyve_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hyve_util.dir/table.cpp.o"
+  "CMakeFiles/hyve_util.dir/table.cpp.o.d"
+  "libhyve_util.a"
+  "libhyve_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyve_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

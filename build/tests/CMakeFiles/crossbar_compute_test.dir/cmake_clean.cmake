@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossbar_compute_test.dir/crossbar_compute_test.cpp.o"
+  "CMakeFiles/crossbar_compute_test.dir/crossbar_compute_test.cpp.o.d"
+  "crossbar_compute_test"
+  "crossbar_compute_test.pdb"
+  "crossbar_compute_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossbar_compute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

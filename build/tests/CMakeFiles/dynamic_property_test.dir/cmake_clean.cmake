@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_property_test.dir/dynamic_property_test.cpp.o"
+  "CMakeFiles/dynamic_property_test.dir/dynamic_property_test.cpp.o.d"
+  "dynamic_property_test"
+  "dynamic_property_test.pdb"
+  "dynamic_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

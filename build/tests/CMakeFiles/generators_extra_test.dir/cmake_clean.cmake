@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generators_extra_test.dir/generators_extra_test.cpp.o"
+  "CMakeFiles/generators_extra_test.dir/generators_extra_test.cpp.o.d"
+  "generators_extra_test"
+  "generators_extra_test.pdb"
+  "generators_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generators_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_cc_test.dir/incremental_cc_test.cpp.o"
+  "CMakeFiles/incremental_cc_test.dir/incremental_cc_test.cpp.o.d"
+  "incremental_cc_test"
+  "incremental_cc_test.pdb"
+  "incremental_cc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_cc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memmodel_test.dir/memmodel_test.cpp.o"
+  "CMakeFiles/memmodel_test.dir/memmodel_test.cpp.o.d"
+  "memmodel_test"
+  "memmodel_test.pdb"
+  "memmodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

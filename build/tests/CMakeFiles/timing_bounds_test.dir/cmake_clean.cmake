@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_bounds_test.dir/timing_bounds_test.cpp.o"
+  "CMakeFiles/timing_bounds_test.dir/timing_bounds_test.cpp.o.d"
+  "timing_bounds_test"
+  "timing_bounds_test.pdb"
+  "timing_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

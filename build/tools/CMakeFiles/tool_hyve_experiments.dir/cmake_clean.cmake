@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_hyve_experiments.dir/hyve_experiments.cpp.o"
+  "CMakeFiles/tool_hyve_experiments.dir/hyve_experiments.cpp.o.d"
+  "hyve_experiments"
+  "hyve_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_hyve_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_hyve_graphgen.dir/hyve_graphgen.cpp.o"
+  "CMakeFiles/tool_hyve_graphgen.dir/hyve_graphgen.cpp.o.d"
+  "hyve_graphgen"
+  "hyve_graphgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_hyve_graphgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

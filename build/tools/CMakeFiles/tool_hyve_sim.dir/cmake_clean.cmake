@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_hyve_sim.dir/hyve_sim.cpp.o"
+  "CMakeFiles/tool_hyve_sim.dir/hyve_sim.cpp.o.d"
+  "hyve_sim"
+  "hyve_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_hyve_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
