@@ -13,13 +13,12 @@ int main() {
   Table table({"dataset", "1 bit", "2 bits", "3 bits"});
   bool slc_wins_everywhere = true;
   for (const DatasetId id : kAllDatasets) {
-    const Graph& g = dataset_graph(id);
     std::vector<std::string> row{dataset_name(id)};
     double slc = 0;
     for (const int bits : {1, 2, 3}) {
       HyveConfig cfg = HyveConfig::hyve_opt();
       cfg.reram.cell_bits = bits;
-      const RunReport r = HyveMachine(cfg).run(g, Algorithm::kBfs);
+      const RunReport r = bench::run_dataset(cfg, id, Algorithm::kBfs);
       const double eff = r.mteps_per_watt();
       if (bits == 1)
         slc = eff;

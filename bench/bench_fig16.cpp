@@ -33,11 +33,9 @@ int main() {
       table.add_row(std::move(row));
     }
     for (const HyveConfig& cfg : fig16_accelerator_configs()) {
-      const HyveMachine machine(cfg);
       std::vector<std::string> row{cfg.label};
       for (const DatasetId id : kAllDatasets) {
-        const double eff =
-            machine.run(dataset_graph(id), algo).mteps_per_watt();
+        const double eff = bench::run_dataset(cfg, id, algo).mteps_per_watt();
         row.push_back(Table::num(eff, 0));
         efficiency[cfg.label].push_back(eff);
       }

@@ -25,10 +25,9 @@ int main() {
   std::vector<double> mem_drop_hyve, mem_drop_opt;
   for (const Algorithm algo : kCoreAlgorithms) {
     for (const DatasetId id : kAllDatasets) {
-      const Graph& g = dataset_graph(id);
       double sd_memory_pj = 0;
       for (const HyveConfig& cfg : configs) {
-        const RunReport r = HyveMachine(cfg).run(g, algo);
+        const RunReport r = bench::run_dataset(cfg, id, algo);
         const double total = r.total_energy_pj();
         const double mem_share = r.energy.memory_pj() / total;
         table.add_row(

@@ -32,7 +32,6 @@ int main() {
     std::cout << "\n--- " << algorithm_name(algo) << " ---\n";
     Table table({"dataset", "variant", "2MB", "4MB", "8MB", "16MB"});
     for (const DatasetId id : kAllDatasets) {
-      const Graph& g = dataset_graph(id);
       for (const Variant& v : variants) {
         std::vector<std::string> row{dataset_name(id), v.name};
         for (const std::uint64_t size : sizes) {
@@ -41,7 +40,7 @@ int main() {
           cfg.power_gating = v.power_gating;
           cfg.data_sharing = v.sharing;
           cfg.label = v.name;
-          const RunReport r = HyveMachine(cfg).run(g, algo);
+          const RunReport r = bench::run_dataset(cfg, id, algo);
           row.push_back(Table::num(r.mteps_per_watt(), 0));
         }
         table.add_row(std::move(row));

@@ -12,10 +12,33 @@
 #include <vector>
 
 #include "core/machine.hpp"
+#include "exp/cache.hpp"
+#include "exp/sweep.hpp"
 #include "graph/datasets.hpp"
 #include "util/table.hpp"
 
 namespace hyve::bench {
+
+// Process-wide caches shared by the fig/table benches: a binary that
+// sweeps many configs over the datasets hash-balances and partitions
+// each graph once instead of once per (config, algorithm) cell.
+inline exp::GraphCache& graph_cache() {
+  static exp::GraphCache cache;
+  return cache;
+}
+
+inline exp::PartitionCache& partition_cache() {
+  static exp::PartitionCache cache;
+  return cache;
+}
+
+// Cached equivalent of HyveMachine(cfg).run(dataset_graph(id), algo);
+// the report is identical (tested in exp_test).
+inline RunReport run_dataset(const HyveConfig& cfg, DatasetId id,
+                             Algorithm algo) {
+  return exp::run_cached(graph_cache(), partition_cache(), cfg, algo,
+                         dataset_name(id));
+}
 
 inline void header(const std::string& id, const std::string& title) {
   std::cout << "\n================================================\n"

@@ -5,28 +5,30 @@
 // — and reports the best configuration by MTEPS/W, then by EDP. This is
 // the kind of study §7.2 ("Design Decisions") runs to fix the shipped
 // configuration.
+//
+// The grid runs on the src/exp sweep engine: the workload graph is
+// registered in a GraphCache, so the 36 configurations share one
+// hash-balancing remap and one partitioning per distinct P instead of
+// redoing both per cell, and the cells execute on a worker pool.
 #include <algorithm>
 #include <iostream>
 #include <vector>
 
 #include "core/machine.hpp"
+#include "exp/sweep.hpp"
 #include "graph/generators.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace hyve;
 
-  const Graph workload = generate_rmat(150'000, 900'000, {}, 4242);
-  const Algorithm algo = Algorithm::kPageRank;
-  std::cout << "workload: PageRank on V=" << workload.num_vertices()
-            << " E=" << workload.num_edges() << "\n\n";
+  exp::GraphCache graphs;
+  graphs.add("workload", [] { return generate_rmat(150'000, 900'000, {}, 4242); });
+  exp::PartitionCache partitions;
 
-  struct Candidate {
-    HyveConfig config;
-    RunReport report;
-  };
-  std::vector<Candidate> candidates;
-
+  exp::SweepSpec spec;
+  spec.algorithms = {Algorithm::kPageRank};
+  spec.graphs = {"workload"};
   for (const std::uint64_t sram : {units::MiB(1), units::MiB(2),
                                    units::MiB(4)}) {
     for (const int cell_bits : {1, 2}) {
@@ -43,14 +45,21 @@ int main() {
                       (opt == ReramOptTarget::kEnergyOptimized ? "Eopt"
                                                                : "Lopt") +
                       "/" + std::to_string(pus) + "PU";
-          const HyveMachine machine(cfg);
-          candidates.push_back({cfg, machine.run(workload, algo)});
+          spec.configs.push_back(cfg);
         }
       }
     }
   }
 
-  auto by_efficiency = [](const Candidate& a, const Candidate& b) {
+  exp::SweepEngine engine(graphs, partitions);
+  std::vector<exp::SweepResult> candidates = engine.run(spec);
+
+  const Graph& workload = graphs.base("workload");
+  std::cout << "workload: PageRank on V=" << workload.num_vertices()
+            << " E=" << workload.num_edges() << "\n\n";
+
+  auto by_efficiency = [](const exp::SweepResult& a,
+                          const exp::SweepResult& b) {
     return a.report.mteps_per_watt() > b.report.mteps_per_watt();
   };
   std::sort(candidates.begin(), candidates.end(), by_efficiency);

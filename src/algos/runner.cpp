@@ -1,5 +1,7 @@
 #include "algos/runner.hpp"
 
+#include <cctype>
+
 #include "algos/bfs.hpp"
 #include "algos/cc.hpp"
 #include "algos/pagerank.hpp"
@@ -30,6 +32,19 @@ const char* algorithm_name(Algorithm algorithm) {
     case Algorithm::kSpmv: return "SpMV";
   }
   return "?";
+}
+
+std::optional<Algorithm> parse_algorithm(const std::string& name) {
+  auto lower = [](const std::string& s) {
+    std::string out = s;
+    for (char& c : out)
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+  };
+  const std::string needle = lower(name);
+  for (const Algorithm a : kAllAlgorithms)
+    if (needle == lower(algorithm_name(a))) return a;
+  return std::nullopt;
 }
 
 FunctionalResult run_functional(const Graph& graph, VertexProgram& program,

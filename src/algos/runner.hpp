@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string>
 
 #include "algos/vertex_program.hpp"
 #include "graph/partition.hpp"
@@ -26,6 +28,10 @@ inline constexpr Algorithm kAllAlgorithms[] = {
 
 std::unique_ptr<VertexProgram> make_program(Algorithm algorithm);
 const char* algorithm_name(Algorithm algorithm);
+// Inverse of algorithm_name(): case-insensitive, so it accepts both the
+// canonical names ("PR", "SpMV") and the CLI short forms ("pr", "spmv").
+// The single source of truth for string→Algorithm mapping.
+std::optional<Algorithm> parse_algorithm(const std::string& name);
 
 struct FunctionalResult {
   std::uint32_t iterations = 0;

@@ -70,4 +70,22 @@ std::vector<HyveConfig> fig16_accelerator_configs() {
           HyveConfig::hyve_opt()};
 }
 
+std::optional<HyveConfig> parse_config_label(const std::string& name) {
+  struct Variant {
+    const char* short_name;
+    HyveConfig (*make)();
+  };
+  static constexpr Variant kVariants[] = {
+      {"opt", &HyveConfig::hyve_opt},   {"hyve", &HyveConfig::hyve},
+      {"sd", &HyveConfig::sram_dram},   {"dram", &HyveConfig::acc_dram},
+      {"reram", &HyveConfig::acc_reram},
+  };
+  for (const Variant& v : kVariants) {
+    if (name == v.short_name) return v.make();
+    const HyveConfig c = v.make();
+    if (name == c.label) return c;
+  }
+  return std::nullopt;
+}
+
 }  // namespace hyve

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -75,5 +76,11 @@ struct HyveConfig {
 
 // The accelerator variants of Fig. 16, in the paper's bar order.
 std::vector<HyveConfig> fig16_accelerator_configs();
+
+// Inverse of the named-variant labels — the single source of truth for
+// string→HyveConfig mapping. Accepts both the CLI short names ("opt",
+// "hyve", "sd", "dram", "reram") and the full Fig. 16 labels
+// ("acc+HyVE-opt", ...).
+std::optional<HyveConfig> parse_config_label(const std::string& name);
 
 }  // namespace hyve

@@ -70,22 +70,39 @@ RunReport HyveMachine::run(const Graph& graph, Algorithm algorithm) const {
 RunReport HyveMachine::run(const Graph& graph, VertexProgram& program) const {
   const std::uint32_t p =
       choose_num_intervals(graph, program.vertex_value_bytes());
-  auto execute = [&](const Graph& g) {
-    const Partitioning schedule(g, p);
-    if (config_.frontier_block_skipping) {
-      const FrontierTrace trace = run_frontier(g, program, schedule);
-      return account(g, program, schedule, trace.result, &trace);
-    }
-    const FunctionalResult functional = run_functional(g, program, &schedule);
-    return account(g, program, schedule, functional, nullptr);
-  };
   if (config_.hash_balance) {
     // Simulate the hash-balanced layout (§4.3): block populations even
     // out across PUs, which the per-step synchronisation rewards.
     const Graph balanced = graph.hashed_remap(config_.hash_balance_seed);
-    return execute(balanced);
+    return run_with_schedule(balanced, Partitioning(balanced, p), program);
   }
-  return execute(graph);
+  return run_with_schedule(graph, Partitioning(graph, p), program);
+}
+
+RunReport HyveMachine::run_with_schedule(const Graph& graph,
+                                         const Partitioning& schedule,
+                                         Algorithm algorithm) const {
+  const auto program = make_program(algorithm);
+  return run_with_schedule(graph, schedule, *program);
+}
+
+RunReport HyveMachine::run_with_schedule(const Graph& graph,
+                                         const Partitioning& schedule,
+                                         VertexProgram& program) const {
+  HYVE_CHECK_MSG(schedule.num_vertices() == graph.num_vertices(),
+                 "schedule built for a different graph");
+  const std::uint32_t p =
+      choose_num_intervals(graph, program.vertex_value_bytes());
+  HYVE_CHECK_MSG(schedule.num_intervals() == p,
+                 "schedule has P=" << schedule.num_intervals()
+                                   << " but this machine needs P=" << p);
+  if (config_.frontier_block_skipping) {
+    const FrontierTrace trace = run_frontier(graph, program, schedule);
+    return account(graph, program, schedule, trace.result, &trace);
+  }
+  const FunctionalResult functional =
+      run_functional(graph, program, &schedule);
+  return account(graph, program, schedule, functional, nullptr);
 }
 
 namespace {

@@ -65,6 +65,17 @@ class HyveMachine {
   // As above with a caller-supplied program (custom algorithms).
   RunReport run(const Graph& graph, VertexProgram& program) const;
 
+  // Runs on a graph whose layout preparation was done by the caller —
+  // e.g. the memoising caches of src/exp. `graph` must already reflect
+  // config().hash_balance (i.e. be the hashed_remap image when that
+  // option is on) and `schedule` must partition `graph` into
+  // choose_num_intervals() intervals; both are checked. Produces a
+  // report identical to run()'s.
+  RunReport run_with_schedule(const Graph& graph, const Partitioning& schedule,
+                              Algorithm algorithm) const;
+  RunReport run_with_schedule(const Graph& graph, const Partitioning& schedule,
+                              VertexProgram& program) const;
+
  private:
   const MemoryModel& edge_memory() const;
   const MemoryModel& offchip_vertex_memory() const;

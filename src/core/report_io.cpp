@@ -1,9 +1,13 @@
 #include "core/report_io.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <iomanip>
+#include <map>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "util/check.hpp"
 
@@ -48,6 +52,8 @@ void write_report_json(std::ostream& os, const RunReport& r) {
   os << ",\"edges_traversed\":" << r.edges_traversed;
   os << ",\"exec_time_ns\":";
   write_number(os, r.exec_time_ns);
+  os << ",\"streaming_time_ns\":";
+  write_number(os, r.streaming_time_ns);
   os << ",\"energy_pj\":";
   write_number(os, r.total_energy_pj());
   os << ",\"mteps\":";
@@ -66,19 +72,32 @@ void write_report_json(std::ostream& os, const RunReport& r) {
   os << '}';
   os << ",\"stats\":{"
      << "\"edge_bytes_read\":" << r.stats.edge_bytes_read
+     << ",\"edge_stream_passes\":" << r.stats.edge_stream_passes
      << ",\"offchip_vertex_bytes_read\":" << r.stats.offchip_vertex_bytes_read
      << ",\"offchip_vertex_bytes_written\":"
      << r.stats.offchip_vertex_bytes_written
+     << ",\"offchip_vertex_random_reads\":"
+     << r.stats.offchip_vertex_random_reads
+     << ",\"offchip_vertex_random_writes\":"
+     << r.stats.offchip_vertex_random_writes
      << ",\"sram_random_reads\":" << r.stats.sram_random_reads
      << ",\"sram_random_writes\":" << r.stats.sram_random_writes
+     << ",\"sram_fill_bytes\":" << r.stats.sram_fill_bytes
+     << ",\"sram_drain_bytes\":" << r.stats.sram_drain_bytes
      << ",\"router_hops\":" << r.stats.router_hops
      << ",\"edge_ops\":" << r.stats.edge_ops
-     << ",\"interval_loads\":" << r.stats.interval_loads << '}';
+     << ",\"vertex_ops\":" << r.stats.vertex_ops
+     << ",\"interval_loads\":" << r.stats.interval_loads
+     << ",\"interval_writebacks\":" << r.stats.interval_writebacks << '}';
   os << ",\"power_gating\":{"
      << "\"gated_background_pj\":";
   write_number(os, r.bpg.gated_background_pj);
   os << ",\"ungated_background_pj\":";
   write_number(os, r.bpg.ungated_background_pj);
+  os << ",\"wake_energy_pj\":";
+  write_number(os, r.bpg.wake_energy_pj);
+  os << ",\"exposed_wake_time_ns\":";
+  write_number(os, r.bpg.exposed_wake_time_ns);
   os << ",\"bank_wakes\":" << r.bpg.bank_wakes << '}';
   os << '}';
 }
@@ -87,6 +106,246 @@ std::string report_to_json(const RunReport& report) {
   std::ostringstream os;
   write_report_json(os, report);
   return os.str();
+}
+
+namespace {
+
+// Recursive-descent parser for the flat two-level schema above. Values
+// land in a dotted-key map ("stats.edge_ops" → raw token); strings are
+// unescaped, numbers kept as text so integers round-trip exactly.
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(const std::string& text) : s_(text) {}
+
+  std::map<std::string, std::string> parse() {
+    object("");
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return std::move(fields_);
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("run_report_from_json: " + what +
+                             " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  std::string string_token() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("short \\u escape");
+          out += static_cast<char>(
+              std::stoi(s_.substr(pos_, 4), nullptr, 16));
+          pos_ += 4;
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  std::string number_token() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) fail("expected a number");
+    return s_.substr(start, pos_ - start);
+  }
+
+  void object(const std::string& prefix) {
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = prefix + string_token();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      const char c = peek();
+      if (c == '{') {
+        object(key + ".");
+      } else if (c == '"') {
+        fields_[key] = string_token();
+      } else {
+        fields_[key] = number_token();
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::map<std::string, std::string> fields_;
+};
+
+class FieldReader {
+ public:
+  explicit FieldReader(std::map<std::string, std::string> fields)
+      : fields_(std::move(fields)) {}
+
+  const std::string& raw(const std::string& key) const {
+    const auto it = fields_.find(key);
+    if (it == fields_.end())
+      throw std::runtime_error("run_report_from_json: missing field \"" +
+                               key + "\"");
+    return it->second;
+  }
+
+  std::string str(const std::string& key) const { return raw(key); }
+  double num(const std::string& key) const { return std::stod(raw(key)); }
+  std::uint64_t u64(const std::string& key) const {
+    return std::stoull(raw(key));
+  }
+  std::uint32_t u32(const std::string& key) const {
+    return static_cast<std::uint32_t>(std::stoul(raw(key)));
+  }
+
+ private:
+  std::map<std::string, std::string> fields_;
+};
+
+bool close(double a, double b, double rel_tol) {
+  return std::abs(a - b) <= rel_tol * std::max({std::abs(a), std::abs(b), 1.0});
+}
+
+}  // namespace
+
+RunReport run_report_from_json(const std::string& json) {
+  const FieldReader f(FlatJsonParser(json).parse());
+
+  RunReport r;
+  r.config_label = f.str("config");
+  r.algorithm = f.str("algorithm");
+  r.num_intervals = f.u32("num_intervals");
+  r.iterations = f.u32("iterations");
+  r.edges_traversed = f.u64("edges_traversed");
+  r.exec_time_ns = f.num("exec_time_ns");
+  r.streaming_time_ns = f.num("streaming_time_ns");
+
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(EnergyComponent::kCount); ++i) {
+    const auto c = static_cast<EnergyComponent>(i);
+    r.energy[c] = f.num("energy_breakdown_pj." + component_name(c));
+  }
+
+  AccessStats& s = r.stats;
+  s.edge_bytes_read = f.u64("stats.edge_bytes_read");
+  s.edge_stream_passes = f.u64("stats.edge_stream_passes");
+  s.offchip_vertex_bytes_read = f.u64("stats.offchip_vertex_bytes_read");
+  s.offchip_vertex_bytes_written = f.u64("stats.offchip_vertex_bytes_written");
+  s.offchip_vertex_random_reads = f.u64("stats.offchip_vertex_random_reads");
+  s.offchip_vertex_random_writes = f.u64("stats.offchip_vertex_random_writes");
+  s.sram_random_reads = f.u64("stats.sram_random_reads");
+  s.sram_random_writes = f.u64("stats.sram_random_writes");
+  s.sram_fill_bytes = f.u64("stats.sram_fill_bytes");
+  s.sram_drain_bytes = f.u64("stats.sram_drain_bytes");
+  s.router_hops = f.u64("stats.router_hops");
+  s.edge_ops = f.u64("stats.edge_ops");
+  s.vertex_ops = f.u64("stats.vertex_ops");
+  s.interval_loads = f.u64("stats.interval_loads");
+  s.interval_writebacks = f.u64("stats.interval_writebacks");
+
+  r.bpg.gated_background_pj = f.num("power_gating.gated_background_pj");
+  r.bpg.ungated_background_pj = f.num("power_gating.ungated_background_pj");
+  r.bpg.wake_energy_pj = f.num("power_gating.wake_energy_pj");
+  r.bpg.exposed_wake_time_ns = f.num("power_gating.exposed_wake_time_ns");
+  r.bpg.bank_wakes = f.u64("power_gating.bank_wakes");
+
+  // The derived fields must agree with the reconstructed components
+  // (looser than the write precision: the totals re-sum rounded parts).
+  if (!close(f.num("energy_pj"), r.total_energy_pj(), 1e-6) ||
+      !close(f.num("mteps"), r.mteps(), 1e-6) ||
+      !close(f.num("mteps_per_watt"), r.mteps_per_watt(), 1e-6))
+    throw std::runtime_error(
+        "run_report_from_json: derived fields inconsistent with components");
+  return r;
+}
+
+bool reports_equivalent(const RunReport& a, const RunReport& b,
+                        double rel_tol) {
+  if (a.config_label != b.config_label || a.algorithm != b.algorithm ||
+      a.num_intervals != b.num_intervals || a.iterations != b.iterations ||
+      a.edges_traversed != b.edges_traversed)
+    return false;
+  if (!close(a.exec_time_ns, b.exec_time_ns, rel_tol) ||
+      !close(a.streaming_time_ns, b.streaming_time_ns, rel_tol))
+    return false;
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(EnergyComponent::kCount); ++i) {
+    const auto c = static_cast<EnergyComponent>(i);
+    if (!close(a.energy[c], b.energy[c], rel_tol)) return false;
+  }
+  const AccessStats& x = a.stats;
+  const AccessStats& y = b.stats;
+  if (x.edge_bytes_read != y.edge_bytes_read ||
+      x.edge_stream_passes != y.edge_stream_passes ||
+      x.offchip_vertex_bytes_read != y.offchip_vertex_bytes_read ||
+      x.offchip_vertex_bytes_written != y.offchip_vertex_bytes_written ||
+      x.offchip_vertex_random_reads != y.offchip_vertex_random_reads ||
+      x.offchip_vertex_random_writes != y.offchip_vertex_random_writes ||
+      x.sram_random_reads != y.sram_random_reads ||
+      x.sram_random_writes != y.sram_random_writes ||
+      x.sram_fill_bytes != y.sram_fill_bytes ||
+      x.sram_drain_bytes != y.sram_drain_bytes ||
+      x.router_hops != y.router_hops || x.edge_ops != y.edge_ops ||
+      x.vertex_ops != y.vertex_ops || x.interval_loads != y.interval_loads ||
+      x.interval_writebacks != y.interval_writebacks)
+    return false;
+  return close(a.bpg.gated_background_pj, b.bpg.gated_background_pj,
+               rel_tol) &&
+         close(a.bpg.ungated_background_pj, b.bpg.ungated_background_pj,
+               rel_tol) &&
+         close(a.bpg.wake_energy_pj, b.bpg.wake_energy_pj, rel_tol) &&
+         close(a.bpg.exposed_wake_time_ns, b.bpg.exposed_wake_time_ns,
+               rel_tol) &&
+         a.bpg.bank_wakes == b.bpg.bank_wakes;
 }
 
 }  // namespace hyve

@@ -13,10 +13,25 @@
 
 namespace hyve {
 
-// Writes one report as a single-line JSON object.
+// Writes one report as a single-line JSON object. The schema is complete:
+// run_report_from_json() recovers every RunReport field.
 void write_report_json(std::ostream& os, const RunReport& report);
 
 // Convenience: the JSON text.
 std::string report_to_json(const RunReport& report);
+
+// Inverse of write_report_json(). Parses one JSON object produced by it
+// (unknown keys are ignored, so the schema can grow) and rebuilds the
+// RunReport. Throws std::runtime_error on malformed input or when the
+// record's derived fields (energy_pj, mteps) are inconsistent with its
+// components. The sweep engine's ResultSink round-trips every record it
+// emits through this to guarantee the output stays machine-readable.
+RunReport run_report_from_json(const std::string& json);
+
+// Field-by-field equality with relative tolerance `rel_tol` on doubles
+// (serialisation rounds to 12 significant digits); exact on integers and
+// strings.
+bool reports_equivalent(const RunReport& a, const RunReport& b,
+                        double rel_tol = 1e-9);
 
 }  // namespace hyve

@@ -1,0 +1,98 @@
+#include "exp/cache.hpp"
+
+#include "util/check.hpp"
+
+namespace hyve::exp {
+
+GraphCache::GraphCache() {
+  for (const DatasetId id : kAllDatasets) {
+    auto entry = std::make_unique<Entry>();
+    entry->build = [id]() -> const Graph& { return dataset_graph(id); };
+    base_.emplace(dataset_name(id), std::move(entry));
+  }
+}
+
+void GraphCache::add(const std::string& key, std::function<Graph()> make) {
+  const std::scoped_lock lock(mu_);
+  auto entry = std::make_unique<Entry>();
+  Entry* e = entry.get();
+  e->build = [e, make = std::move(make)]() -> const Graph& {
+    e->owned = std::make_unique<Graph>(make());
+    return *e->owned;
+  };
+  const bool inserted = base_.emplace(key, std::move(entry)).second;
+  HYVE_CHECK_MSG(inserted, "graph key already registered: " << key);
+}
+
+void GraphCache::add(const std::string& key, Graph graph) {
+  auto holder = std::make_shared<Graph>(std::move(graph));
+  add(key, [holder] { return Graph(*holder); });
+}
+
+bool GraphCache::contains(const std::string& key) const {
+  const std::scoped_lock lock(mu_);
+  return base_.count(key) > 0;
+}
+
+GraphCache::Entry& GraphCache::entry_for(const std::string& key) {
+  const std::scoped_lock lock(mu_);
+  const auto it = base_.find(key);
+  HYVE_CHECK_MSG(it != base_.end(), "unknown graph key: " << key);
+  return *it->second;
+}
+
+const Graph& GraphCache::materialise(Entry& entry) {
+  std::call_once(entry.once, [&] {
+    entry.graph = &entry.build();
+    ++loads_;
+  });
+  return *entry.graph;
+}
+
+const Graph& GraphCache::base(const std::string& key) {
+  return materialise(entry_for(key));
+}
+
+const Graph& GraphCache::balanced(const std::string& key,
+                                  std::uint64_t seed) {
+  const Graph& source = base(key);
+  Entry* entry;
+  {
+    const std::scoped_lock lock(mu_);
+    auto& slot = balanced_[{key, seed}];
+    if (!slot) {
+      slot = std::make_unique<Entry>();
+      Entry* e = slot.get();
+      e->build = [e, &source, seed]() -> const Graph& {
+        e->owned = std::make_unique<Graph>(source.hashed_remap(seed));
+        return *e->owned;
+      };
+    }
+    entry = slot.get();
+  }
+  return materialise(*entry);
+}
+
+const Partitioning& PartitionCache::get(const std::string& key,
+                                        const Graph& graph,
+                                        std::uint32_t num_intervals) {
+  Entry* entry;
+  {
+    const std::scoped_lock lock(mu_);
+    auto& slot = entries_[{key, num_intervals}];
+    if (!slot) slot = std::make_unique<Entry>();
+    entry = slot.get();
+  }
+  std::call_once(entry->once, [&] {
+    entry->partitioning = std::make_unique<Partitioning>(graph, num_intervals);
+    ++builds_;
+  });
+  const Partitioning& p = *entry->partitioning;
+  HYVE_CHECK_MSG(p.num_vertices() == graph.num_vertices() &&
+                     p.num_edges() == graph.num_edges(),
+                 "partition cache key \"" << key
+                                          << "\" reused for a different graph");
+  return p;
+}
+
+}  // namespace hyve::exp

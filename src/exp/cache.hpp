@@ -1,0 +1,99 @@
+// Memoising graph and partition caches for the sweep engine (src/exp).
+//
+// A (config × algorithm × dataset) sweep re-uses the same few graphs in
+// every cell; before these caches each cell re-loaded the graph,
+// re-applied the §4.3 hash-balancing remap and re-ran the counting-sort
+// partitioner. Both caches are safe for concurrent use by the engine's
+// worker pool: entries are created under a short map lock and built
+// exactly once via std::call_once, so two workers needing the same graph
+// share one build while workers needing different graphs proceed in
+// parallel.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "graph/datasets.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+
+namespace hyve::exp {
+
+// Graphs keyed by a caller-chosen string. The five built-in datasets are
+// pre-registered under their short names ("YT".."TW") and resolve through
+// dataset_graph()'s process-wide store, so they are never duplicated.
+class GraphCache {
+ public:
+  GraphCache();
+
+  // Registers a lazily-built graph under `key` (throws if taken).
+  void add(const std::string& key, std::function<Graph()> make);
+  // Registers an already-built graph (stored by move).
+  void add(const std::string& key, Graph graph);
+
+  bool contains(const std::string& key) const;
+
+  // The registered graph, built on first use.
+  const Graph& base(const std::string& key);
+
+  // The hashed_remap(seed) image of `key` (§4.3 balancing), memoised per
+  // (key, seed) — one remap per sweep instead of one per cell.
+  const Graph& balanced(const std::string& key, std::uint64_t seed);
+
+  // Cache key of the balanced image, also used by PartitionCache.
+  static std::string balanced_key(const std::string& key,
+                                  std::uint64_t seed) {
+    return key + "#balanced:" + std::to_string(seed);
+  }
+
+  // Number of graphs materialised so far (builds, not hits).
+  std::size_t loads() const { return loads_.load(); }
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    std::function<const Graph&()> build;  // resolves or builds the graph
+    std::unique_ptr<Graph> owned;         // set when the cache owns it
+    const Graph* graph = nullptr;
+  };
+
+  Entry& entry_for(const std::string& key);
+  const Graph& materialise(Entry& entry);
+
+  mutable std::mutex mu_;  // guards the maps, not graph construction
+  std::map<std::string, std::unique_ptr<Entry>> base_;
+  std::map<std::pair<std::string, std::uint64_t>, std::unique_ptr<Entry>>
+      balanced_;
+  std::atomic<std::size_t> loads_{0};
+};
+
+// Interval-block partitionings keyed by (graph key, P). The caller
+// guarantees `key` uniquely identifies the graph's edge layout — use
+// GraphCache keys (and GraphCache::balanced_key for remapped images).
+class PartitionCache {
+ public:
+  const Partitioning& get(const std::string& key, const Graph& graph,
+                          std::uint32_t num_intervals);
+
+  // Number of partitionings built so far (builds, not hits).
+  std::size_t builds() const { return builds_.load(); }
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    std::unique_ptr<Partitioning> partitioning;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, std::uint32_t>, std::unique_ptr<Entry>>
+      entries_;
+  std::atomic<std::size_t> builds_{0};
+};
+
+}  // namespace hyve::exp

@@ -1,0 +1,158 @@
+#include "exp/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+#include "core/report_io.hpp"
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace hyve::exp {
+
+SweepSpec SweepSpec::full_grid() {
+  SweepSpec spec;
+  spec.configs = fig16_accelerator_configs();
+  spec.algorithms.assign(std::begin(kCoreAlgorithms),
+                         std::end(kCoreAlgorithms));
+  for (const DatasetId id : kAllDatasets)
+    spec.graphs.push_back(dataset_name(id));
+  return spec;
+}
+
+std::vector<SweepCell> expand(const SweepSpec& spec) {
+  HYVE_CHECK_MSG(!spec.configs.empty() && !spec.algorithms.empty() &&
+                     !spec.graphs.empty(),
+                 "sweep spec has an empty axis");
+  std::vector<SweepCell> cells;
+  cells.reserve(spec.size());
+  for (const HyveConfig& config : spec.configs)
+    for (const Algorithm algorithm : spec.algorithms)
+      for (const std::string& graph : spec.graphs)
+        cells.push_back({cells.size(), config, algorithm, graph});
+  return cells;
+}
+
+RunReport run_cached(GraphCache& graphs, PartitionCache& partitions,
+                     const HyveConfig& config, Algorithm algorithm,
+                     const std::string& graph_key) {
+  const HyveMachine machine(config);
+  const auto program = make_program(algorithm);
+  const Graph* graph = &graphs.base(graph_key);
+  std::string schedule_key = graph_key;
+  if (config.hash_balance) {
+    graph = &graphs.balanced(graph_key, config.hash_balance_seed);
+    schedule_key =
+        GraphCache::balanced_key(graph_key, config.hash_balance_seed);
+  }
+  const std::uint32_t p =
+      machine.choose_num_intervals(*graph, program->vertex_value_bytes());
+  const Partitioning& schedule = partitions.get(schedule_key, *graph, p);
+  return machine.run_with_schedule(*graph, schedule, *program);
+}
+
+std::optional<ResultSink::Format> ResultSink::parse_format(
+    const std::string& name) {
+  if (name == "jsonl" || name == "json") return Format::kJsonl;
+  if (name == "csv") return Format::kCsv;
+  return std::nullopt;
+}
+
+ResultSink::ResultSink(std::ostream& os, Format format, bool annotate_graph)
+    : os_(os), format_(format), annotate_graph_(annotate_graph) {
+  if (format_ == Format::kCsv)
+    os_ << "config,algorithm,graph,num_intervals,iterations,"
+           "edges_traversed,exec_time_ns,energy_pj,mteps,mteps_per_watt\n";
+}
+
+void ResultSink::write(const SweepCell& cell, const RunReport& report) {
+  RunReport annotated = report;
+  if (annotate_graph_ && format_ == Format::kJsonl)
+    annotated.config_label += "@" + cell.graph_key;
+
+  // Round-trip every record through the parser before emitting it: a
+  // sweep must never produce output the tooling cannot read back.
+  const std::string json = report_to_json(annotated);
+  const RunReport parsed = run_report_from_json(json);
+  HYVE_CHECK_MSG(reports_equivalent(parsed, annotated),
+                 "record failed JSON round-trip validation: "
+                     << annotated.config_label << "/" << annotated.algorithm);
+
+  if (format_ == Format::kJsonl) {
+    os_ << json << '\n';
+  } else {
+    os_ << annotated.config_label << ',' << annotated.algorithm << ','
+        << cell.graph_key << ',' << annotated.num_intervals << ','
+        << annotated.iterations << ',' << annotated.edges_traversed << ','
+        << Table::num(annotated.exec_time_ns, 0) << ','
+        << Table::num(annotated.total_energy_pj(), 0) << ','
+        << Table::num(annotated.mteps(), 1) << ','
+        << Table::num(annotated.mteps_per_watt(), 1) << '\n';
+  }
+  ++records_;
+}
+
+std::vector<SweepResult> SweepEngine::run(const SweepSpec& spec,
+                                          const SweepOptions& options,
+                                          ResultSink* sink) {
+  const std::vector<SweepCell> cells = expand(spec);
+  const std::size_t n = cells.size();
+  std::vector<std::optional<RunReport>> reports(n);
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
+  std::mutex mu;  // guards reports[], flushed and first_error
+  std::size_t flushed = 0;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    while (!abort.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        RunReport report = run_cached(graphs_, partitions_, cells[i].config,
+                                      cells[i].algorithm, cells[i].graph_key);
+        const std::scoped_lock lock(mu);
+        reports[i] = std::move(report);
+        // Emit the completed prefix; later cells wait their turn so the
+        // output order never depends on thread scheduling.
+        while (flushed < n && reports[flushed].has_value()) {
+          if (sink != nullptr) sink->write(cells[flushed], *reports[flushed]);
+          ++flushed;
+        }
+      } catch (...) {
+        const std::scoped_lock lock(mu);
+        if (!first_error) first_error = std::current_exception();
+        abort.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::size_t jobs =
+      options.jobs > 0
+          ? static_cast<std::size_t>(options.jobs)
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  jobs = std::min(jobs, std::max<std::size_t>(n, 1));
+
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  std::vector<SweepResult> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back({cells[i], std::move(*reports[i])});
+  return out;
+}
+
+}  // namespace hyve::exp

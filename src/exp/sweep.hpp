@@ -1,0 +1,107 @@
+// Parallel experiment sweeps (the engine behind tools/hyve_experiments,
+// examples/design_space_explorer and the bench harness's dataset grids).
+//
+// A SweepSpec declares a (configs × algorithms × graphs) grid; the
+// SweepEngine runs its cells on a pool of worker threads pulling from an
+// atomic work queue, sharing one GraphCache/PartitionCache so each graph
+// is loaded, hash-balanced and partitioned once per sweep instead of
+// once per cell. Cell execution is deterministic and results are handed
+// to the ResultSink in cell order regardless of thread count, so
+// `--jobs 8` output is byte-identical to `--jobs 1`.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/machine.hpp"
+#include "exp/cache.hpp"
+
+namespace hyve::exp {
+
+// Declarative grid. Expansion order is row-major with configs outermost
+// and graphs innermost — the order the serial tools always used.
+struct SweepSpec {
+  std::vector<HyveConfig> configs;
+  std::vector<Algorithm> algorithms;
+  std::vector<std::string> graphs;  // GraphCache keys
+
+  // The full built-in grid of tools/hyve_experiments: the Fig. 16
+  // accelerator configs × core algorithms × five datasets.
+  static SweepSpec full_grid();
+
+  std::size_t size() const {
+    return configs.size() * algorithms.size() * graphs.size();
+  }
+};
+
+struct SweepCell {
+  std::size_t index = 0;  // position in expansion order
+  HyveConfig config;
+  Algorithm algorithm;
+  std::string graph_key;
+};
+
+// Expands the grid into cells (validates that every axis is non-empty).
+std::vector<SweepCell> expand(const SweepSpec& spec);
+
+// Runs one cell through the caches. Produces a report identical to
+// HyveMachine(config).run(graph, algorithm).
+RunReport run_cached(GraphCache& graphs, PartitionCache& partitions,
+                     const HyveConfig& config, Algorithm algorithm,
+                     const std::string& graph_key);
+
+// Thread-safe, order-stable record writer. The engine calls write() in
+// strict cell order; every record is round-tripped through
+// run_report_from_json() before it is emitted, so a sweep can never
+// produce output the tooling cannot read back.
+class ResultSink {
+ public:
+  enum class Format { kJsonl, kCsv };
+  static std::optional<Format> parse_format(const std::string& name);
+
+  // `annotate_graph` appends "@<graph>" to the config label of emitted
+  // records (the historical hyve_experiments convention).
+  ResultSink(std::ostream& os, Format format, bool annotate_graph = true);
+
+  void write(const SweepCell& cell, const RunReport& report);
+  std::size_t records() const { return records_; }
+
+ private:
+  std::ostream& os_;
+  Format format_;
+  bool annotate_graph_;
+  std::size_t records_ = 0;
+};
+
+struct SweepOptions {
+  int jobs = 0;  // worker threads; 0 → hardware concurrency
+};
+
+struct SweepResult {
+  SweepCell cell;
+  RunReport report;
+};
+
+class SweepEngine {
+ public:
+  SweepEngine(GraphCache& graphs, PartitionCache& partitions)
+      : graphs_(graphs), partitions_(partitions) {}
+
+  // Runs every cell of `spec` and returns the reports in cell order. If
+  // `sink` is non-null each result is also written to it, in cell order,
+  // as soon as its prefix is complete. Rethrows the first cell failure
+  // after the pool drains.
+  std::vector<SweepResult> run(const SweepSpec& spec,
+                               const SweepOptions& options = {},
+                               ResultSink* sink = nullptr);
+
+ private:
+  GraphCache& graphs_;
+  PartitionCache& partitions_;
+};
+
+}  // namespace hyve::exp

@@ -1,6 +1,7 @@
 #include "graph/datasets.hpp"
 
 #include <array>
+#include <cctype>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
@@ -86,5 +87,18 @@ const Graph& dataset_graph(DatasetId id) {
 }
 
 std::string dataset_name(DatasetId id) { return dataset_spec(id).name; }
+
+std::optional<DatasetId> parse_dataset(const std::string& name) {
+  auto upper = [](const std::string& s) {
+    std::string out = s;
+    for (char& c : out)
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    return out;
+  };
+  const std::string needle = upper(name);
+  for (const DatasetId id : kAllDatasets)
+    if (needle == dataset_name(id)) return id;
+  return std::nullopt;
+}
 
 }  // namespace hyve

@@ -12,6 +12,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "graph/generators.hpp"
@@ -45,5 +46,9 @@ const DatasetSpec& dataset_spec(DatasetId id);
 const Graph& dataset_graph(DatasetId id);
 
 std::string dataset_name(DatasetId id);
+
+// Inverse of dataset_name(): "YT" (case-insensitive) → kYT. The single
+// source of truth for string→DatasetId mapping.
+std::optional<DatasetId> parse_dataset(const std::string& name);
 
 }  // namespace hyve

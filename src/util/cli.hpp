@@ -1,0 +1,155 @@
+// Minimal command-line parser shared by the hyve_* tools and the sweep
+// engine drivers. Replaces the three hand-rolled argv loops that used to
+// live in tools/: options are registered with a handler, --help and
+// unknown-option reporting are uniform, and parse errors exit with the
+// historical status 2.
+//
+//   cli::ArgParser parser("hyve_sim", "drive the HyVE simulator");
+//   parser.option("--dataset", "NAME", "built-in dataset",
+//                 [&](const std::string& v) { ... });
+//   parser.flag("--compare", "also run the baselines", &compare);
+//   parser.parse(argc, argv);
+//
+// Handlers may call parser.fail("unknown dataset " + v) to reject a
+// value with the standard usage message.
+#pragma once
+
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hyve::cli {
+
+inline std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, ',')) out.push_back(item);
+  return out;
+}
+
+class ArgParser {
+ public:
+  ArgParser(std::string prog, std::string summary)
+      : prog_(std::move(prog)), summary_(std::move(summary)) {}
+
+  // --name VALUE option; the handler receives the value.
+  ArgParser& option(std::string name, std::string value_name,
+                    std::string help,
+                    std::function<void(const std::string&)> handler) {
+    options_.push_back({std::move(name), std::move(value_name),
+                        std::move(help), std::move(handler), {}});
+    return *this;
+  }
+
+  // Valueless --name flag.
+  ArgParser& flag(std::string name, std::string help,
+                  std::function<void()> handler) {
+    options_.push_back(
+        {std::move(name), "", std::move(help), {}, std::move(handler)});
+    return *this;
+  }
+
+  ArgParser& flag(std::string name, std::string help, bool* target) {
+    return flag(std::move(name), std::move(help), [target] { *target = true; });
+  }
+
+  // Free-form usage lines shown before the option list, for tools whose
+  // interface is positional modes (e.g. hyve_graphgen).
+  ArgParser& positional_usage(std::string text) {
+    positional_usage_ = std::move(text);
+    return *this;
+  }
+
+  // Accept up to `max` non-option arguments (default: none).
+  ArgParser& allow_positionals(std::size_t max) {
+    max_positionals_ = max;
+    return *this;
+  }
+
+  void parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        std::cout << usage();
+        std::exit(0);
+      }
+      const Opt* opt = find(arg);
+      if (opt != nullptr) {
+        if (opt->on_value) {
+          if (i + 1 >= argc) fail(arg + " needs a value");
+          opt->on_value(argv[++i]);
+        } else {
+          opt->on_set();
+        }
+      } else if (!arg.empty() && arg.front() == '-') {
+        fail("unknown option " + arg);
+      } else if (positionals_.size() < max_positionals_) {
+        positionals_.push_back(arg);
+      } else {
+        fail("unexpected argument " + arg);
+      }
+    }
+  }
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  std::string usage() const {
+    std::ostringstream os;
+    os << "usage: " << prog_;
+    if (!positional_usage_.empty()) {
+      os << '\n' << positional_usage_;
+      if (positional_usage_.back() != '\n') os << '\n';
+    } else {
+      os << " [options]\n";
+    }
+    if (!summary_.empty()) os << summary_ << '\n';
+    if (!options_.empty()) {
+      os << "options:\n";
+      std::size_t width = 0;
+      for (const Opt& o : options_) width = std::max(width, head(o).size());
+      for (const Opt& o : options_) {
+        const std::string h = head(o);
+        os << "  " << h << std::string(width - h.size() + 2, ' ') << o.help
+           << '\n';
+      }
+    }
+    return os.str();
+  }
+
+  [[noreturn]] void fail(const std::string& error) const {
+    std::cerr << "error: " << error << "\n" << usage();
+    std::exit(2);
+  }
+
+ private:
+  struct Opt {
+    std::string name;
+    std::string value_name;
+    std::string help;
+    std::function<void(const std::string&)> on_value;  // set for options
+    std::function<void()> on_set;                      // set for flags
+  };
+
+  const Opt* find(const std::string& name) const {
+    for (const Opt& o : options_)
+      if (o.name == name) return &o;
+    return nullptr;
+  }
+
+  static std::string head(const Opt& o) {
+    return o.value_name.empty() ? o.name : o.name + " " + o.value_name;
+  }
+
+  std::string prog_;
+  std::string summary_;
+  std::string positional_usage_;
+  std::size_t max_positionals_ = 0;
+  std::vector<Opt> options_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace hyve::cli

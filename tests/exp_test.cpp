@@ -1,0 +1,256 @@
+// Sweep engine (src/exp): cache correctness, determinism across thread
+// counts, order-stable sinks, and the RunReport JSON round-trip that
+// guards every record the sink writes. Runs under TSan in CI via the
+// "sweep-engine" ctest label.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/report_io.hpp"
+#include "exp/sweep.hpp"
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+
+namespace hyve {
+namespace {
+
+void add_test_graphs(exp::GraphCache& cache) {
+  cache.add("g1", [] { return generate_rmat(12000, 70000, {}, 101); });
+  cache.add("g2", [] { return generate_erdos_renyi(12000, 70000, 103); });
+}
+
+exp::SweepSpec small_spec() {
+  exp::SweepSpec spec;
+  spec.configs = {HyveConfig::hyve_opt(), HyveConfig::sram_dram(),
+                  HyveConfig::acc_dram()};
+  spec.algorithms = {Algorithm::kBfs, Algorithm::kPageRank};
+  spec.graphs = {"g1", "g2"};
+  return spec;
+}
+
+std::string sweep_output(const exp::SweepSpec& spec, int jobs,
+                         exp::ResultSink::Format format) {
+  exp::GraphCache graphs;
+  add_test_graphs(graphs);
+  exp::PartitionCache partitions;
+  exp::SweepEngine engine(graphs, partitions);
+  std::ostringstream os;
+  exp::ResultSink sink(os, format);
+  exp::SweepOptions options;
+  options.jobs = jobs;
+  engine.run(spec, options, &sink);
+  return os.str();
+}
+
+TEST(SweepEngine, ParallelOutputIdenticalToSerial) {
+  const exp::SweepSpec spec = small_spec();
+  const std::string serial =
+      sweep_output(spec, 1, exp::ResultSink::Format::kJsonl);
+  const std::string parallel =
+      sweep_output(spec, 8, exp::ResultSink::Format::kJsonl);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+  // One line per cell, in cell order.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(serial.begin(), serial.end(), '\n')),
+            spec.size());
+}
+
+TEST(SweepEngine, ParallelCsvIdenticalToSerial) {
+  const exp::SweepSpec spec = small_spec();
+  EXPECT_EQ(sweep_output(spec, 1, exp::ResultSink::Format::kCsv),
+            sweep_output(spec, 8, exp::ResultSink::Format::kCsv));
+}
+
+TEST(SweepEngine, CachedRunMatchesUncachedRun) {
+  exp::GraphCache graphs;
+  add_test_graphs(graphs);
+  exp::PartitionCache partitions;
+
+  std::vector<HyveConfig> configs = {HyveConfig::hyve_opt(),
+                                     HyveConfig::hyve(),
+                                     HyveConfig::acc_dram()};
+  HyveConfig frontier = HyveConfig::hyve_opt();
+  frontier.frontier_block_skipping = true;
+  frontier.label = "frontier";
+  configs.push_back(frontier);
+  HyveConfig unbalanced = HyveConfig::hyve_opt();
+  unbalanced.hash_balance = false;
+  unbalanced.label = "unbalanced";
+  configs.push_back(unbalanced);
+
+  for (const HyveConfig& cfg : configs) {
+    for (const Algorithm algo : {Algorithm::kBfs, Algorithm::kPageRank}) {
+      const RunReport cached =
+          exp::run_cached(graphs, partitions, cfg, algo, "g1");
+      const RunReport direct =
+          HyveMachine(cfg).run(graphs.base("g1"), algo);
+      EXPECT_EQ(report_to_json(cached), report_to_json(direct))
+          << cfg.label << "/" << algorithm_name(algo);
+    }
+  }
+}
+
+TEST(SweepEngine, CachesBuildEachArtifactOnce) {
+  exp::GraphCache graphs;
+  add_test_graphs(graphs);
+  exp::PartitionCache partitions;
+  exp::SweepEngine engine(graphs, partitions);
+
+  exp::SweepSpec spec = small_spec();
+  exp::SweepOptions options;
+  options.jobs = 4;
+  engine.run(spec, options);
+
+  // g1 + g2 + one hash-balanced image each (every config shares the
+  // default seed).
+  EXPECT_EQ(graphs.loads(), 4u);
+  const std::size_t first = partitions.builds();
+  EXPECT_GT(first, 0u);
+  // All 12 cells share partitionings: at most one per (graph, config
+  // family, value width), far fewer than the cell count.
+  EXPECT_LT(first, spec.size());
+
+  // A second identical sweep hits every cache.
+  engine.run(spec, options);
+  EXPECT_EQ(graphs.loads(), 4u);
+  EXPECT_EQ(partitions.builds(), first);
+}
+
+TEST(SweepEngine, GraphCacheBuildsOnceUnderConcurrency) {
+  exp::GraphCache cache;
+  std::atomic<int> builds{0};
+  cache.add("shared", [&builds] {
+    ++builds;
+    return generate_rmat(2000, 8000, {}, 7);
+  });
+  std::vector<std::thread> pool;
+  for (int i = 0; i < 8; ++i)
+    pool.emplace_back([&cache] {
+      for (int j = 0; j < 4; ++j) {
+        const Graph& g = cache.base("shared");
+        EXPECT_EQ(g.num_vertices(), 2000u);
+        cache.balanced("shared", 42);
+      }
+    });
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(builds.load(), 1);
+  EXPECT_EQ(cache.loads(), 2u);  // base + one balanced image
+}
+
+TEST(SweepEngine, PropagatesCellFailures) {
+  exp::GraphCache graphs;
+  graphs.add("tiny", [] { return generate_rmat(4, 8, {}, 1); });
+  exp::PartitionCache partitions;
+  exp::SweepEngine engine(graphs, partitions);
+  exp::SweepSpec spec;
+  spec.configs = {HyveConfig::hyve_opt()};  // 8 PUs > 4 vertices
+  spec.algorithms = {Algorithm::kBfs};
+  spec.graphs = {"tiny"};
+  EXPECT_THROW(engine.run(spec), InvariantError);
+}
+
+TEST(SweepEngine, SinkAnnotatesGraphAndValidates) {
+  exp::SweepSpec spec;
+  spec.configs = {HyveConfig::hyve_opt()};
+  spec.algorithms = {Algorithm::kBfs};
+  spec.graphs = {"g1"};
+  const std::string out =
+      sweep_output(spec, 1, exp::ResultSink::Format::kJsonl);
+  EXPECT_NE(out.find("\"acc+HyVE-opt@g1\""), std::string::npos);
+  const RunReport parsed = run_report_from_json(out);
+  EXPECT_EQ(parsed.config_label, "acc+HyVE-opt@g1");
+  EXPECT_EQ(parsed.algorithm, "BFS");
+}
+
+TEST(SweepEngine, CsvHasHeaderAndOneRowPerCell) {
+  const exp::SweepSpec spec = small_spec();
+  const std::string out =
+      sweep_output(spec, 2, exp::ResultSink::Format::kCsv);
+  std::istringstream is(out);
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line,
+            "config,algorithm,graph,num_intervals,iterations,"
+            "edges_traversed,exec_time_ns,energy_pj,mteps,mteps_per_watt");
+  std::size_t rows = 0;
+  while (std::getline(is, line)) ++rows;
+  EXPECT_EQ(rows, spec.size());
+}
+
+TEST(ReportRoundTrip, RecoversEveryField) {
+  const Graph g = generate_rmat(10000, 60000, {}, 31337);
+  for (const HyveConfig& cfg :
+       {HyveConfig::hyve_opt(), HyveConfig::acc_dram()}) {
+    const RunReport r = HyveMachine(cfg).run(g, Algorithm::kPageRank);
+    const RunReport back = run_report_from_json(report_to_json(r));
+    EXPECT_TRUE(reports_equivalent(back, r)) << cfg.label;
+    EXPECT_EQ(back.config_label, r.config_label);
+    EXPECT_EQ(back.stats.edge_bytes_read, r.stats.edge_bytes_read);
+    EXPECT_EQ(back.stats.interval_writebacks, r.stats.interval_writebacks);
+    EXPECT_EQ(back.bpg.bank_wakes, r.bpg.bank_wakes);
+    EXPECT_NEAR(back.streaming_time_ns, r.streaming_time_ns,
+                1e-6 * (r.streaming_time_ns + 1));
+  }
+}
+
+TEST(ReportRoundTrip, RejectsMalformedInput) {
+  EXPECT_THROW(run_report_from_json("not json"), std::runtime_error);
+  EXPECT_THROW(run_report_from_json("{\"config\":\"x\"}"),
+               std::runtime_error);
+  EXPECT_THROW(run_report_from_json("{\"config\":\"x\""),
+               std::runtime_error);
+}
+
+TEST(ReportRoundTrip, RejectsInconsistentDerivedFields) {
+  const Graph g = generate_rmat(10000, 60000, {}, 31337);
+  const RunReport r = HyveMachine(HyveConfig::hyve_opt()).run(g,
+                                                              Algorithm::kBfs);
+  std::string json = report_to_json(r);
+  const std::string key = "\"energy_pj\":";
+  const auto pos = json.find(key);
+  ASSERT_NE(pos, std::string::npos);
+  json.replace(pos, key.size(), "\"energy_pj\":1e30,\"was_energy_pj\":");
+  EXPECT_THROW(run_report_from_json(json), std::runtime_error);
+}
+
+TEST(ParseHelpers, AlgorithmRoundTrip) {
+  for (const Algorithm a : kAllAlgorithms) {
+    const auto parsed = parse_algorithm(algorithm_name(a));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, a);
+  }
+  EXPECT_EQ(parse_algorithm("pr"), Algorithm::kPageRank);
+  EXPECT_EQ(parse_algorithm("SPMV"), Algorithm::kSpmv);
+  EXPECT_FALSE(parse_algorithm("dijkstra").has_value());
+}
+
+TEST(ParseHelpers, DatasetRoundTrip) {
+  for (const DatasetId id : kAllDatasets) {
+    const auto parsed = parse_dataset(dataset_name(id));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, id);
+  }
+  EXPECT_EQ(parse_dataset("yt"), DatasetId::kYT);
+  EXPECT_FALSE(parse_dataset("XX").has_value());
+}
+
+TEST(ParseHelpers, ConfigLabelRoundTrip) {
+  for (const HyveConfig& cfg : fig16_accelerator_configs()) {
+    const auto by_label = parse_config_label(cfg.label);
+    ASSERT_TRUE(by_label.has_value()) << cfg.label;
+    EXPECT_EQ(by_label->label, cfg.label);
+    EXPECT_EQ(by_label->edge_memory_tech, cfg.edge_memory_tech);
+    EXPECT_EQ(by_label->sram_bytes_per_pu, cfg.sram_bytes_per_pu);
+  }
+  EXPECT_EQ(parse_config_label("opt")->label, "acc+HyVE-opt");
+  EXPECT_EQ(parse_config_label("sd")->label, "acc+SRAM+DRAM");
+  EXPECT_FALSE(parse_config_label("bogus").has_value());
+}
+
+}  // namespace
+}  // namespace hyve

@@ -3,8 +3,11 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "util/check.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -182,6 +185,46 @@ TEST(Check, ThrowsWithLocation) {
 
 TEST(Check, PassesSilently) {
   EXPECT_NO_THROW(HYVE_CHECK(true));
+}
+
+// ---------- cli::ArgParser ----------
+
+TEST(Cli, SplitCsv) {
+  EXPECT_EQ(cli::split_csv("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(cli::split_csv("one"), (std::vector<std::string>{"one"}));
+  EXPECT_TRUE(cli::split_csv("").empty());
+}
+
+TEST(Cli, ParsesOptionsFlagsAndPositionals) {
+  cli::ArgParser parser("prog", "summary");
+  std::string dataset;
+  bool verbose = false;
+  parser.option("--dataset", "NAME", "pick one",
+                [&](const std::string& v) { dataset = v; });
+  parser.flag("--verbose", "say more", &verbose);
+  parser.allow_positionals(2);
+
+  std::vector<std::string> args = {"prog", "--dataset", "YT", "--verbose",
+                                   "mode", "out.txt"};
+  std::vector<char*> argv;
+  for (std::string& a : args) argv.push_back(a.data());
+  parser.parse(static_cast<int>(argv.size()), argv.data());
+
+  EXPECT_EQ(dataset, "YT");
+  EXPECT_TRUE(verbose);
+  EXPECT_EQ(parser.positionals(),
+            (std::vector<std::string>{"mode", "out.txt"}));
+}
+
+TEST(Cli, UsageListsEveryOption) {
+  cli::ArgParser parser("prog", "does things");
+  parser.option("--input", "PATH", "the input", [](const std::string&) {});
+  parser.flag("--fast", "go fast", [] {});
+  const std::string usage = parser.usage();
+  EXPECT_NE(usage.find("usage: prog"), std::string::npos);
+  EXPECT_NE(usage.find("--input PATH"), std::string::npos);
+  EXPECT_NE(usage.find("--fast"), std::string::npos);
+  EXPECT_NE(usage.find("go fast"), std::string::npos);
 }
 
 }  // namespace

@@ -1,115 +1,98 @@
 // hyve_experiments — batch experiment driver emitting JSON lines.
 //
-// Runs a (configs x algorithms x datasets) grid and writes one JSON
-// object per run to stdout, for plotting scripts and CI dashboards:
+// Runs a (configs x algorithms x datasets) grid on the src/exp sweep
+// engine — a worker pool sharing one graph/partition cache — and writes
+// one record per run to stdout, for plotting scripts and CI dashboards:
 //
 //   hyve_experiments                      # full grid, built-in datasets
+//   hyve_experiments --jobs 8             # 8 worker threads, same output
 //   hyve_experiments --datasets YT,WK     # subset
 //   hyve_experiments --algos bfs,pr --configs opt,sd
 //   hyve_experiments --frontier           # add the block-skipping variant
+//   hyve_experiments --format csv         # spreadsheet-friendly table
+//
+// Output is deterministic and order-stable for any --jobs value.
 #include <iostream>
-#include <sstream>
 #include <string>
-#include <vector>
 
-#include "core/machine.hpp"
 #include "core/report_io.hpp"
+#include "exp/sweep.hpp"
 #include "graph/datasets.hpp"
-
-namespace {
-
-using namespace hyve;
-
-std::vector<std::string> split_csv(const std::string& s) {
-  std::vector<std::string> out;
-  std::istringstream is(s);
-  std::string item;
-  while (std::getline(is, item, ',')) out.push_back(item);
-  return out;
-}
-
-[[noreturn]] void usage(const std::string& error = "") {
-  if (!error.empty()) std::cerr << "error: " << error << "\n";
-  std::cerr << "usage: hyve_experiments [--datasets YT,WK,...] "
-               "[--algos bfs,cc,pr,sssp,spmv] "
-               "[--configs opt,hyve,sd,dram,reram] [--frontier]\n";
-  std::exit(error.empty() ? 0 : 2);
-}
-
-}  // namespace
+#include "util/cli.hpp"
 
 int main(int argc, char** argv) {
-  std::vector<DatasetId> datasets(kAllDatasets.begin(), kAllDatasets.end());
-  std::vector<Algorithm> algos(std::begin(kCoreAlgorithms),
-                               std::end(kCoreAlgorithms));
-  std::vector<HyveConfig> configs = fig16_accelerator_configs();
-  bool add_frontier = false;
+  using namespace hyve;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage(arg + " needs a value");
-      return argv[++i];
-    };
-    if (arg == "--help" || arg == "-h") {
-      usage();
-    } else if (arg == "--datasets") {
-      datasets.clear();
-      for (const std::string& name : split_csv(value())) {
-        bool found = false;
-        for (const DatasetId id : kAllDatasets)
-          if (name == dataset_name(id)) {
-            datasets.push_back(id);
-            found = true;
-          }
-        if (!found) usage("unknown dataset " + name);
-      }
-    } else if (arg == "--algos") {
-      algos.clear();
-      for (const std::string& name : split_csv(value())) {
-        if (name == "bfs") algos.push_back(Algorithm::kBfs);
-        else if (name == "cc") algos.push_back(Algorithm::kCc);
-        else if (name == "pr") algos.push_back(Algorithm::kPageRank);
-        else if (name == "sssp") algos.push_back(Algorithm::kSssp);
-        else if (name == "spmv") algos.push_back(Algorithm::kSpmv);
-        else usage("unknown algorithm " + name);
-      }
-    } else if (arg == "--configs") {
-      configs.clear();
-      for (const std::string& name : split_csv(value())) {
-        if (name == "opt") configs.push_back(HyveConfig::hyve_opt());
-        else if (name == "hyve") configs.push_back(HyveConfig::hyve());
-        else if (name == "sd") configs.push_back(HyveConfig::sram_dram());
-        else if (name == "dram") configs.push_back(HyveConfig::acc_dram());
-        else if (name == "reram") configs.push_back(HyveConfig::acc_reram());
-        else usage("unknown config " + name);
-      }
-    } else if (arg == "--frontier") {
-      add_frontier = true;
-    } else {
-      usage("unknown option " + arg);
-    }
-  }
+  exp::SweepSpec spec = exp::SweepSpec::full_grid();
+  bool add_frontier = false;
+  exp::SweepOptions options;
+  options.jobs = 1;  // historical default: serial
+  auto format = exp::ResultSink::Format::kJsonl;
+
+  cli::ArgParser parser("hyve_experiments",
+                        "run a (configs x algorithms x datasets) grid and "
+                        "emit one record per run");
+  parser.option("--datasets", "YT,WK,...", "datasets to sweep (default all)",
+                [&](const std::string& v) {
+                  spec.graphs.clear();
+                  for (const std::string& name : cli::split_csv(v)) {
+                    const auto id = parse_dataset(name);
+                    if (!id) parser.fail("unknown dataset " + name);
+                    spec.graphs.push_back(dataset_name(*id));
+                  }
+                });
+  parser.option("--algos", "bfs,cc,pr,sssp,spmv",
+                "algorithms to sweep (default bfs,cc,pr)",
+                [&](const std::string& v) {
+                  spec.algorithms.clear();
+                  for (const std::string& name : cli::split_csv(v)) {
+                    const auto algo = parse_algorithm(name);
+                    if (!algo) parser.fail("unknown algorithm " + name);
+                    spec.algorithms.push_back(*algo);
+                  }
+                });
+  parser.option("--configs", "opt,hyve,sd,dram,reram",
+                "machine configs to sweep (default all five)",
+                [&](const std::string& v) {
+                  spec.configs.clear();
+                  for (const std::string& name : cli::split_csv(v)) {
+                    const auto cfg = parse_config_label(name);
+                    if (!cfg) parser.fail("unknown config " + name);
+                    spec.configs.push_back(*cfg);
+                  }
+                });
+  parser.flag("--frontier", "add the block-skipping variant", &add_frontier);
+  parser.option("--jobs", "N",
+                "worker threads (0 = hardware concurrency; default 1)",
+                [&](const std::string& v) {
+                  try {
+                    options.jobs = std::stoi(v);
+                  } catch (const std::exception&) {
+                    parser.fail("--jobs expects an integer");
+                  }
+                  if (options.jobs < 0) parser.fail("--jobs expects N >= 0");
+                });
+  parser.option("--format", "jsonl|csv", "output format (default jsonl)",
+                [&](const std::string& v) {
+                  const auto f = exp::ResultSink::parse_format(v);
+                  if (!f) parser.fail("unknown format " + v);
+                  format = *f;
+                });
+  parser.parse(argc, argv);
 
   if (add_frontier) {
     HyveConfig frontier = HyveConfig::hyve_opt();
     frontier.frontier_block_skipping = true;
     frontier.label = "acc+HyVE-opt+frontier";
-    configs.push_back(frontier);
+    spec.configs.push_back(frontier);
   }
 
   try {
-    for (const HyveConfig& cfg : configs) {
-      const HyveMachine machine(cfg);
-      for (const Algorithm algo : algos) {
-        for (const DatasetId id : datasets) {
-          RunReport r = machine.run(dataset_graph(id), algo);
-          r.config_label += "@" + dataset_name(id);
-          write_report_json(std::cout, r);
-          std::cout << '\n';
-        }
-      }
-    }
+    exp::GraphCache graphs;
+    exp::PartitionCache partitions;
+    exp::SweepEngine engine(graphs, partitions);
+    exp::ResultSink sink(std::cout, format);
+    engine.run(spec, options, &sink);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -13,6 +13,7 @@
 #include "graph/datasets.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "util/cli.hpp"
 
 namespace {
 
@@ -33,44 +34,40 @@ Graph load(const std::string& path) {
   return load_edge_list_text(path);
 }
 
-[[noreturn]] void usage() {
-  std::cerr << "usage:\n"
-            << "  hyve_graphgen rmat V E OUT [seed]\n"
-            << "  hyve_graphgen er V E OUT [seed]\n"
-            << "  hyve_graphgen dataset YT|WK|AS|LJ|TW OUT\n"
-            << "  hyve_graphgen convert IN OUT\n";
-  std::exit(2);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) usage();
-  const std::string mode = argv[1];
+  cli::ArgParser parser("hyve_graphgen", "");
+  parser.positional_usage(
+      "  hyve_graphgen rmat V E OUT [seed]\n"
+      "  hyve_graphgen er V E OUT [seed]\n"
+      "  hyve_graphgen dataset YT|WK|AS|LJ|TW OUT\n"
+      "  hyve_graphgen convert IN OUT");
+  parser.allow_positionals(5);
+  parser.parse(argc, argv);
+
+  const std::vector<std::string>& args = parser.positionals();
+  if (args.size() < 2) parser.fail("missing arguments");
+  const std::string& mode = args[0];
   try {
     if (mode == "rmat" || mode == "er") {
-      if (argc < 5) usage();
-      const auto v = static_cast<VertexId>(std::stoull(argv[2]));
-      const auto e = std::stoull(argv[3]);
-      const std::uint64_t seed = argc > 5 ? std::stoull(argv[5]) : 1;
+      if (args.size() < 4) parser.fail(mode + " needs V E OUT");
+      const auto v = static_cast<VertexId>(std::stoull(args[1]));
+      const auto e = std::stoull(args[2]);
+      const std::uint64_t seed = args.size() > 4 ? std::stoull(args[4]) : 1;
       const Graph g = mode == "rmat" ? generate_rmat(v, e, {}, seed)
                                      : generate_erdos_renyi(v, e, seed);
-      save(g, argv[4]);
+      save(g, args[3]);
     } else if (mode == "dataset") {
-      if (argc < 4) usage();
-      const std::string name = argv[2];
-      for (const DatasetId id : kAllDatasets) {
-        if (name == dataset_name(id)) {
-          save(dataset_graph(id), argv[3]);
-          return 0;
-        }
-      }
-      usage();
+      if (args.size() < 3) parser.fail("dataset needs NAME OUT");
+      const auto id = parse_dataset(args[1]);
+      if (!id) parser.fail("unknown dataset " + args[1]);
+      save(dataset_graph(*id), args[2]);
     } else if (mode == "convert") {
-      if (argc < 4) usage();
-      save(load(argv[2]), argv[3]);
+      if (args.size() < 3) parser.fail("convert needs IN OUT");
+      save(load(args[1]), args[2]);
     } else {
-      usage();
+      parser.fail("unknown mode " + mode);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

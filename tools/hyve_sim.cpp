@@ -6,12 +6,10 @@
 //
 //   hyve_sim --dataset YT --algo pr
 //   hyve_sim --graph web.txt --algo bfs --config sd
-//   hyve_sim --rmat 100000x600000 --algo cc --sram-mb 4 --pus 16 \
+//   hyve_sim --rmat 100000x600000 --algo cc --sram-mb 4 --pus 16
 //            --cell-bits 2 --no-sharing --no-power-gating --compare
-#include <cstring>
 #include <iostream>
 #include <optional>
-#include <sstream>
 #include <string>
 
 #include "baselines/cpu.hpp"
@@ -21,63 +19,12 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "memmodel/area.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
-namespace {
-
-using namespace hyve;
-
-[[noreturn]] void usage(const char* argv0, const std::string& error = "") {
-  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
-  std::cerr
-      << "usage: " << argv0 << " [options]\n"
-      << "  input (one of):\n"
-      << "    --dataset YT|WK|AS|LJ|TW     built-in synthetic dataset\n"
-      << "    --graph PATH                 SNAP-style edge-list file\n"
-      << "    --rmat VxE                   fresh R-MAT graph (e.g. 100000x600000)\n"
-      << "  workload:\n"
-      << "    --algo bfs|cc|pr|sssp|spmv   algorithm (default pr)\n"
-      << "  machine:\n"
-      << "    --config opt|hyve|sd|dram|reram   named variant (default opt)\n"
-      << "    --sram-mb N       per-PU SRAM capacity (default 2)\n"
-      << "    --pus N           processing units (default 8)\n"
-      << "    --cell-bits N     ReRAM cell bits 1..3 (default 1)\n"
-      << "    --no-sharing      disable inter-PU data sharing\n"
-      << "    --no-power-gating disable bank-level power gating\n"
-      << "  output:\n"
-      << "    --compare         also run GraphR and the CPU baselines\n"
-      << "    --area            print the silicon area estimate\n"
-      << "    --csv             machine-readable breakdown\n";
-  std::exit(error.empty() ? 0 : 2);
-}
-
-std::optional<Algorithm> parse_algo(const std::string& s) {
-  if (s == "bfs") return Algorithm::kBfs;
-  if (s == "cc") return Algorithm::kCc;
-  if (s == "pr") return Algorithm::kPageRank;
-  if (s == "sssp") return Algorithm::kSssp;
-  if (s == "spmv") return Algorithm::kSpmv;
-  return std::nullopt;
-}
-
-std::optional<DatasetId> parse_dataset(const std::string& s) {
-  for (const DatasetId id : kAllDatasets)
-    if (s == dataset_name(id)) return id;
-  return std::nullopt;
-}
-
-std::optional<HyveConfig> parse_config(const std::string& s) {
-  if (s == "opt") return HyveConfig::hyve_opt();
-  if (s == "hyve") return HyveConfig::hyve();
-  if (s == "sd") return HyveConfig::sram_dram();
-  if (s == "dram") return HyveConfig::acc_dram();
-  if (s == "reram") return HyveConfig::acc_reram();
-  return std::nullopt;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using namespace hyve;
+
   std::optional<Graph> graph;
   std::string graph_label = "?";
   Algorithm algo = Algorithm::kPageRank;
@@ -86,70 +33,74 @@ int main(int argc, char** argv) {
   bool area = false;
   bool csv = false;
 
-  auto next_arg = [&](int& i) -> std::string {
-    if (i + 1 >= argc) usage(argv[0], std::string(argv[i]) + " needs a value");
-    return argv[++i];
-  };
+  cli::ArgParser parser(
+      "hyve_sim",
+      "simulate one algorithm on one graph under one machine config");
+  parser.option("--dataset", "YT|WK|AS|LJ|TW", "built-in synthetic dataset",
+                [&](const std::string& v) {
+                  const auto id = parse_dataset(v);
+                  if (!id) parser.fail("unknown dataset " + v);
+                  graph = dataset_graph(*id);
+                  graph_label = dataset_name(*id);
+                });
+  parser.option("--graph", "PATH", "SNAP-style edge-list file",
+                [&](const std::string& path) {
+                  graph =
+                      (path.size() > 4 && path.substr(path.size() - 4) == ".bin")
+                          ? load_graph_binary(path)
+                          : load_edge_list_text(path);
+                  graph_label = path;
+                });
+  parser.option("--rmat", "VxE", "fresh R-MAT graph (e.g. 100000x600000)",
+                [&](const std::string& spec) {
+                  const auto x = spec.find('x');
+                  if (x == std::string::npos)
+                    parser.fail("--rmat expects VxE");
+                  const auto v = std::stoull(spec.substr(0, x));
+                  const auto e = std::stoull(spec.substr(x + 1));
+                  graph = generate_rmat(static_cast<VertexId>(v), e, {}, 1);
+                  graph_label = "rmat:" + spec;
+                });
+  parser.option("--algo", "bfs|cc|pr|sssp|spmv", "algorithm (default pr)",
+                [&](const std::string& v) {
+                  const auto a = parse_algorithm(v);
+                  if (!a) parser.fail("unknown algorithm " + v);
+                  algo = *a;
+                });
+  parser.option("--config", "opt|hyve|sd|dram|reram",
+                "named variant (default opt)", [&](const std::string& v) {
+                  const auto c = parse_config_label(v);
+                  if (!c) parser.fail("unknown config " + v);
+                  const HyveConfig base = config;
+                  config = *c;
+                  config.sram_bytes_per_pu =
+                      config.has_onchip_vertex_memory()
+                          ? base.sram_bytes_per_pu
+                          : config.sram_bytes_per_pu;
+                });
+  parser.option("--sram-mb", "N", "per-PU SRAM capacity (default 2)",
+                [&](const std::string& v) {
+                  config.sram_bytes_per_pu = units::MiB(std::stoull(v));
+                });
+  parser.option("--pus", "N", "processing units (default 8)",
+                [&](const std::string& v) { config.num_pus = std::stoi(v); });
+  parser.option("--cell-bits", "N", "ReRAM cell bits 1..3 (default 1)",
+                [&](const std::string& v) {
+                  config.reram.cell_bits = std::stoi(v);
+                });
+  parser.flag("--no-sharing", "disable inter-PU data sharing",
+              [&] { config.data_sharing = false; });
+  parser.flag("--no-power-gating", "disable bank-level power gating",
+              [&] { config.power_gating = false; });
+  parser.flag("--compare", "also run GraphR and the CPU baselines", &compare);
+  parser.flag("--area", "print the silicon area estimate", &area);
+  parser.flag("--csv", "machine-readable breakdown", &csv);
 
   try {
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      if (arg == "--help" || arg == "-h") {
-        usage(argv[0]);
-      } else if (arg == "--dataset") {
-        const auto id = parse_dataset(next_arg(i));
-        if (!id) usage(argv[0], "unknown dataset");
-        graph = dataset_graph(*id);
-        graph_label = dataset_name(*id);
-      } else if (arg == "--graph") {
-        const std::string path = next_arg(i);
-        graph = (path.size() > 4 && path.substr(path.size() - 4) == ".bin")
-                    ? load_graph_binary(path)
-                    : load_edge_list_text(path);
-        graph_label = path;
-      } else if (arg == "--rmat") {
-        const std::string spec = next_arg(i);
-        const auto x = spec.find('x');
-        if (x == std::string::npos) usage(argv[0], "--rmat expects VxE");
-        const auto v = std::stoull(spec.substr(0, x));
-        const auto e = std::stoull(spec.substr(x + 1));
-        graph = generate_rmat(static_cast<VertexId>(v), e, {}, 1);
-        graph_label = "rmat:" + spec;
-      } else if (arg == "--algo") {
-        const auto a = parse_algo(next_arg(i));
-        if (!a) usage(argv[0], "unknown algorithm");
-        algo = *a;
-      } else if (arg == "--config") {
-        const auto c = parse_config(next_arg(i));
-        if (!c) usage(argv[0], "unknown config");
-        const HyveConfig base = config;
-        config = *c;
-        config.sram_bytes_per_pu =
-            config.has_onchip_vertex_memory() ? base.sram_bytes_per_pu
-                                              : config.sram_bytes_per_pu;
-      } else if (arg == "--sram-mb") {
-        config.sram_bytes_per_pu =
-            units::MiB(std::stoull(next_arg(i)));
-      } else if (arg == "--pus") {
-        config.num_pus = std::stoi(next_arg(i));
-      } else if (arg == "--cell-bits") {
-        config.reram.cell_bits = std::stoi(next_arg(i));
-      } else if (arg == "--no-sharing") {
-        config.data_sharing = false;
-      } else if (arg == "--no-power-gating") {
-        config.power_gating = false;
-      } else if (arg == "--compare") {
-        compare = true;
-      } else if (arg == "--area") {
-        area = true;
-      } else if (arg == "--csv") {
-        csv = true;
-      } else {
-        usage(argv[0], "unknown option " + arg);
-      }
-    }
+    parser.parse(argc, argv);
 
-    if (!graph) usage(argv[0], "no input graph (--dataset/--graph/--rmat)");
+    if (!graph)
+      parser.fail("no input graph (--dataset/--graph/--rmat)");
 
     const HyveMachine machine(config);
     const RunReport r = machine.run(*graph, algo);
