@@ -6,26 +6,63 @@
 // Each section runs the full machine so the knob's system-level effect —
 // not just its device-level effect — is visible.
 #include <iostream>
+#include <vector>
 
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hyve;
-  const Graph& g = dataset_graph(DatasetId::kAS);
+  const bench::Options opts = bench::parse_args(
+      argc, argv, "bench_ablation",
+      "Ablations: PageRank under single-knob design changes");
+  // Default study dataset is AS (mid-sized); --datasets picks another.
+  const DatasetId id = opts.datasets.size() == std::size(kAllDatasets)
+                           ? DatasetId::kAS
+                           : opts.datasets.front();
   const Algorithm algo = Algorithm::kPageRank;
-  bench::header("Ablations", "PageRank on AS under single-knob changes");
+  bench::header("Ablations", std::string("PageRank on ") + dataset_name(id) +
+                                 " under single-knob changes");
 
-  auto run = [&](HyveConfig cfg, const char* label) {
+  // The full 11-run cell list: A on/off, B energy/latency, C five PU
+  // counts, D 8/12-byte edges.
+  std::vector<HyveConfig> configs;
+  const auto add = [&](HyveConfig cfg, const char* label) {
     cfg.label = label;
-    return HyveMachine(cfg).run(g, algo);
+    configs.push_back(std::move(cfg));
   };
-
-  // ---- A: sub-bank interleaving ----
+  add(HyveConfig::hyve_opt(), "subbank ilv ON");
   {
     HyveConfig off = HyveConfig::hyve_opt();
     off.reram.subbank_interleaving = false;
-    const RunReport with = run(HyveConfig::hyve_opt(), "subbank ilv ON");
-    const RunReport without = run(off, "subbank ilv OFF");
+    add(off, "subbank ilv OFF");
+  }
+  add(HyveConfig::hyve_opt(), "energy-opt banks");
+  {
+    HyveConfig lat = HyveConfig::hyve_opt();
+    lat.reram.optimization = ReramOptTarget::kLatencyOptimized;
+    add(lat, "latency-opt banks");
+  }
+  const int pu_counts[] = {2, 4, 8, 16, 32};
+  for (const int pus : pu_counts) {
+    HyveConfig cfg = HyveConfig::hyve_opt();
+    cfg.num_pus = pus;
+    add(cfg, "pu-sweep");
+  }
+  add(HyveConfig::hyve_opt(), "8B edges");
+  {
+    HyveConfig weighted = HyveConfig::hyve_opt();
+    weighted.edge_bytes = 12;
+    add(weighted, "12B edges");
+  }
+
+  const std::vector<RunReport> reports = bench::run_cells(
+      configs.size(), opts,
+      [&](std::size_t i) { return bench::run_dataset(configs[i], id, algo); });
+
+  // ---- A: sub-bank interleaving ----
+  {
+    const RunReport& with = reports[0];
+    const RunReport& without = reports[1];
     Table t({"sub-bank interleaving", "time (ms)", "MTEPS/W"});
     t.add_row({"on (HyVE)", Table::num(with.exec_time_ns / 1e6, 3),
                Table::num(with.mteps_per_watt(), 0)});
@@ -39,10 +76,8 @@ int main() {
 
   // ---- B: bank optimisation target ----
   {
-    HyveConfig lat = HyveConfig::hyve_opt();
-    lat.reram.optimization = ReramOptTarget::kLatencyOptimized;
-    const RunReport eopt = run(HyveConfig::hyve_opt(), "energy-opt banks");
-    const RunReport lopt = run(lat, "latency-opt banks");
+    const RunReport& eopt = reports[2];
+    const RunReport& lopt = reports[3];
     Table t({"ReRAM bank design", "edge-mem dynamic (uJ)", "MTEPS/W"});
     t.add_row({"energy-optimized (HyVE)",
                Table::num(eopt.energy[EnergyComponent::kEdgeMemDynamic] / 1e6,
@@ -59,11 +94,10 @@ int main() {
   // ---- C: PU count ----
   {
     Table t({"PUs", "P", "time (ms)", "MTEPS/W", "router share"});
-    for (const int pus : {2, 4, 8, 16, 32}) {
-      HyveConfig cfg = HyveConfig::hyve_opt();
-      cfg.num_pus = pus;
-      const RunReport r = run(cfg, "pu-sweep");
-      t.add_row({std::to_string(pus), std::to_string(r.num_intervals),
+    for (std::size_t i = 0; i < std::size(pu_counts); ++i) {
+      const RunReport& r = reports[4 + i];
+      t.add_row({std::to_string(pu_counts[i]),
+                 std::to_string(r.num_intervals),
                  Table::num(r.exec_time_ns / 1e6, 3),
                  Table::num(r.mteps_per_watt(), 0),
                  Table::num(100.0 * r.energy[EnergyComponent::kRouter] /
@@ -78,10 +112,8 @@ int main() {
 
   // ---- D: weighted edges ----
   {
-    HyveConfig weighted = HyveConfig::hyve_opt();
-    weighted.edge_bytes = 12;
-    const RunReport w8 = run(HyveConfig::hyve_opt(), "8B edges");
-    const RunReport w12 = run(weighted, "12B edges");
+    const RunReport& w8 = reports[9];
+    const RunReport& w12 = reports[10];
     Table t({"edge record", "edge-mem energy (uJ)", "time (ms)", "MTEPS/W"});
     t.add_row({"8 B (src,dst)",
                Table::num(w8.energy.edge_memory_pj() / 1e6, 1),
@@ -95,5 +127,6 @@ int main() {
     std::cout << "weights cost ~50% more edge traffic but the read-only\n"
               << "ReRAM stream absorbs it without a write penalty (§3.1).\n";
   }
+  opts.finish();
   return 0;
 }

@@ -36,8 +36,11 @@ StreamCost stream_cost(const hyve::MemoryModel& m, std::uint64_t bytes,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hyve;
+  const bench::Options opts = bench::parse_args(
+      argc, argv, "bench_fig09",
+      "Fig. 9: normalised DRAM/ReRAM delay, energy, EDP per access pattern");
   bench::header("Fig. 9",
                 "Normalised DRAM/ReRAM delay, energy, EDP (>1 favours ReRAM)");
 
@@ -49,25 +52,30 @@ int main() {
   const Pattern patterns[] = {{"sequential read", 1.0},
                               {"sequential write", 0.0},
                               {"read 50% + write 50%", 0.5}};
+  const int densities[] = {4, 8, 16};
+
+  const auto rows = bench::run_cells(
+      std::size(patterns) * std::size(densities), opts,
+      [&](std::size_t i) -> std::vector<std::string> {
+        const Pattern& p = patterns[i / std::size(densities)];
+        const int gbit = densities[i % std::size(densities)];
+        DramConfig dc;
+        dc.chip_capacity_bytes = units::Gbit(gbit);
+        ReramConfig rc;
+        rc.chip_capacity_bytes = units::Gbit(gbit);
+        const DramModel dram(dc);
+        const ReramModel reram(rc);
+        const StreamCost d = stream_cost(dram, bytes, p.read_fraction);
+        const StreamCost r = stream_cost(reram, bytes, p.read_fraction);
+        return {p.name, std::to_string(gbit) + "Gb",
+                Table::num(d.delay_ns / r.delay_ns, 2),
+                Table::num(d.energy_pj / r.energy_pj, 2),
+                Table::num(d.edp() / r.edp(), 2)};
+      });
 
   Table table({"pattern", "density", "delay (D/R)", "energy (D/R)",
                "EDP (D/R)"});
-  for (const Pattern& p : patterns) {
-    for (const int gbit : {4, 8, 16}) {
-      DramConfig dc;
-      dc.chip_capacity_bytes = units::Gbit(gbit);
-      ReramConfig rc;
-      rc.chip_capacity_bytes = units::Gbit(gbit);
-      const DramModel dram(dc);
-      const ReramModel reram(rc);
-      const StreamCost d = stream_cost(dram, bytes, p.read_fraction);
-      const StreamCost r = stream_cost(reram, bytes, p.read_fraction);
-      table.add_row({p.name, std::to_string(gbit) + "Gb",
-                     Table::num(d.delay_ns / r.delay_ns, 2),
-                     Table::num(d.energy_pj / r.energy_pj, 2),
-                     Table::num(d.edp() / r.edp(), 2)});
-    }
-  }
+  for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
 
   bench::paper_note(
@@ -75,5 +83,6 @@ int main() {
       "writes: DRAM wins delay and EDP; density growth favours ReRAM");
   bench::measured_note(
       "same sign pattern in every cell; see the table above");
+  opts.finish();
   return 0;
 }

@@ -35,48 +35,55 @@ double edp_on(const hyve::MemoryModel& m, const VertexTraffic& t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hyve;
+  const bench::Options opts = bench::parse_args(
+      argc, argv, "bench_fig10",
+      "Fig. 10: global vertex memory EDP, DRAM/ReRAM per scheme and dataset");
   bench::header("Fig. 10",
                 "Global vertex memory EDP, DRAM/ReRAM (>1 favours ReRAM)");
 
   constexpr std::uint32_t kValueBytes = 4;
   constexpr std::uint32_t kNumPus = 8;
 
-  Table table({"scheme", "dataset", "4Gb", "8Gb", "16Gb"});
-  for (const bool graphr : {true, false}) {
-    for (const DatasetId id : kAllDatasets) {
-      const Graph& g = dataset_graph(id);
-      VertexTraffic t{};
-      if (graphr) {
-        const BlockOccupancy occ = block_occupancy(g, 8);
-        t.read_bytes =
-            model::graphr_vertex_loads(occ.non_empty_blocks) * kValueBytes;
-      } else {
-        // P from the default 2 MB SRAM sections.
-        const HyveMachine machine(HyveConfig::hyve_opt());
-        const std::uint32_t p = machine.choose_num_intervals(g, kValueBytes);
-        t.read_bytes =
-            model::hyve_vertex_loads(p, kNumPus, g.num_vertices()) *
-            kValueBytes;
-      }
-      t.write_bytes = static_cast<std::uint64_t>(g.num_vertices()) *
-                      kValueBytes;  // Eq. 7
+  const std::size_t num_datasets = opts.datasets.size();
+  const auto rows = bench::run_cells(
+      2 * num_datasets, opts, [&](std::size_t i) -> std::vector<std::string> {
+        const bool graphr = i < num_datasets;  // GraphR rows first
+        const DatasetId id = opts.datasets[i % num_datasets];
+        const Graph& g = dataset_graph(id);
+        VertexTraffic t{};
+        if (graphr) {
+          const BlockOccupancy occ = block_occupancy(g, 8);
+          t.read_bytes =
+              model::graphr_vertex_loads(occ.non_empty_blocks) * kValueBytes;
+        } else {
+          // P from the default 2 MB SRAM sections.
+          const HyveMachine machine(HyveConfig::hyve_opt());
+          const std::uint32_t p = machine.choose_num_intervals(g, kValueBytes);
+          t.read_bytes =
+              model::hyve_vertex_loads(p, kNumPus, g.num_vertices()) *
+              kValueBytes;
+        }
+        t.write_bytes = static_cast<std::uint64_t>(g.num_vertices()) *
+                        kValueBytes;  // Eq. 7
 
-      std::vector<std::string> row{graphr ? "GraphR" : "HyVE",
-                                   dataset_name(id)};
-      for (const int gbit : {4, 8, 16}) {
-        DramConfig dc;
-        dc.chip_capacity_bytes = units::Gbit(gbit);
-        ReramConfig rc;
-        rc.chip_capacity_bytes = units::Gbit(gbit);
-        const double ratio =
-            edp_on(DramModel(dc), t) / edp_on(ReramModel(rc), t);
-        row.push_back(Table::num(ratio, 2));
-      }
-      table.add_row(std::move(row));
-    }
-  }
+        std::vector<std::string> row{graphr ? "GraphR" : "HyVE",
+                                     dataset_name(id)};
+        for (const int gbit : {4, 8, 16}) {
+          DramConfig dc;
+          dc.chip_capacity_bytes = units::Gbit(gbit);
+          ReramConfig rc;
+          rc.chip_capacity_bytes = units::Gbit(gbit);
+          const double ratio =
+              edp_on(DramModel(dc), t) / edp_on(ReramModel(rc), t);
+          row.push_back(Table::num(ratio, 2));
+        }
+        return row;
+      });
+
+  Table table({"scheme", "dataset", "4Gb", "8Gb", "16Gb"});
+  for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
 
   bench::paper_note(
@@ -85,5 +92,6 @@ int main() {
   bench::measured_note(
       "GraphR rows sit above the HyVE rows (ReRAM relatively stronger "
       "when reads dominate); see per-cell values above");
+  opts.finish();
   return 0;
 }

@@ -26,8 +26,11 @@ struct VertexStorageCost {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hyve;
+  const bench::Options opts = bench::parse_args(
+      argc, argv, "bench_fig11",
+      "Fig. 11: vertex-storage GraphR/HyVE ratios per dataset and memory");
   bench::header("Fig. 11",
                 "Vertex storage, GraphR/HyVE ratios (>1 favours HyVE)");
 
@@ -36,9 +39,11 @@ int main() {
   const SramModel sram(units::MiB(2));
   const RegisterFileModel regfile;
 
-  Table table({"dataset", "global mem", "reads (G/H)", "writes (G/H)",
-               "delay (G/H)", "energy (G/H)", "EDP (G/H)"});
-  for (const DatasetId id : kAllDatasets) {
+  const auto rows = bench::run_cells(
+      opts.datasets.size() * 2, opts,
+      [&](std::size_t cell) -> std::vector<std::string> {
+    const DatasetId id = opts.datasets[cell / 2];
+    const bool use_reram = (cell % 2) != 0;
     const Graph& g = dataset_graph(id);
     const std::uint64_t e = g.num_edges();
     const BlockOccupancy occ = block_occupancy(g, 8);
@@ -77,29 +82,30 @@ int main() {
 
     const DramModel dram;
     const ReramModel reram;
-    for (const bool use_reram : {false, true}) {
-      const MemoryModel& gmem =
-          use_reram ? static_cast<const MemoryModel&>(reram)
-                    : static_cast<const MemoryModel&>(dram);
-      const VertexStorageCost gr = build(true, gmem);
-      const VertexStorageCost hv = build(false, gmem);
-      table.add_row(
-          {dataset_name(id), use_reram ? "ReRAM" : "DRAM",
-           Table::num(static_cast<double>(gr.global_reads) / hv.global_reads,
-                      2),
-           Table::num(static_cast<double>(gr.global_writes) /
-                          hv.global_writes,
-                      2),
-           Table::num(gr.delay_ns / hv.delay_ns, 2),
-           Table::num(gr.energy_pj / hv.energy_pj, 2),
-           Table::num(gr.edp() / hv.edp(), 2)});
-    }
-  }
+    const MemoryModel& gmem =
+        use_reram ? static_cast<const MemoryModel&>(reram)
+                  : static_cast<const MemoryModel&>(dram);
+    const VertexStorageCost gr = build(true, gmem);
+    const VertexStorageCost hv = build(false, gmem);
+    return std::vector<std::string>{
+        dataset_name(id), use_reram ? "ReRAM" : "DRAM",
+        Table::num(static_cast<double>(gr.global_reads) / hv.global_reads, 2),
+        Table::num(static_cast<double>(gr.global_writes) / hv.global_writes,
+                   2),
+        Table::num(gr.delay_ns / hv.delay_ns, 2),
+        Table::num(gr.energy_pj / hv.energy_pj, 2),
+        Table::num(gr.edp() / hv.edp(), 2)};
+  });
+
+  Table table({"dataset", "global mem", "reads (G/H)", "writes (G/H)",
+               "delay (G/H)", "energy (G/H)", "EDP (G/H)"});
+  for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
 
   bench::paper_note(
       "HyVE reads fewer vertices globally than GraphR and wins delay, "
       "energy and EDP despite GraphR's register files");
   bench::measured_note("read-count and EDP ratios above 1 across datasets");
+  opts.finish();
   return 0;
 }

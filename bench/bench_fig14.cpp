@@ -10,28 +10,38 @@
 
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hyve;
+  const bench::Options opts = bench::parse_args(
+      argc, argv, "bench_fig14",
+      "Fig. 14: energy-efficiency improvement from inter-PU data sharing");
   bench::header("Fig. 14", "Data-sharing improvement (w/ vs w/o sharing)");
+
+  HyveConfig with = HyveConfig::hyve_opt();
+  with.power_gating = false;  // isolate the sharing effect (Table 4)
+  HyveConfig without = with;
+  without.data_sharing = false;
+
+  exp::SweepSpec spec;
+  spec.configs = {without, with};
+  spec.algorithms.assign(std::begin(kCoreAlgorithms),
+                         std::end(kCoreAlgorithms));
+  spec.graphs = bench::dataset_keys(opts);
+  const bench::GridResults grid = bench::run_grid(spec, opts);
 
   Table table({"algorithm", "dataset", "w/o sharing (MTEPS/W)",
                "w/ sharing (MTEPS/W)", "improvement"});
   std::vector<double> all;
   std::map<std::string, std::vector<double>> by_algo;
-  for (const Algorithm algo : kCoreAlgorithms) {
-    for (const DatasetId id : kAllDatasets) {
-      const Graph& g = dataset_graph(id);
-      HyveConfig with = HyveConfig::hyve_opt();
-      with.power_gating = false;  // isolate the sharing effect (Table 4)
-      HyveConfig without = with;
-      without.data_sharing = false;
-      const double w = HyveMachine(with).run(g, algo).mteps_per_watt();
-      const double wo = HyveMachine(without).run(g, algo).mteps_per_watt();
-      table.add_row({algorithm_name(algo), dataset_name(id),
-                     Table::num(wo, 0), Table::num(w, 0),
-                     Table::num(w / wo, 2) + "x"});
+  for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+    for (std::size_t d = 0; d < opts.datasets.size(); ++d) {
+      const double wo = grid.at(0, a, d).mteps_per_watt();
+      const double w = grid.at(1, a, d).mteps_per_watt();
+      table.add_row({algorithm_name(spec.algorithms[a]),
+                     dataset_name(opts.datasets[d]), Table::num(wo, 0),
+                     Table::num(w, 0), Table::num(w / wo, 2) + "x"});
       all.push_back(w / wo);
-      by_algo[algorithm_name(algo)].push_back(w / wo);
+      by_algo[algorithm_name(spec.algorithms[a])].push_back(w / wo);
     }
   }
   table.print(std::cout);
@@ -46,5 +56,6 @@ int main() {
   bench::measured_note(
       "same ordering (PR > CC > BFS) — PR's 8-byte record moves the most "
       "interval traffic");
+  opts.finish();
   return 0;
 }

@@ -7,26 +7,37 @@
 
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hyve;
+  const bench::Options opts = bench::parse_args(
+      argc, argv, "bench_fig15",
+      "Fig. 15: energy-efficiency improvement from bank-level power gating");
   bench::header("Fig. 15", "Power-gating improvement (w/ vs w/o BPG)");
+
+  const HyveConfig gated = HyveConfig::hyve_opt();
+  HyveConfig ungated = gated;
+  ungated.power_gating = false;
+
+  exp::SweepSpec spec;
+  spec.configs = {ungated, gated};
+  spec.algorithms.assign(std::begin(kCoreAlgorithms),
+                         std::end(kCoreAlgorithms));
+  spec.graphs = bench::dataset_keys(opts);
+  const bench::GridResults grid = bench::run_grid(spec, opts);
 
   Table table({"algorithm", "dataset", "w/o PG (MTEPS/W)", "w/ PG (MTEPS/W)",
                "improvement", "edge-mem bg saved"});
   std::vector<double> all;
-  for (const Algorithm algo : kCoreAlgorithms) {
-    for (const DatasetId id : kAllDatasets) {
-      const Graph& g = dataset_graph(id);
-      const HyveConfig gated = HyveConfig::hyve_opt();
-      HyveConfig ungated = gated;
-      ungated.power_gating = false;
-      const RunReport rg = HyveMachine(gated).run(g, algo);
-      const RunReport ru = HyveMachine(ungated).run(g, algo);
+  for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+    for (std::size_t d = 0; d < opts.datasets.size(); ++d) {
+      const RunReport& ru = grid.at(0, a, d);
+      const RunReport& rg = grid.at(1, a, d);
       const double improvement = rg.mteps_per_watt() / ru.mteps_per_watt();
       const double saved =
           1.0 - rg.energy[EnergyComponent::kEdgeMemBackground] /
                     ru.energy[EnergyComponent::kEdgeMemBackground];
-      table.add_row({algorithm_name(algo), dataset_name(id),
+      table.add_row({algorithm_name(spec.algorithms[a]),
+                     dataset_name(opts.datasets[d]),
                      Table::num(ru.mteps_per_watt(), 0),
                      Table::num(rg.mteps_per_watt(), 0),
                      Table::num(improvement, 2) + "x",
@@ -42,5 +53,6 @@ int main() {
   bench::measured_note(
       "BPG removes most of the edge-memory background on every workload; "
       "average printed above");
+  opts.finish();
   return 0;
 }

@@ -12,32 +12,65 @@
 #include "baselines/cpu.hpp"
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hyve;
+  const bench::Options opts = bench::parse_args(
+      argc, argv, "bench_fig16",
+      "Fig. 16: energy efficiency of all seven evaluated configurations");
   bench::header("Fig. 16", "Energy efficiency across configurations");
 
+  const std::size_t num_datasets = opts.datasets.size();
+  const CpuBaseline cpu_kinds[] = {CpuBaseline::kNaive,
+                                   CpuBaseline::kOptimized};
+
+  // Accelerator rows through the sweep engine; CPU baselines have no
+  // partitioning to share, so they run as a plain cell list.
+  exp::SweepSpec spec;
+  spec.configs = fig16_accelerator_configs();
+  spec.algorithms.assign(std::begin(kCoreAlgorithms),
+                         std::end(kCoreAlgorithms));
+  spec.graphs = bench::dataset_keys(opts);
+  const bench::GridResults grid = bench::run_grid(spec, opts);
+
+  const std::vector<double> cpu_eff = bench::run_cells(
+      std::size(cpu_kinds) * spec.algorithms.size() * num_datasets, opts,
+      [&](std::size_t i) {
+        const CpuBaseline kind = cpu_kinds[i / (spec.algorithms.size() *
+                                                num_datasets)];
+        const Algorithm algo =
+            spec.algorithms[(i / num_datasets) % spec.algorithms.size()];
+        const DatasetId id = opts.datasets[i % num_datasets];
+        return CpuModel(kind).run(dataset_graph(id), algo).mteps_per_watt();
+      });
+  const auto cpu_at = [&](std::size_t kind, std::size_t algo,
+                          std::size_t dataset) {
+    return cpu_eff[(kind * spec.algorithms.size() + algo) * num_datasets +
+                   dataset];
+  };
+
+  std::vector<std::string> columns{"config"};
+  for (const DatasetId id : opts.datasets) columns.push_back(dataset_name(id));
+
   std::map<std::string, std::vector<double>> efficiency;  // per config
-  for (const Algorithm algo : kCoreAlgorithms) {
-    std::cout << "\n--- " << algorithm_name(algo) << " (MTEPS/W) ---\n";
-    Table table({"config", "YT", "WK", "AS", "LJ", "TW"});
-    for (const CpuBaseline kind :
-         {CpuBaseline::kNaive, CpuBaseline::kOptimized}) {
-      const CpuModel cpu(kind);
-      std::vector<std::string> row{CpuModel::label(kind)};
-      for (const DatasetId id : kAllDatasets) {
-        const double eff =
-            cpu.run(dataset_graph(id), algo).mteps_per_watt();
+  for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+    std::cout << "\n--- " << algorithm_name(spec.algorithms[a])
+              << " (MTEPS/W) ---\n";
+    Table table(columns);
+    for (std::size_t k = 0; k < std::size(cpu_kinds); ++k) {
+      std::vector<std::string> row{CpuModel::label(cpu_kinds[k])};
+      for (std::size_t d = 0; d < num_datasets; ++d) {
+        const double eff = cpu_at(k, a, d);
         row.push_back(Table::num(eff, 1));
-        efficiency[CpuModel::label(kind)].push_back(eff);
+        efficiency[CpuModel::label(cpu_kinds[k])].push_back(eff);
       }
       table.add_row(std::move(row));
     }
-    for (const HyveConfig& cfg : fig16_accelerator_configs()) {
-      std::vector<std::string> row{cfg.label};
-      for (const DatasetId id : kAllDatasets) {
-        const double eff = bench::run_dataset(cfg, id, algo).mteps_per_watt();
+    for (std::size_t c = 0; c < spec.configs.size(); ++c) {
+      std::vector<std::string> row{spec.configs[c].label};
+      for (std::size_t d = 0; d < num_datasets; ++d) {
+        const double eff = grid.at(c, a, d).mteps_per_watt();
         row.push_back(Table::num(eff, 0));
-        efficiency[cfg.label].push_back(eff);
+        efficiency[spec.configs[c].label].push_back(eff);
       }
       table.add_row(std::move(row));
     }
@@ -79,5 +112,6 @@ int main() {
       "ordering reproduced everywhere; note the paper's own two multiplier "
       "sets (vs acc+HyVE and vs acc+HyVE-opt) are mutually inconsistent by "
       "~1.7x, so per-cell agreement within ~2x is the attainable target");
+  opts.finish();
   return 0;
 }

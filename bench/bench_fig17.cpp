@@ -9,32 +9,42 @@
 
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hyve;
+  const bench::Options opts = bench::parse_args(
+      argc, argv, "bench_fig17",
+      "Fig. 17: energy breakdown under SD, HyVE, and HyVE+power-gating");
   bench::header("Fig. 17", "Energy breakdown (logic / edge mem / vertex mem)");
 
   HyveConfig opt_cfg = HyveConfig::hyve_opt();
   opt_cfg.data_sharing = false;  // Fig. 17's 'opt' = HyVE + power gating
   opt_cfg.label = "opt";
-  const std::vector<HyveConfig> configs = {HyveConfig::sram_dram(),
-                                           HyveConfig::hyve(), opt_cfg};
+
+  exp::SweepSpec spec;
+  spec.configs = {HyveConfig::sram_dram(), HyveConfig::hyve(), opt_cfg};
+  spec.algorithms.assign(std::begin(kCoreAlgorithms),
+                         std::end(kCoreAlgorithms));
+  spec.graphs = bench::dataset_keys(opts);
+  const bench::GridResults grid = bench::run_grid(spec, opts);
 
   Table table({"config", "algorithm", "dataset", "logic %", "edge mem %",
                "vertex mem %", "memory total %"});
   std::vector<double> mem_share_sd, mem_share_hyve, mem_share_opt;
   std::vector<double> mem_drop_hyve, mem_drop_opt;
-  for (const Algorithm algo : kCoreAlgorithms) {
-    for (const DatasetId id : kAllDatasets) {
+  for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+    for (std::size_t d = 0; d < opts.datasets.size(); ++d) {
       double sd_memory_pj = 0;
-      for (const HyveConfig& cfg : configs) {
-        const RunReport r = bench::run_dataset(cfg, id, algo);
+      for (std::size_t c = 0; c < spec.configs.size(); ++c) {
+        const HyveConfig& cfg = spec.configs[c];
+        const RunReport& r = grid.at(c, a, d);
         const double total = r.total_energy_pj();
         const double mem_share = r.energy.memory_pj() / total;
         table.add_row(
             {cfg.label == "acc+SRAM+DRAM" ? "SD"
              : cfg.label == "acc+HyVE"    ? "HyVE"
                                           : "opt",
-             algorithm_name(algo), dataset_name(id),
+             algorithm_name(spec.algorithms[a]),
+             dataset_name(opts.datasets[d]),
              Table::num(100.0 * r.energy.logic_pj() / total, 1),
              Table::num(100.0 * r.energy.edge_memory_pj() / total, 1),
              Table::num(100.0 * r.energy.vertex_memory_pj() / total, 1),
@@ -75,5 +85,6 @@ int main() {
   bench::paper_note("memory dominates SD and shrinks through HyVE to opt");
   bench::measured_note(
       "same monotone pattern; the edge-memory bucket provides the drop");
+  opts.finish();
   return 0;
 }

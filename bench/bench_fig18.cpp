@@ -7,24 +7,34 @@
 
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hyve;
+  const bench::Options opts = bench::parse_args(
+      argc, argv, "bench_fig18",
+      "Fig. 18: execution time of acc+SRAM+DRAM relative to acc+HyVE");
   bench::header("Fig. 18", "Execution time, SD/HyVE (<1 = HyVE slower)");
+
+  exp::SweepSpec spec;
+  spec.configs = {HyveConfig::sram_dram(), HyveConfig::hyve()};
+  spec.algorithms.assign(std::begin(kCoreAlgorithms),
+                         std::end(kCoreAlgorithms));
+  spec.graphs = bench::dataset_keys(opts);
+  const bench::GridResults grid = bench::run_grid(spec, opts);
 
   Table table({"algorithm", "dataset", "SD time (ms)", "HyVE time (ms)",
                "SD/HyVE"});
   std::map<std::string, std::vector<double>> degradation;
-  for (const Algorithm algo : kCoreAlgorithms) {
-    for (const DatasetId id : kAllDatasets) {
-      const Graph& g = dataset_graph(id);
-      const RunReport sd = HyveMachine(HyveConfig::sram_dram()).run(g, algo);
-      const RunReport hyve = HyveMachine(HyveConfig::hyve()).run(g, algo);
-      table.add_row({algorithm_name(algo), dataset_name(id),
+  for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+    for (std::size_t d = 0; d < opts.datasets.size(); ++d) {
+      const RunReport& sd = grid.at(0, a, d);
+      const RunReport& hyve = grid.at(1, a, d);
+      table.add_row({algorithm_name(spec.algorithms[a]),
+                     dataset_name(opts.datasets[d]),
                      Table::num(sd.exec_time_ns / 1e6, 3),
                      Table::num(hyve.exec_time_ns / 1e6, 3),
                      Table::num(sd.exec_time_ns / hyve.exec_time_ns, 3)});
-      degradation[algorithm_name(algo)].push_back(hyve.exec_time_ns /
-                                                  sd.exec_time_ns);
+      degradation[algorithm_name(spec.algorithms[a])].push_back(
+          hyve.exec_time_ns / sd.exec_time_ns);
     }
   }
   table.print(std::cout);
@@ -38,5 +48,6 @@ int main() {
   bench::measured_note(
       "HyVE within a few percent of SD — the ReRAM channel streams "
       "slightly below the DDR4 channel");
+  opts.finish();
   return 0;
 }

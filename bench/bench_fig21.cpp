@@ -11,30 +11,43 @@
 #include "baselines/graphr.hpp"
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hyve;
+  const bench::Options opts = bench::parse_args(
+      argc, argv, "bench_fig21",
+      "Fig. 21: GraphR vs HyVE delay, energy, and EDP ratios");
   bench::header("Fig. 21", "GraphR/HyVE delay, energy, EDP (>1 favours HyVE)");
 
-  const HyveMachine hyve(HyveConfig::hyve_opt());
-  const GraphRModel graphr;
+  const std::size_t num_datasets = opts.datasets.size();
+  const std::size_t num_algos = std::size(kAllAlgorithms);
+
+  struct Cell {
+    double delay;
+    double energy;
+  };
+  const std::vector<Cell> cells = bench::run_cells(
+      num_algos * num_datasets, opts, [&](std::size_t i) {
+        const Algorithm algo = kAllAlgorithms[i / num_datasets];
+        const DatasetId id = opts.datasets[i % num_datasets];
+        const RunReport h =
+            bench::run_dataset(HyveConfig::hyve_opt(), id, algo);
+        const GraphRReport r = GraphRModel().run(dataset_graph(id), algo);
+        return Cell{r.exec_time_ns / h.exec_time_ns,
+                    r.total_energy_pj() / h.total_energy_pj()};
+      });
 
   Table table({"algorithm", "dataset", "delay (G/H)", "energy (G/H)",
                "EDP (G/H)"});
   std::vector<double> delays, energies, edps;
-  for (const Algorithm algo : kAllAlgorithms) {
-    for (const DatasetId id : kAllDatasets) {
-      const Graph& g = dataset_graph(id);
-      const RunReport h = hyve.run(g, algo);
-      const GraphRReport r = graphr.run(g, algo);
-      const double d = r.exec_time_ns / h.exec_time_ns;
-      const double e = r.total_energy_pj() / h.total_energy_pj();
-      table.add_row({algorithm_name(algo), dataset_name(id),
-                     Table::num(d, 2), Table::num(e, 2),
-                     Table::num(d * e, 2)});
-      delays.push_back(d);
-      energies.push_back(e);
-      edps.push_back(d * e);
-    }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const double d = cells[i].delay;
+    const double e = cells[i].energy;
+    table.add_row({algorithm_name(kAllAlgorithms[i / num_datasets]),
+                   dataset_name(opts.datasets[i % num_datasets]),
+                   Table::num(d, 2), Table::num(e, 2), Table::num(d * e, 2)});
+    delays.push_back(d);
+    energies.push_back(e);
+    edps.push_back(d * e);
   }
   table.print(std::cout);
 
@@ -49,5 +62,6 @@ int main() {
   bench::measured_note(
       "HyVE wins every cell; crossbar configuration writes dominate "
       "GraphR exactly as §6.4 predicts");
+  opts.finish();
   return 0;
 }

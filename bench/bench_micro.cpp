@@ -2,7 +2,18 @@
 // functional engine, dynamic store and full-machine simulation throughput.
 // These are engineering benchmarks for the library itself; the per-table/
 // figure reproductions live in the bench_table*/bench_fig* binaries.
+//
+// Accepts the shared bench flags --jobs/--smoke for a uniform command
+// line (google-benchmark's own timing loop stays single-threaded):
+// --smoke maps to --benchmark_list_tests=true so the smoke run is
+// deterministic, and --jobs is validated then ignored.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "algos/runner.hpp"
 #include "core/machine.hpp"
@@ -97,4 +108,37 @@ BENCHMARK(BM_DynamicRequests)->Arg(0)->Arg(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Pull out the shared bench flags before google-benchmark sees argv.
+  std::vector<char*> rest{argv[0]};
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --jobs needs a value\n");
+        return 2;
+      }
+      char* end = nullptr;
+      const long jobs = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || jobs < 0) {
+        std::fprintf(stderr, "error: --jobs expects an integer, got \"%s\"\n",
+                     argv[i]);
+        return 2;
+      }
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  std::string list_flag = "--benchmark_list_tests=true";
+  if (smoke) rest.push_back(list_flag.data());
+
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,9 +13,12 @@
 #include "memmodel/techparams.hpp"
 #include "model/analytic.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hyve;
   using model::ModelInputs;
+  const bench::Options opts = bench::parse_args(
+      argc, argv, "bench_model",
+      "§6 analytical model: Eq. 1/2/6 decomposition per design choice");
   bench::header("§6 model", "Eq. 1/2/6 decomposition per design choice");
 
   const Graph& g = dataset_graph(DatasetId::kYT);
@@ -49,7 +52,10 @@ int main() {
       {"DRAM edges", false, true, true},
       {"GraphR-style", true, false, false},
   };
-  for (const Design& d : designs) {
+  const auto rows = bench::run_cells(
+      std::size(designs), opts,
+      [&](std::size_t cell) -> std::vector<std::string> {
+    const Design& d = designs[cell];
     ModelInputs in = base_inputs(16, 8);
     const MemoryModel& edge_mem =
         d.reram_edges ? static_cast<const MemoryModel&>(reram)
@@ -83,14 +89,14 @@ int main() {
     }
     const double t = model::execution_time_ns(in);
     const double energy = model::energy_pj(in);
-    table.add_row({d.name, d.reram_edges ? "ReRAM" : "DRAM",
-                   d.sram_vertices ? "SRAM" : "regfile",
-                   d.cmos_pu ? "CMOS" : "crossbar",
-                   Table::num(t / 1e6, 3), Table::num(energy / 1e6, 1),
-                   Table::num(model::edp(in) / 1e15, 2),
-                   Table::num(model::edp_lower_bound(in) / model::edp(in),
-                              3)});
-  }
+    return std::vector<std::string>{
+        d.name, d.reram_edges ? "ReRAM" : "DRAM",
+        d.sram_vertices ? "SRAM" : "regfile",
+        d.cmos_pu ? "CMOS" : "crossbar", Table::num(t / 1e6, 3),
+        Table::num(energy / 1e6, 1), Table::num(model::edp(in) / 1e15, 2),
+        Table::num(model::edp_lower_bound(in) / model::edp(in), 3)};
+  });
+  for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
 
   bench::paper_note(
@@ -99,5 +105,6 @@ int main() {
   bench::measured_note(
       "the §6.6 pick has the lowest Eq.-5 EDP of the three designs; the "
       "Eq.-6 bound stays below 1 as required");
+  opts.finish();
   return 0;
 }

@@ -10,8 +10,12 @@
 
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hyve;
+  const bench::Options opts = bench::parse_args(
+      argc, argv, "bench_table4",
+      "Table 4: energy efficiency vs SRAM size across the 2x2 PG/sharing "
+      "grid");
   bench::header("Table 4", "Energy efficiency (MTEPS/W) vs SRAM size");
 
   const std::uint64_t sizes[] = {units::MiB(2), units::MiB(4), units::MiB(8),
@@ -27,20 +31,34 @@ int main() {
       {"w/ PG, w/o sharing", true, false},
       {"w/ PG, w/ sharing", true, true},
   };
+  const std::size_t num_sizes = std::size(sizes);
 
-  for (const Algorithm algo : kCoreAlgorithms) {
-    std::cout << "\n--- " << algorithm_name(algo) << " ---\n";
+  // One config per (variant, SRAM size), variant-major like the rows.
+  exp::SweepSpec spec;
+  for (const Variant& v : variants) {
+    for (const std::uint64_t size : sizes) {
+      HyveConfig cfg = HyveConfig::hyve_opt();
+      cfg.sram_bytes_per_pu = size;
+      cfg.power_gating = v.power_gating;
+      cfg.data_sharing = v.sharing;
+      cfg.label = v.name;
+      spec.configs.push_back(cfg);
+    }
+  }
+  spec.algorithms.assign(std::begin(kCoreAlgorithms),
+                         std::end(kCoreAlgorithms));
+  spec.graphs = bench::dataset_keys(opts);
+  const bench::GridResults grid = bench::run_grid(spec, opts);
+
+  for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+    std::cout << "\n--- " << algorithm_name(spec.algorithms[a]) << " ---\n";
     Table table({"dataset", "variant", "2MB", "4MB", "8MB", "16MB"});
-    for (const DatasetId id : kAllDatasets) {
-      for (const Variant& v : variants) {
-        std::vector<std::string> row{dataset_name(id), v.name};
-        for (const std::uint64_t size : sizes) {
-          HyveConfig cfg = HyveConfig::hyve_opt();
-          cfg.sram_bytes_per_pu = size;
-          cfg.power_gating = v.power_gating;
-          cfg.data_sharing = v.sharing;
-          cfg.label = v.name;
-          const RunReport r = bench::run_dataset(cfg, id, algo);
+    for (std::size_t d = 0; d < opts.datasets.size(); ++d) {
+      for (std::size_t v = 0; v < std::size(variants); ++v) {
+        std::vector<std::string> row{dataset_name(opts.datasets[d]),
+                                     variants[v].name};
+        for (std::size_t s = 0; s < num_sizes; ++s) {
+          const RunReport& r = grid.at(v * num_sizes + s, a, d);
           row.push_back(Table::num(r.mteps_per_watt(), 0));
         }
         table.add_row(std::move(row));
@@ -55,5 +73,6 @@ int main() {
   bench::measured_note(
       "same monotone SRAM trend and 2x2 ordering; scaled datasets make "
       "P smaller, so the SRAM axis moves less than in the paper");
+  opts.finish();
   return 0;
 }

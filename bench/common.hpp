@@ -1,21 +1,38 @@
-// Shared helpers for the bench binaries.
+// Shared harness for the bench binaries.
 //
 // Every bench regenerates one table or figure of the paper: it prints the
 // measured table in the paper's layout, followed by a "paper vs measured"
 // note for the headline number(s) of that experiment. EXPERIMENTS.md is
 // the curated record of these comparisons.
+//
+// All benches share one command line (parse_args) and run their grid
+// cells on the src/exp sweep engine: regular (config × algorithm ×
+// dataset) grids go through run_grid/SweepEngine, irregular cell lists
+// through run_cells/exp::parallel_cells. Cells are computed into
+// index-addressed slots and rendered serially afterwards, so stdout is
+// byte-identical for any --jobs value (asserted by the bench-smoke ctest
+// label, which diffs --jobs 1 against --jobs 8).
 #pragma once
 
 #include <cmath>
+#include <cstdint>
+#include <functional>
 #include <iostream>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/machine.hpp"
 #include "exp/cache.hpp"
 #include "exp/sweep.hpp"
 #include "graph/datasets.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/units.hpp"
 
 namespace hyve::bench {
 
@@ -32,12 +49,153 @@ inline exp::PartitionCache& partition_cache() {
   return cache;
 }
 
+// The shared bench command line (every bench_* binary accepts these):
+//   --jobs N              sweep worker threads (0 = hardware concurrency)
+//   --datasets YT,WK,...  restrict the dataset axis of dataset benches
+//   --smoke               deterministic stand-ins for wall-clock timings
+//   --graph-cache-mb N    byte budget for the shared graph cache
+//   --partition-cache N   entry cap for the shared partition cache
+//   --cache-stats         print cache counters to stderr after the run
+struct Options {
+  int jobs = 1;
+  bool smoke = false;
+  std::vector<DatasetId> datasets{kAllDatasets.begin(), kAllDatasets.end()};
+  bool cache_stats = false;
+
+  // Prints the shared-cache counters when --cache-stats is set. Goes to
+  // stderr so stdout keeps the byte-identical --jobs guarantee (eviction
+  // order — hence the counters — may depend on worker scheduling). Call
+  // at the end of main().
+  void finish() const {
+    if (!cache_stats) return;
+    std::cerr << "cache stats: graphs loads=" << graph_cache().loads()
+              << " evictions=" << graph_cache().evictions()
+              << " resident_bytes=" << graph_cache().resident_bytes()
+              << "; partitions builds=" << partition_cache().builds()
+              << " evictions=" << partition_cache().evictions()
+              << " resident=" << partition_cache().resident() << "\n";
+  }
+};
+
+inline Options parse_args(int argc, char** argv, const std::string& prog,
+                          const std::string& summary) {
+  Options opts;
+  cli::ArgParser parser(prog, summary);
+  parser.option("--jobs", "N",
+                "worker threads (0 = hardware concurrency; default 1)",
+                [&](const std::string& v) {
+                  opts.jobs = static_cast<int>(
+                      cli::parse_int(parser, "--jobs", v, 0, 4096));
+                });
+  parser.option("--datasets", "YT,WK,...",
+                "datasets to include (default all five)",
+                [&](const std::string& v) {
+                  opts.datasets.clear();
+                  for (const std::string& name : cli::split_csv(v)) {
+                    const auto id = parse_dataset(name);
+                    if (!id) parser.fail("unknown dataset " + name);
+                    opts.datasets.push_back(*id);
+                  }
+                  if (opts.datasets.empty())
+                    parser.fail("--datasets needs at least one dataset");
+                });
+  parser.flag("--smoke",
+              "deterministic stand-ins for wall-clock measurements "
+              "(bench-smoke CI; numbers are not measurements)",
+              &opts.smoke);
+  parser.option("--graph-cache-mb", "N",
+                "graph cache byte budget in MiB (0 = unbounded; default 0)",
+                [&](const std::string& v) {
+                  graph_cache().set_byte_budget(
+                      units::MiB(static_cast<std::uint64_t>(cli::parse_int(
+                          parser, "--graph-cache-mb", v, 0, 1 << 20))));
+                });
+  parser.option("--partition-cache", "N",
+                "partition cache entry cap (0 = unbounded; default 0)",
+                [&](const std::string& v) {
+                  partition_cache().set_max_entries(
+                      static_cast<std::size_t>(cli::parse_int(
+                          parser, "--partition-cache", v, 0, 1 << 20)));
+                });
+  parser.flag("--cache-stats", "print cache counters to stderr",
+              &opts.cache_stats);
+  parser.parse(argc, argv);
+  return opts;
+}
+
 // Cached equivalent of HyveMachine(cfg).run(dataset_graph(id), algo);
 // the report is identical (tested in exp_test).
 inline RunReport run_dataset(const HyveConfig& cfg, DatasetId id,
                              Algorithm algo) {
   return exp::run_cached(graph_cache(), partition_cache(), cfg, algo,
                          dataset_name(id));
+}
+
+// The --datasets filter as GraphCache keys, for SweepSpec::graphs.
+inline std::vector<std::string> dataset_keys(const Options& opts) {
+  std::vector<std::string> keys;
+  keys.reserve(opts.datasets.size());
+  for (const DatasetId id : opts.datasets) keys.push_back(dataset_name(id));
+  return keys;
+}
+
+// A (configs × algorithms × graphs) grid run through the SweepEngine,
+// indexable by axis position (row-major, configs outermost).
+class GridResults {
+ public:
+  GridResults(exp::SweepSpec spec, std::vector<exp::SweepResult> results)
+      : spec_(std::move(spec)), results_(std::move(results)) {}
+
+  const exp::SweepSpec& spec() const { return spec_; }
+
+  const RunReport& at(std::size_t config, std::size_t algorithm,
+                      std::size_t graph) const {
+    HYVE_CHECK_MSG(config < spec_.configs.size() &&
+                       algorithm < spec_.algorithms.size() &&
+                       graph < spec_.graphs.size(),
+                   "grid index out of range");
+    return results_[(config * spec_.algorithms.size() + algorithm) *
+                        spec_.graphs.size() +
+                    graph]
+        .report;
+  }
+
+ private:
+  exp::SweepSpec spec_;
+  std::vector<exp::SweepResult> results_;
+};
+
+// Declarative grid → engine → indexed results, on the shared caches.
+inline GridResults run_grid(const exp::SweepSpec& spec, const Options& opts) {
+  exp::SweepEngine engine(graph_cache(), partition_cache());
+  exp::SweepOptions options;
+  options.jobs = opts.jobs;
+  return GridResults(spec, engine.run(spec, options));
+}
+
+// Order-stable parallel map for irregular cell lists: computes fn(i) for
+// every i in [0, n) on opts.jobs workers and returns the results in index
+// order, so rendering from the returned vector is byte-identical for any
+// --jobs value.
+template <typename Fn>
+auto run_cells(std::size_t n, const Options& opts, Fn&& fn) {
+  using T = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>;
+  std::vector<std::optional<T>> slots(n);
+  exp::parallel_cells(n, opts.jobs,
+                      [&](std::size_t i) { slots[i].emplace(fn(i)); });
+  std::vector<T> out;
+  out.reserve(n);
+  for (std::optional<T>& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+// Wall-clock benches take this around their timed sections so
+// measurements stay meaningful under --jobs > 1: cells overlap in their
+// untimed work (graph builds, request generation) but never while a
+// stopwatch runs.
+inline std::mutex& timing_mutex() {
+  static std::mutex mu;
+  return mu;
 }
 
 inline void header(const std::string& id, const std::string& title) {
@@ -55,10 +213,18 @@ inline void measured_note(const std::string& note) {
 }
 
 // Geometric mean of ratios (the paper's "on average" improvements).
+// Ratios must be positive — a zero or negative ratio would silently turn
+// the headline "measured" number into NaN/-inf, so it throws instead.
+// The empty case stays an explicit 0.0 ("no ratios, no claim").
 inline double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
   double log_sum = 0;
-  for (const double x : xs) log_sum += std::log(x);
-  return xs.empty() ? 0.0 : std::exp(log_sum / xs.size());
+  for (const double x : xs) {
+    HYVE_CHECK_MSG(x > 0,
+                   "geomean requires positive ratios, got " << x);
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / xs.size());
 }
 
 }  // namespace hyve::bench

@@ -1,0 +1,35 @@
+# Runs one bench binary twice — --jobs 1 and --jobs 8 — and fails unless
+# both exit 0 with byte-identical stdout. Invoked by the bench-smoke
+# ctest label (see bench/CMakeLists.txt):
+#   cmake -DBIN=<path> -DSMOKE_ARGS=<args...> -P cmake/bench_smoke.cmake
+if(NOT DEFINED BIN)
+  message(FATAL_ERROR "bench_smoke.cmake needs -DBIN=<bench binary>")
+endif()
+separate_arguments(SMOKE_ARGS)
+
+execute_process(
+  COMMAND ${BIN} --jobs 1 ${SMOKE_ARGS}
+  OUTPUT_VARIABLE out_serial
+  RESULT_VARIABLE rc_serial
+  ERROR_VARIABLE err_serial)
+if(NOT rc_serial EQUAL 0)
+  message(FATAL_ERROR
+    "${BIN} --jobs 1 exited with ${rc_serial}:\n${err_serial}")
+endif()
+
+execute_process(
+  COMMAND ${BIN} --jobs 8 ${SMOKE_ARGS}
+  OUTPUT_VARIABLE out_parallel
+  RESULT_VARIABLE rc_parallel
+  ERROR_VARIABLE err_parallel)
+if(NOT rc_parallel EQUAL 0)
+  message(FATAL_ERROR
+    "${BIN} --jobs 8 exited with ${rc_parallel}:\n${err_parallel}")
+endif()
+
+if(NOT out_serial STREQUAL out_parallel)
+  message(FATAL_ERROR
+    "${BIN}: stdout differs between --jobs 1 and --jobs 8 — the bench "
+    "leaks thread-scheduling into its output.\n--- jobs 1 ---\n"
+    "${out_serial}\n--- jobs 8 ---\n${out_parallel}")
+endif()

@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Tier-1 verification: build, full test suite (unit + bench-smoke), then
+# the sweep-engine concurrency tests under ThreadSanitizer.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+cmake -B build-tsan -S . -DHYVE_SANITIZE=thread
+cmake --build build-tsan -j
+ctest --test-dir build-tsan -L sweep-engine --output-on-failure
+
+echo "verify: OK"

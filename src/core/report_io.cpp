@@ -348,4 +348,22 @@ bool reports_equivalent(const RunReport& a, const RunReport& b,
          a.bpg.bank_wakes == b.bpg.bank_wakes;
 }
 
+std::string validated_report_json(const RunReport& report) {
+  const std::string json = report_to_json(report);
+  RunReport parsed;
+  try {
+    parsed = run_report_from_json(json);
+  } catch (const std::exception& e) {
+    throw std::runtime_error("report failed JSON round-trip validation (" +
+                             report.config_label + "/" + report.algorithm +
+                             "): " + e.what());
+  }
+  if (!reports_equivalent(parsed, report))
+    throw std::runtime_error(
+        "report failed JSON round-trip validation: parsed record differs "
+        "for " +
+        report.config_label + "/" + report.algorithm);
+  return json;
+}
+
 }  // namespace hyve

@@ -34,4 +34,15 @@ RunReport run_report_from_json(const std::string& json);
 bool reports_equivalent(const RunReport& a, const RunReport& b,
                         double rel_tol = 1e-9);
 
+// Serialises `report`, parses the text back and checks field equivalence;
+// returns the validated JSON line. Throws std::runtime_error when the
+// record would not survive the round trip (e.g. a NaN field serialising
+// to invalid JSON) — the guarantee that no tool can emit a report the
+// tooling cannot parse back. Used by the sweep ResultSink for every
+// record and by hyve_sim's single-run output path.
+std::string validated_report_json(const RunReport& report);
+inline void validate_report_round_trip(const RunReport& report) {
+  validated_report_json(report);
+}
+
 }  // namespace hyve

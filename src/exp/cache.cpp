@@ -4,29 +4,54 @@
 
 namespace hyve::exp {
 
+namespace {
+
+// Heap footprint of an owned graph — what eviction can actually free.
+std::size_t graph_bytes(const Graph& g) {
+  return sizeof(Graph) + g.edges().capacity() * sizeof(Edge);
+}
+
+}  // namespace
+
 GraphCache::GraphCache() {
   for (const DatasetId id : kAllDatasets) {
     auto entry = std::make_unique<Entry>();
-    entry->build = [id]() -> const Graph& { return dataset_graph(id); };
+    // Non-owning view into dataset_graph()'s process-wide store: nothing
+    // for this cache to free, so the entry is exempt from the budget.
+    entry->build = [id] {
+      return std::shared_ptr<const Graph>(std::shared_ptr<void>(),
+                                          &dataset_graph(id));
+    };
+    entry->evictable = false;
     base_.emplace(dataset_name(id), std::move(entry));
   }
 }
 
-void GraphCache::add(const std::string& key, std::function<Graph()> make) {
+void GraphCache::add_impl(
+    const std::string& key,
+    std::function<std::shared_ptr<const Graph>()> build, bool evictable) {
   const std::scoped_lock lock(mu_);
   auto entry = std::make_unique<Entry>();
-  Entry* e = entry.get();
-  e->build = [e, make = std::move(make)]() -> const Graph& {
-    e->owned = std::make_unique<Graph>(make());
-    return *e->owned;
-  };
+  entry->build = std::move(build);
+  entry->evictable = evictable;
   const bool inserted = base_.emplace(key, std::move(entry)).second;
   HYVE_CHECK_MSG(inserted, "graph key already registered: " << key);
 }
 
+void GraphCache::add(const std::string& key, std::function<Graph()> make) {
+  add_impl(
+      key,
+      [make = std::move(make)] {
+        return std::make_shared<const Graph>(make());
+      },
+      /*evictable=*/true);
+}
+
 void GraphCache::add(const std::string& key, Graph graph) {
-  auto holder = std::make_shared<Graph>(std::move(graph));
-  add(key, [holder] { return Graph(*holder); });
+  auto holder = std::make_shared<const Graph>(std::move(graph));
+  // The holder is the only copy; evicting it would lose the graph for
+  // good, so the entry is pinned.
+  add_impl(key, [holder] { return holder; }, /*evictable=*/false);
 }
 
 bool GraphCache::contains(const std::string& key) const {
@@ -41,31 +66,71 @@ GraphCache::Entry& GraphCache::entry_for(const std::string& key) {
   return *it->second;
 }
 
-const Graph& GraphCache::materialise(Entry& entry) {
-  std::call_once(entry.once, [&] {
-    entry.graph = &entry.build();
-    ++loads_;
-  });
-  return *entry.graph;
+std::shared_ptr<const Graph> GraphCache::materialise(Entry& entry) {
+  {
+    const std::scoped_lock lock(mu_);
+    if (entry.graph) {
+      entry.last_use = ++tick_;
+      return entry.graph;
+    }
+  }
+  // Build outside mu_ so unrelated entries proceed in parallel; the
+  // per-entry mutex makes concurrent requests share one build.
+  const std::scoped_lock build_lock(entry.build_mu);
+  {
+    const std::scoped_lock lock(mu_);
+    if (entry.graph) {
+      entry.last_use = ++tick_;
+      return entry.graph;
+    }
+  }
+  std::shared_ptr<const Graph> built = entry.build();
+  ++loads_;
+  const std::scoped_lock lock(mu_);
+  entry.graph = built;
+  entry.bytes = entry.evictable ? graph_bytes(*built) : 0;
+  entry.last_use = ++tick_;
+  resident_bytes_ += entry.bytes;
+  if (budget_bytes_ > 0) evict_to_budget_locked(&entry);
+  return built;
 }
 
-const Graph& GraphCache::base(const std::string& key) {
+void GraphCache::evict_to_budget_locked(const Entry* keep) {
+  while (resident_bytes_ > budget_bytes_) {
+    Entry* victim = nullptr;
+    for (const auto& [key, entry] : base_)
+      if (entry->graph && entry->evictable && entry.get() != keep &&
+          (victim == nullptr || entry->last_use < victim->last_use))
+        victim = entry.get();
+    for (const auto& [key, entry] : balanced_)
+      if (entry->graph && entry->evictable && entry.get() != keep &&
+          (victim == nullptr || entry->last_use < victim->last_use))
+        victim = entry.get();
+    if (victim == nullptr) return;  // everything left is pinned or in use
+    victim->graph.reset();
+    resident_bytes_ -= victim->bytes;
+    victim->bytes = 0;
+    ++evictions_;
+  }
+}
+
+std::shared_ptr<const Graph> GraphCache::acquire(const std::string& key) {
   return materialise(entry_for(key));
 }
 
-const Graph& GraphCache::balanced(const std::string& key,
-                                  std::uint64_t seed) {
-  const Graph& source = base(key);
+std::shared_ptr<const Graph> GraphCache::acquire_balanced(
+    const std::string& key, std::uint64_t seed) {
   Entry* entry;
   {
     const std::scoped_lock lock(mu_);
     auto& slot = balanced_[{key, seed}];
     if (!slot) {
       slot = std::make_unique<Entry>();
-      Entry* e = slot.get();
-      e->build = [e, &source, seed]() -> const Graph& {
-        e->owned = std::make_unique<Graph>(source.hashed_remap(seed));
-        return *e->owned;
+      // Re-acquire the base graph inside the build so a rebuild after
+      // eviction restores the source first (and holds it alive).
+      slot->build = [this, key, seed] {
+        const std::shared_ptr<const Graph> source = acquire(key);
+        return std::make_shared<const Graph>(source->hashed_remap(seed));
       };
     }
     entry = slot.get();
@@ -73,26 +138,88 @@ const Graph& GraphCache::balanced(const std::string& key,
   return materialise(*entry);
 }
 
-const Partitioning& PartitionCache::get(const std::string& key,
-                                        const Graph& graph,
-                                        std::uint32_t num_intervals) {
+void GraphCache::set_byte_budget(std::size_t bytes) {
+  const std::scoped_lock lock(mu_);
+  budget_bytes_ = bytes;
+  if (budget_bytes_ > 0) evict_to_budget_locked(nullptr);
+}
+
+std::size_t GraphCache::byte_budget() const {
+  const std::scoped_lock lock(mu_);
+  return budget_bytes_;
+}
+
+std::size_t GraphCache::resident_bytes() const {
+  const std::scoped_lock lock(mu_);
+  return resident_bytes_;
+}
+
+std::shared_ptr<const Partitioning> PartitionCache::acquire(
+    const std::string& key, const Graph& graph,
+    std::uint32_t num_intervals) {
   Entry* entry;
   {
     const std::scoped_lock lock(mu_);
     auto& slot = entries_[{key, num_intervals}];
     if (!slot) slot = std::make_unique<Entry>();
     entry = slot.get();
+    if (entry->partitioning) {
+      entry->last_use = ++tick_;
+      const std::shared_ptr<const Partitioning> p = entry->partitioning;
+      HYVE_CHECK_MSG(
+          p->num_vertices() == graph.num_vertices() &&
+              p->num_edges() == graph.num_edges(),
+          "partition cache key \"" << key
+                                   << "\" reused for a different graph");
+      return p;
+    }
   }
-  std::call_once(entry->once, [&] {
-    entry->partitioning = std::make_unique<Partitioning>(graph, num_intervals);
-    ++builds_;
-  });
-  const Partitioning& p = *entry->partitioning;
-  HYVE_CHECK_MSG(p.num_vertices() == graph.num_vertices() &&
-                     p.num_edges() == graph.num_edges(),
-                 "partition cache key \"" << key
-                                          << "\" reused for a different graph");
-  return p;
+  const std::scoped_lock build_lock(entry->build_mu);
+  {
+    const std::scoped_lock lock(mu_);
+    if (entry->partitioning) {
+      entry->last_use = ++tick_;
+      return entry->partitioning;
+    }
+  }
+  auto built = std::make_shared<const Partitioning>(graph, num_intervals);
+  ++builds_;
+  const std::scoped_lock lock(mu_);
+  entry->partitioning = built;
+  entry->last_use = ++tick_;
+  ++resident_;
+  if (max_entries_ > 0) evict_to_cap_locked(entry);
+  return built;
+}
+
+void PartitionCache::evict_to_cap_locked(const Entry* keep) {
+  while (resident_ > max_entries_) {
+    Entry* victim = nullptr;
+    for (const auto& [key, entry] : entries_)
+      if (entry->partitioning && entry.get() != keep &&
+          (victim == nullptr || entry->last_use < victim->last_use))
+        victim = entry.get();
+    if (victim == nullptr) return;
+    victim->partitioning.reset();
+    --resident_;
+    ++evictions_;
+  }
+}
+
+void PartitionCache::set_max_entries(std::size_t n) {
+  const std::scoped_lock lock(mu_);
+  max_entries_ = n;
+  if (max_entries_ > 0) evict_to_cap_locked(nullptr);
+}
+
+std::size_t PartitionCache::max_entries() const {
+  const std::scoped_lock lock(mu_);
+  return max_entries_;
+}
+
+std::size_t PartitionCache::resident() const {
+  const std::scoped_lock lock(mu_);
+  return resident_;
 }
 
 }  // namespace hyve::exp

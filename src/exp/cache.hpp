@@ -5,9 +5,19 @@
 // re-applied the §4.3 hash-balancing remap and re-ran the counting-sort
 // partitioner. Both caches are safe for concurrent use by the engine's
 // worker pool: entries are created under a short map lock and built
-// exactly once via std::call_once, so two workers needing the same graph
-// share one build while workers needing different graphs proceed in
-// parallel.
+// under a per-entry mutex, so two workers needing the same graph share
+// one build while workers needing different graphs proceed in parallel.
+//
+// Sweeps over many generated graphs would otherwise grow the caches
+// without bound, so both are optionally size-capped: GraphCache takes a
+// byte budget and PartitionCache an entry cap, each enforced by LRU
+// eviction. Entries are handed out as shared_ptr, so evicting an entry
+// another worker is still using only drops the cache's reference — the
+// object is freed when its last user releases it. An evicted entry is
+// transparently rebuilt on the next request (build callables must
+// therefore be deterministic and repeatable), and evictions are counted
+// next to the loads()/builds() stats so cache behaviour is observable in
+// sweep output.
 #pragma once
 
 #include <atomic>
@@ -27,24 +37,38 @@ namespace hyve::exp {
 
 // Graphs keyed by a caller-chosen string. The five built-in datasets are
 // pre-registered under their short names ("YT".."TW") and resolve through
-// dataset_graph()'s process-wide store, so they are never duplicated.
+// dataset_graph()'s process-wide store, so they are never duplicated (and
+// never evicted — this cache holds no bytes of theirs).
 class GraphCache {
  public:
   GraphCache();
 
-  // Registers a lazily-built graph under `key` (throws if taken).
+  // Registers a lazily-built graph under `key` (throws if taken). `make`
+  // must be deterministic: under a byte budget the entry may be evicted
+  // and rebuilt by a later request.
   void add(const std::string& key, std::function<Graph()> make);
-  // Registers an already-built graph (stored by move).
+  // Registers an already-built graph. The cache pins it (it owns the only
+  // copy and cannot rebuild it), so it is exempt from eviction.
   void add(const std::string& key, Graph graph);
 
   bool contains(const std::string& key) const;
 
-  // The registered graph, built on first use.
-  const Graph& base(const std::string& key);
+  // The registered graph, built on first use. The shared_ptr keeps the
+  // graph alive across a concurrent eviction — under a byte budget,
+  // prefer these over the reference-returning accessors below.
+  std::shared_ptr<const Graph> acquire(const std::string& key);
 
   // The hashed_remap(seed) image of `key` (§4.3 balancing), memoised per
   // (key, seed) — one remap per sweep instead of one per cell.
-  const Graph& balanced(const std::string& key, std::uint64_t seed);
+  std::shared_ptr<const Graph> acquire_balanced(const std::string& key,
+                                                std::uint64_t seed);
+
+  // Reference-returning conveniences for callers that set no byte budget
+  // (the reference is valid only while the entry stays resident).
+  const Graph& base(const std::string& key) { return *acquire(key); }
+  const Graph& balanced(const std::string& key, std::uint64_t seed) {
+    return *acquire_balanced(key, seed);
+  }
 
   // Cache key of the balanced image, also used by PartitionCache.
   static std::string balanced_key(const std::string& key,
@@ -52,25 +76,46 @@ class GraphCache {
     return key + "#balanced:" + std::to_string(seed);
   }
 
-  // Number of graphs materialised so far (builds, not hits).
+  // LRU byte budget over owned graphs (0 = unbounded, the default).
+  // Dataset-backed and pinned entries are exempt; everything else is
+  // evicted least-recently-used first until the budget holds.
+  void set_byte_budget(std::size_t bytes);
+  std::size_t byte_budget() const;
+  // Bytes of owned graphs currently resident.
+  std::size_t resident_bytes() const;
+
+  // Number of graphs materialised so far (builds including rebuilds
+  // after eviction, not hits).
   std::size_t loads() const { return loads_.load(); }
+  // Number of graphs evicted to satisfy the byte budget.
+  std::size_t evictions() const { return evictions_.load(); }
 
  private:
   struct Entry {
-    std::once_flag once;
-    std::function<const Graph&()> build;  // resolves or builds the graph
-    std::unique_ptr<Graph> owned;         // set when the cache owns it
-    const Graph* graph = nullptr;
+    std::mutex build_mu;  // serialises (re)builds of this entry
+    std::function<std::shared_ptr<const Graph>()> build;
+    std::shared_ptr<const Graph> graph;  // null until built / after evict
+    bool evictable = true;
+    std::uint64_t last_use = 0;
+    std::size_t bytes = 0;  // accounted while resident
   };
 
+  void add_impl(const std::string& key,
+                std::function<std::shared_ptr<const Graph>()> build,
+                bool evictable);
   Entry& entry_for(const std::string& key);
-  const Graph& materialise(Entry& entry);
+  std::shared_ptr<const Graph> materialise(Entry& entry);
+  void evict_to_budget_locked(const Entry* keep);
 
-  mutable std::mutex mu_;  // guards the maps, not graph construction
+  mutable std::mutex mu_;  // guards the maps and LRU state, not builds
   std::map<std::string, std::unique_ptr<Entry>> base_;
   std::map<std::pair<std::string, std::uint64_t>, std::unique_ptr<Entry>>
       balanced_;
+  std::uint64_t tick_ = 0;  // LRU clock (under mu_)
+  std::size_t budget_bytes_ = 0;
+  std::size_t resident_bytes_ = 0;
   std::atomic<std::size_t> loads_{0};
+  std::atomic<std::size_t> evictions_{0};
 };
 
 // Interval-block partitionings keyed by (graph key, P). The caller
@@ -78,22 +123,49 @@ class GraphCache {
 // GraphCache keys (and GraphCache::balanced_key for remapped images).
 class PartitionCache {
  public:
-  const Partitioning& get(const std::string& key, const Graph& graph,
-                          std::uint32_t num_intervals);
+  // The memoised partitioning, built on first use. The shared_ptr stays
+  // valid across a concurrent eviction.
+  std::shared_ptr<const Partitioning> acquire(const std::string& key,
+                                              const Graph& graph,
+                                              std::uint32_t num_intervals);
 
-  // Number of partitionings built so far (builds, not hits).
+  // Reference-returning convenience for callers that set no entry cap
+  // (the reference is valid only while the entry stays resident).
+  const Partitioning& get(const std::string& key, const Graph& graph,
+                          std::uint32_t num_intervals) {
+    return *acquire(key, graph, num_intervals);
+  }
+
+  // LRU cap on resident partitionings (0 = unbounded, the default).
+  // Enforced after each build; in-flight builds may overshoot briefly.
+  void set_max_entries(std::size_t n);
+  std::size_t max_entries() const;
+  // Partitionings currently resident.
+  std::size_t resident() const;
+
+  // Number of partitionings built so far (builds including rebuilds
+  // after eviction, not hits).
   std::size_t builds() const { return builds_.load(); }
+  // Number of partitionings evicted to satisfy the entry cap.
+  std::size_t evictions() const { return evictions_.load(); }
 
  private:
   struct Entry {
-    std::once_flag once;
-    std::unique_ptr<Partitioning> partitioning;
+    std::mutex build_mu;  // serialises (re)builds of this entry
+    std::shared_ptr<const Partitioning> partitioning;
+    std::uint64_t last_use = 0;
   };
 
-  mutable std::mutex mu_;
+  void evict_to_cap_locked(const Entry* keep);
+
+  mutable std::mutex mu_;  // guards the map and LRU state, not builds
   std::map<std::pair<std::string, std::uint32_t>, std::unique_ptr<Entry>>
       entries_;
+  std::uint64_t tick_ = 0;
+  std::size_t max_entries_ = 0;
+  std::size_t resident_ = 0;
   std::atomic<std::size_t> builds_{0};
+  std::atomic<std::size_t> evictions_{0};
 };
 
 }  // namespace hyve::exp

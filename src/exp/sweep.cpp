@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <thread>
@@ -42,17 +43,20 @@ RunReport run_cached(GraphCache& graphs, PartitionCache& partitions,
                      const std::string& graph_key) {
   const HyveMachine machine(config);
   const auto program = make_program(algorithm);
-  const Graph* graph = &graphs.base(graph_key);
+  // Hold shared ownership for the whole run: under a cache size cap a
+  // concurrent worker may evict these entries while we simulate.
+  std::shared_ptr<const Graph> graph = graphs.acquire(graph_key);
   std::string schedule_key = graph_key;
   if (config.hash_balance) {
-    graph = &graphs.balanced(graph_key, config.hash_balance_seed);
+    graph = graphs.acquire_balanced(graph_key, config.hash_balance_seed);
     schedule_key =
         GraphCache::balanced_key(graph_key, config.hash_balance_seed);
   }
   const std::uint32_t p =
       machine.choose_num_intervals(*graph, program->vertex_value_bytes());
-  const Partitioning& schedule = partitions.get(schedule_key, *graph, p);
-  return machine.run_with_schedule(*graph, schedule, *program);
+  const std::shared_ptr<const Partitioning> schedule =
+      partitions.acquire(schedule_key, *graph, p);
+  return machine.run_with_schedule(*graph, *schedule, *program);
 }
 
 std::optional<ResultSink::Format> ResultSink::parse_format(
@@ -76,11 +80,7 @@ void ResultSink::write(const SweepCell& cell, const RunReport& report) {
 
   // Round-trip every record through the parser before emitting it: a
   // sweep must never produce output the tooling cannot read back.
-  const std::string json = report_to_json(annotated);
-  const RunReport parsed = run_report_from_json(json);
-  HYVE_CHECK_MSG(reports_equivalent(parsed, annotated),
-                 "record failed JSON round-trip validation: "
-                     << annotated.config_label << "/" << annotated.algorithm);
+  const std::string json = validated_report_json(annotated);
 
   if (format_ == Format::kJsonl) {
     os_ << json << '\n';
@@ -96,17 +96,13 @@ void ResultSink::write(const SweepCell& cell, const RunReport& report) {
   ++records_;
 }
 
-std::vector<SweepResult> SweepEngine::run(const SweepSpec& spec,
-                                          const SweepOptions& options,
-                                          ResultSink* sink) {
-  const std::vector<SweepCell> cells = expand(spec);
-  const std::size_t n = cells.size();
-  std::vector<std::optional<RunReport>> reports(n);
+void parallel_cells(std::size_t n, int jobs_option,
+                    const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
 
   std::atomic<std::size_t> next{0};
   std::atomic<bool> abort{false};
-  std::mutex mu;  // guards reports[], flushed and first_error
-  std::size_t flushed = 0;
+  std::mutex mu;  // guards first_error
   std::exception_ptr first_error;
 
   auto worker = [&] {
@@ -114,16 +110,7 @@ std::vector<SweepResult> SweepEngine::run(const SweepSpec& spec,
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
-        RunReport report = run_cached(graphs_, partitions_, cells[i].config,
-                                      cells[i].algorithm, cells[i].graph_key);
-        const std::scoped_lock lock(mu);
-        reports[i] = std::move(report);
-        // Emit the completed prefix; later cells wait their turn so the
-        // output order never depends on thread scheduling.
-        while (flushed < n && reports[flushed].has_value()) {
-          if (sink != nullptr) sink->write(cells[flushed], *reports[flushed]);
-          ++flushed;
-        }
+        fn(i);
       } catch (...) {
         const std::scoped_lock lock(mu);
         if (!first_error) first_error = std::current_exception();
@@ -133,10 +120,10 @@ std::vector<SweepResult> SweepEngine::run(const SweepSpec& spec,
   };
 
   std::size_t jobs =
-      options.jobs > 0
-          ? static_cast<std::size_t>(options.jobs)
+      jobs_option > 0
+          ? static_cast<std::size_t>(jobs_option)
           : std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  jobs = std::min(jobs, std::max<std::size_t>(n, 1));
+  jobs = std::min(jobs, n);
 
   if (jobs <= 1) {
     worker();
@@ -147,6 +134,30 @@ std::vector<SweepResult> SweepEngine::run(const SweepSpec& spec,
     for (std::thread& t : pool) t.join();
   }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<SweepResult> SweepEngine::run(const SweepSpec& spec,
+                                          const SweepOptions& options,
+                                          ResultSink* sink) {
+  const std::vector<SweepCell> cells = expand(spec);
+  const std::size_t n = cells.size();
+  std::vector<std::optional<RunReport>> reports(n);
+
+  std::mutex mu;  // guards reports[] and flushed
+  std::size_t flushed = 0;
+
+  parallel_cells(n, options.jobs, [&](std::size_t i) {
+    RunReport report = run_cached(graphs_, partitions_, cells[i].config,
+                                  cells[i].algorithm, cells[i].graph_key);
+    const std::scoped_lock lock(mu);
+    reports[i] = std::move(report);
+    // Emit the completed prefix; later cells wait their turn so the
+    // output order never depends on thread scheduling.
+    while (flushed < n && reports[flushed].has_value()) {
+      if (sink != nullptr) sink->write(cells[flushed], *reports[flushed]);
+      ++flushed;
+    }
+  });
 
   std::vector<SweepResult> out;
   out.reserve(n);

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -47,6 +48,16 @@ struct SweepCell {
 
 // Expands the grid into cells (validates that every axis is non-empty).
 std::vector<SweepCell> expand(const SweepSpec& spec);
+
+// Runs fn(i) for every i in [0, n) on a pool of `jobs` worker threads
+// (0 = hardware concurrency) pulling from an atomic work queue, and
+// rethrows the first failure after the pool drains. Results should be
+// written into index-addressed slots so downstream rendering is
+// independent of thread scheduling — this is the primitive behind
+// SweepEngine::run and the bench harness's irregular (non
+// config×algo×graph) grids.
+void parallel_cells(std::size_t n, int jobs,
+                    const std::function<void(std::size_t)>& fn);
 
 // Runs one cell through the caches. Produces a report identical to
 // HyveMachine(config).run(graph, algorithm).

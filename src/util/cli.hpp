@@ -14,9 +14,11 @@
 // value with the standard usage message.
 #pragma once
 
+#include <charconv>
 #include <cstdlib>
 #include <functional>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -80,6 +82,8 @@ class ArgParser {
       const Opt* opt = find(arg);
       if (opt != nullptr) {
         if (opt->on_value) {
+          // An --option given as the last argv token must fail with the
+          // usage message, never read past argv (pinned by cli_test).
           if (i + 1 >= argc) fail(arg + " needs a value");
           opt->on_value(argv[++i]);
         } else {
@@ -151,5 +155,26 @@ class ArgParser {
   std::vector<Opt> options_;
   std::vector<std::string> positionals_;
 };
+
+// Strictly parses an integer option value — the whole token must be a
+// base-10 integer within [min_value, max_value], otherwise the parser
+// fails with the standard usage message (exit status 2). Shared by every
+// tool and bench that takes numeric options such as --jobs, instead of
+// std::stoi whose exceptions would escape main.
+inline long long parse_int(
+    const ArgParser& parser, const std::string& name,
+    const std::string& value, long long min_value,
+    long long max_value = std::numeric_limits<long long>::max()) {
+  long long parsed = 0;
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+  if (ec != std::errc() || ptr != end)
+    parser.fail(name + " expects an integer, got \"" + value + "\"");
+  if (parsed < min_value || parsed > max_value)
+    parser.fail(name + " expects a value in [" + std::to_string(min_value) +
+                ", " + std::to_string(max_value) + "], got " + value);
+  return parsed;
+}
 
 }  // namespace hyve::cli

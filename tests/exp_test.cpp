@@ -239,6 +239,135 @@ TEST(ParseHelpers, DatasetRoundTrip) {
   EXPECT_FALSE(parse_dataset("XX").has_value());
 }
 
+TEST(CacheEviction, PartitionCacheEvictsLruAndRebuilds) {
+  exp::PartitionCache cache;
+  cache.set_max_entries(2);
+  EXPECT_EQ(cache.max_entries(), 2u);
+  const Graph g = generate_rmat(2000, 8000, {}, 7);
+
+  const auto pa = cache.acquire("a", g, 4);
+  const auto pb = cache.acquire("b", g, 4);
+  EXPECT_EQ(cache.builds(), 2u);
+  EXPECT_EQ(cache.resident(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // Third key evicts the LRU entry ("a") but pa stays valid: eviction
+  // only drops the cache's reference.
+  const auto pc = cache.acquire("c", g, 4);
+  EXPECT_EQ(cache.resident(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(pa->num_edges(), g.num_edges());
+
+  // Hits do not rebuild; the evicted key rebuilds into a fresh object.
+  EXPECT_EQ(cache.acquire("c", g, 4).get(), pc.get());
+  EXPECT_EQ(cache.builds(), 3u);
+  const auto pa2 = cache.acquire("a", g, 4);
+  EXPECT_EQ(cache.builds(), 4u);
+  EXPECT_NE(pa2.get(), pa.get());
+  EXPECT_EQ(pa2->num_edges(), g.num_edges());
+  EXPECT_LE(cache.resident(), 2u);
+}
+
+TEST(CacheEviction, PartitionCacheKeyReuseForDifferentGraphIsRejected) {
+  exp::PartitionCache cache;
+  const Graph g1 = generate_rmat(2000, 8000, {}, 7);
+  const Graph g2 = generate_rmat(3000, 9000, {}, 8);
+  cache.acquire("k", g1, 4);
+  EXPECT_THROW(cache.acquire("k", g2, 4), InvariantError);
+}
+
+TEST(CacheEviction, PartitionCacheConcurrentAcquireUnderCap) {
+  exp::PartitionCache cache;
+  cache.set_max_entries(2);
+  const Graph g = generate_rmat(1000, 5000, {}, 9);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 8; ++t)
+    pool.emplace_back([&cache, &g] {
+      for (int i = 0; i < 24; ++i) {
+        // Six keys churning through a two-entry cache: every acquire
+        // must hand back a complete partitioning even when another
+        // worker concurrently evicts it.
+        const auto p =
+            cache.acquire("k" + std::to_string(i % 6), g, 4);
+        EXPECT_EQ(p->num_edges(), g.num_edges());
+      }
+    });
+  for (std::thread& t : pool) t.join();
+  EXPECT_LE(cache.resident(), 2u);
+  EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_GE(cache.builds(), 6u);
+}
+
+TEST(CacheEviction, GraphCacheEvictsToByteBudgetAndRebuilds) {
+  exp::GraphCache cache;
+  cache.add("a", [] { return generate_rmat(1000, 40000, {}, 1); });
+  cache.add("b", [] { return generate_rmat(1000, 40000, {}, 2); });
+  cache.set_byte_budget(1);  // smaller than any one graph
+  EXPECT_EQ(cache.byte_budget(), 1u);
+
+  const auto ga = cache.acquire("a");
+  EXPECT_EQ(cache.loads(), 1u);
+  // "a" is over budget but never evicted on its own behalf (the entry
+  // just built is always kept).
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_GT(cache.resident_bytes(), 0u);
+
+  const auto gb = cache.acquire("b");
+  EXPECT_EQ(cache.loads(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  // The held pointer outlives the eviction.
+  EXPECT_EQ(ga->num_edges(), 40000u);
+
+  // Re-acquiring the evicted key rebuilds deterministically.
+  const auto ga2 = cache.acquire("a");
+  EXPECT_EQ(cache.loads(), 3u);
+  EXPECT_NE(ga2.get(), ga.get());
+  EXPECT_EQ(ga2->num_edges(), ga->num_edges());
+}
+
+TEST(CacheEviction, GraphCachePinnedAndDatasetEntriesAreExempt) {
+  exp::GraphCache cache;
+  cache.add("pinned", generate_rmat(1000, 6000, {}, 3));
+  cache.add("evictable", [] { return generate_rmat(1000, 30000, {}, 4); });
+  cache.set_byte_budget(1);
+
+  const Graph* pinned_before = cache.acquire("pinned").get();
+  cache.acquire("evictable");
+  cache.acquire("YT");  // dataset-backed: non-owning, zero bytes here
+  // Churn: only the closure-built entry is ever evicted.
+  cache.acquire("pinned");
+  EXPECT_EQ(cache.acquire("pinned").get(), pinned_before);
+  const std::size_t evictions = cache.evictions();
+  cache.acquire("evictable");
+  cache.acquire("YT");
+  EXPECT_EQ(cache.acquire("pinned").get(), pinned_before);
+  EXPECT_GE(cache.evictions(), evictions);
+}
+
+TEST(CacheEviction, SweepUnderTightCachesStaysDeterministic) {
+  exp::SweepSpec spec = small_spec();
+  const auto run_with_budget = [&](int jobs) {
+    exp::GraphCache graphs;
+    add_test_graphs(graphs);
+    graphs.set_byte_budget(1);
+    exp::PartitionCache partitions;
+    partitions.set_max_entries(1);
+    exp::SweepEngine engine(graphs, partitions);
+    std::ostringstream os;
+    exp::ResultSink sink(os, exp::ResultSink::Format::kJsonl);
+    exp::SweepOptions options;
+    options.jobs = jobs;
+    engine.run(spec, options, &sink);
+    return os.str();
+  };
+  const std::string serial = run_with_budget(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, run_with_budget(4));
+  // And identical to the unbounded-cache sweep: eviction must never
+  // change results, only rebuild counts.
+  EXPECT_EQ(serial, sweep_output(spec, 2, exp::ResultSink::Format::kJsonl));
+}
+
 TEST(ParseHelpers, ConfigLabelRoundTrip) {
   for (const HyveConfig& cfg : fig16_accelerator_configs()) {
     const auto by_label = parse_config_label(cfg.label);

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 #include "core/report_io.hpp"
 #include "graph/generators.hpp"
+#include "util/check.hpp"
 
 namespace hyve {
 namespace {
@@ -59,6 +61,26 @@ TEST(ReportIo, BreakdownComponentsAllPresent) {
 TEST(ReportIo, Deterministic) {
   const RunReport r = sample_report();
   EXPECT_EQ(report_to_json(r), report_to_json(r));
+}
+
+TEST(ReportIo, ValidatedJsonMatchesPlainSerialisation) {
+  const RunReport r = sample_report();
+  EXPECT_EQ(validated_report_json(r), report_to_json(r));
+  EXPECT_NO_THROW(validate_report_round_trip(r));
+}
+
+// Forced-mismatch fake: a NaN time can never round-trip, so the
+// validation that hyve_sim and the sweep ResultSink share must reject
+// the report instead of emitting unparseable output. The writer's own
+// finiteness invariant fires before the parse-back comparison — either
+// way nothing is emitted.
+TEST(ReportIo, ValidationRejectsReportThatCannotRoundTrip) {
+  RunReport r = sample_report();
+  r.exec_time_ns = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(validated_report_json(r), InvariantError);
+  EXPECT_THROW(validate_report_round_trip(r), InvariantError);
+  r.exec_time_ns = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(validated_report_json(r), InvariantError);
 }
 
 }  // namespace

@@ -65,12 +65,8 @@ int main(int argc, char** argv) {
   parser.option("--jobs", "N",
                 "worker threads (0 = hardware concurrency; default 1)",
                 [&](const std::string& v) {
-                  try {
-                    options.jobs = std::stoi(v);
-                  } catch (const std::exception&) {
-                    parser.fail("--jobs expects an integer");
-                  }
-                  if (options.jobs < 0) parser.fail("--jobs expects N >= 0");
+                  options.jobs = static_cast<int>(
+                      cli::parse_int(parser, "--jobs", v, 0, 4096));
                 });
   parser.option("--format", "jsonl|csv", "output format (default jsonl)",
                 [&](const std::string& v) {

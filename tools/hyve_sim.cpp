@@ -15,6 +15,7 @@
 #include "baselines/cpu.hpp"
 #include "baselines/graphr.hpp"
 #include "core/machine.hpp"
+#include "core/report_io.hpp"
 #include "graph/datasets.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -56,9 +57,12 @@ int main(int argc, char** argv) {
                   const auto x = spec.find('x');
                   if (x == std::string::npos)
                     parser.fail("--rmat expects VxE");
-                  const auto v = std::stoull(spec.substr(0, x));
-                  const auto e = std::stoull(spec.substr(x + 1));
-                  graph = generate_rmat(static_cast<VertexId>(v), e, {}, 1);
+                  const auto v = cli::parse_int(parser, "--rmat vertices",
+                                                spec.substr(0, x), 1);
+                  const auto e = cli::parse_int(parser, "--rmat edges",
+                                                spec.substr(x + 1), 1);
+                  graph = generate_rmat(static_cast<VertexId>(v),
+                                        static_cast<std::uint64_t>(e), {}, 1);
                   graph_label = "rmat:" + spec;
                 });
   parser.option("--algo", "bfs|cc|pr|sssp|spmv", "algorithm (default pr)",
@@ -80,13 +84,19 @@ int main(int argc, char** argv) {
                 });
   parser.option("--sram-mb", "N", "per-PU SRAM capacity (default 2)",
                 [&](const std::string& v) {
-                  config.sram_bytes_per_pu = units::MiB(std::stoull(v));
+                  config.sram_bytes_per_pu = units::MiB(
+                      static_cast<std::uint64_t>(
+                          cli::parse_int(parser, "--sram-mb", v, 0, 1 << 20)));
                 });
   parser.option("--pus", "N", "processing units (default 8)",
-                [&](const std::string& v) { config.num_pus = std::stoi(v); });
+                [&](const std::string& v) {
+                  config.num_pus = static_cast<int>(
+                      cli::parse_int(parser, "--pus", v, 1, 1 << 20));
+                });
   parser.option("--cell-bits", "N", "ReRAM cell bits 1..3 (default 1)",
                 [&](const std::string& v) {
-                  config.reram.cell_bits = std::stoi(v);
+                  config.reram.cell_bits = static_cast<int>(
+                      cli::parse_int(parser, "--cell-bits", v, 1, 3));
                 });
   parser.flag("--no-sharing", "disable inter-PU data sharing",
               [&] { config.data_sharing = false; });
@@ -104,6 +114,9 @@ int main(int argc, char** argv) {
 
     const HyveMachine machine(config);
     const RunReport r = machine.run(*graph, algo);
+    // Same guarantee as the sweep engine's ResultSink: hyve_sim can never
+    // emit a report the downstream tooling cannot parse back.
+    validate_report_round_trip(r);
 
     if (csv) {
       Table t({"graph", "algo", "config", "P", "iterations", "time_ns",
