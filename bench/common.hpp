@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -29,6 +30,8 @@
 #include "exp/cache.hpp"
 #include "exp/sweep.hpp"
 #include "graph/datasets.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -56,24 +59,48 @@ inline exp::PartitionCache& partition_cache() {
 //   --graph-cache-mb N    byte budget for the shared graph cache
 //   --partition-cache N   entry cap for the shared partition cache
 //   --cache-stats         print cache counters to stderr after the run
+//   --metrics             dump the full metrics registry to stderr
+//   --trace PATH          write a Chrome trace-event JSON of the run
 struct Options {
   int jobs = 1;
   bool smoke = false;
   std::vector<DatasetId> datasets{kAllDatasets.begin(), kAllDatasets.end()};
   bool cache_stats = false;
+  bool metrics = false;
+  std::string trace_path;
+  std::shared_ptr<obs::Trace> trace;  // set when --trace was given
 
-  // Prints the shared-cache counters when --cache-stats is set. Goes to
-  // stderr so stdout keeps the byte-identical --jobs guarantee (eviction
-  // order — hence the counters — may depend on worker scheduling). Call
-  // at the end of main().
+  // Emits the requested telemetry. Everything goes to stderr (or the
+  // --trace file) so stdout keeps the byte-identical --jobs guarantee
+  // (wall times and eviction order depend on worker scheduling). Call at
+  // the end of main().
   void finish() const {
-    if (!cache_stats) return;
-    std::cerr << "cache stats: graphs loads=" << graph_cache().loads()
-              << " evictions=" << graph_cache().evictions()
-              << " resident_bytes=" << graph_cache().resident_bytes()
-              << "; partitions builds=" << partition_cache().builds()
-              << " evictions=" << partition_cache().evictions()
-              << " resident=" << partition_cache().resident() << "\n";
+    if (cache_stats || metrics) {
+      obs::Registry& reg = obs::registry();
+      // The instantaneous occupancy gauges are refreshed here so the
+      // dump reflects end-of-run state even if the last touch was an
+      // out-of-band eviction (set_byte_budget shrinking a live cache).
+      reg.gauge("exp.graph_cache.resident_bytes")
+          .set(static_cast<std::int64_t>(graph_cache().resident_bytes()));
+      reg.gauge("exp.partition_cache.resident")
+          .set(static_cast<std::int64_t>(partition_cache().resident()));
+      if (cache_stats)
+        std::cerr << "cache stats: graphs loads="
+                  << reg.counter("exp.graph_cache.loads").value()
+                  << " evictions="
+                  << reg.counter("exp.graph_cache.evictions").value()
+                  << " resident_bytes="
+                  << reg.gauge("exp.graph_cache.resident_bytes").value()
+                  << "; partitions builds="
+                  << reg.counter("exp.partition_cache.builds").value()
+                  << " evictions="
+                  << reg.counter("exp.partition_cache.evictions").value()
+                  << " resident="
+                  << reg.gauge("exp.partition_cache.resident").value()
+                  << "\n";
+      if (metrics) reg.dump(std::cerr);
+    }
+    if (trace) trace->write_file(trace_path);
   }
 };
 
@@ -119,7 +146,19 @@ inline Options parse_args(int argc, char** argv, const std::string& prog,
                 });
   parser.flag("--cache-stats", "print cache counters to stderr",
               &opts.cache_stats);
+  parser.flag("--metrics", "dump the metrics registry to stderr",
+              &opts.metrics);
+  parser.option("--trace", "PATH",
+                "write a Chrome trace-event JSON (chrome://tracing, "
+                "Perfetto) of the sweep to PATH",
+                [&](const std::string& v) { opts.trace_path = v; });
   parser.parse(argc, argv);
+  // Telemetry is opt-in: the registry stays a single relaxed-load branch
+  // in the hot paths unless one of these flags asks for it. Enabling
+  // happens before any cell runs, so registry counters match the
+  // caches' own whole-run counters.
+  if (opts.cache_stats || opts.metrics) obs::set_enabled(true);
+  if (!opts.trace_path.empty()) opts.trace = std::make_shared<obs::Trace>();
   return opts;
 }
 
@@ -170,6 +209,7 @@ inline GridResults run_grid(const exp::SweepSpec& spec, const Options& opts) {
   exp::SweepEngine engine(graph_cache(), partition_cache());
   exp::SweepOptions options;
   options.jobs = opts.jobs;
+  options.trace = opts.trace.get();
   return GridResults(spec, engine.run(spec, options));
 }
 

@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
-# Tier-1 verification: build, full test suite (unit + bench-smoke), then
-# the sweep-engine concurrency tests under ThreadSanitizer.
+# Tier-1 verification: build, full test suite (unit + bench-smoke), an
+# observability smoke run (--metrics/--trace on a tiny graph), then the
+# sweep-engine concurrency tests under ThreadSanitizer.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -8,6 +9,23 @@ cd "$(dirname "$0")/.."
 cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+# obs-smoke: a traced, metered run must produce a non-empty registry
+# dump and a trace with events; both outputs are asserted, not just the
+# exit code.
+obs_dir=$(mktemp -d)
+trap 'rm -rf "$obs_dir"' EXIT
+./build/tools/hyve_sim --rmat 5000x30000 --algo pr \
+  --metrics --trace "$obs_dir/trace.json" >/dev/null 2>"$obs_dir/metrics.txt"
+grep -q '=' "$obs_dir/metrics.txt" ||
+  { echo "obs-smoke: empty metrics dump" >&2; exit 1; }
+grep -q 'sim\.pipeline\.blocks=' "$obs_dir/metrics.txt" ||
+  { echo "obs-smoke: pipeline counters missing" >&2; exit 1; }
+grep -q '"ph"' "$obs_dir/trace.json" ||
+  { echo "obs-smoke: trace has no events" >&2; exit 1; }
+grep -q '"traceEvents"' "$obs_dir/trace.json" ||
+  { echo "obs-smoke: not a trace-event document" >&2; exit 1; }
+echo "obs-smoke: OK"
 
 cmake -B build-tsan -S . -DHYVE_SANITIZE=thread
 cmake --build build-tsan -j

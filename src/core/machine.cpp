@@ -2,14 +2,44 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "memmodel/techparams.hpp"
+#include "obs/trace.hpp"
 #include "sim/pipeline.hpp"
 #include "util/check.hpp"
 
 namespace hyve {
 
 using namespace tech;
+
+// Track layout of a traced run: one process per run (`pid`), fixed
+// thread ids for the scheduler, the interval-transfer stream, the
+// router, the power-gating controller, and one track per PU.
+struct HyveMachine::TraceSink {
+  obs::Trace* trace = nullptr;
+  std::uint32_t pid = 1;
+
+  static constexpr std::uint32_t kScheduler = 0;
+  static constexpr std::uint32_t kTransfer = 1;
+  static constexpr std::uint32_t kRouter = 2;
+  static constexpr std::uint32_t kBpg = 3;
+  static constexpr std::uint32_t kPuBase = 10;
+
+  bool on() const { return trace != nullptr; }
+
+  void name_tracks(const std::string& run_name, int num_pus) const {
+    if (!on()) return;
+    trace->process_name(pid, run_name);
+    trace->thread_name(pid, kScheduler, "scheduler");
+    trace->thread_name(pid, kTransfer, "interval transfer");
+    trace->thread_name(pid, kRouter, "router");
+    trace->thread_name(pid, kBpg, "power gating");
+    for (int pu = 0; pu < num_pus; ++pu)
+      trace->thread_name(pid, kPuBase + static_cast<std::uint32_t>(pu),
+                         "PU " + std::to_string(pu));
+  }
+};
 
 double RunReport::mteps() const {
   return exec_time_ns <= 0
@@ -62,33 +92,43 @@ std::uint32_t HyveMachine::choose_num_intervals(
   return p;
 }
 
-RunReport HyveMachine::run(const Graph& graph, Algorithm algorithm) const {
+RunReport HyveMachine::run(const Graph& graph, Algorithm algorithm,
+                           obs::Trace* trace,
+                           std::uint32_t trace_pid) const {
   const auto program = make_program(algorithm);
-  return run(graph, *program);
+  return run(graph, *program, trace, trace_pid);
 }
 
-RunReport HyveMachine::run(const Graph& graph, VertexProgram& program) const {
+RunReport HyveMachine::run(const Graph& graph, VertexProgram& program,
+                           obs::Trace* trace,
+                           std::uint32_t trace_pid) const {
   const std::uint32_t p =
       choose_num_intervals(graph, program.vertex_value_bytes());
   if (config_.hash_balance) {
     // Simulate the hash-balanced layout (§4.3): block populations even
     // out across PUs, which the per-step synchronisation rewards.
     const Graph balanced = graph.hashed_remap(config_.hash_balance_seed);
-    return run_with_schedule(balanced, Partitioning(balanced, p), program);
+    return run_with_schedule(balanced, Partitioning(balanced, p), program,
+                             trace, trace_pid);
   }
-  return run_with_schedule(graph, Partitioning(graph, p), program);
+  return run_with_schedule(graph, Partitioning(graph, p), program, trace,
+                           trace_pid);
 }
 
 RunReport HyveMachine::run_with_schedule(const Graph& graph,
                                          const Partitioning& schedule,
-                                         Algorithm algorithm) const {
+                                         Algorithm algorithm,
+                                         obs::Trace* trace,
+                                         std::uint32_t trace_pid) const {
   const auto program = make_program(algorithm);
-  return run_with_schedule(graph, schedule, *program);
+  return run_with_schedule(graph, schedule, *program, trace, trace_pid);
 }
 
 RunReport HyveMachine::run_with_schedule(const Graph& graph,
                                          const Partitioning& schedule,
-                                         VertexProgram& program) const {
+                                         VertexProgram& program,
+                                         obs::Trace* trace,
+                                         std::uint32_t trace_pid) const {
   HYVE_CHECK_MSG(schedule.num_vertices() == graph.num_vertices(),
                  "schedule built for a different graph");
   const std::uint32_t p =
@@ -96,13 +136,14 @@ RunReport HyveMachine::run_with_schedule(const Graph& graph,
   HYVE_CHECK_MSG(schedule.num_intervals() == p,
                  "schedule has P=" << schedule.num_intervals()
                                    << " but this machine needs P=" << p);
+  const TraceSink sink{trace, trace_pid};
   if (config_.frontier_block_skipping) {
-    const FrontierTrace trace = run_frontier(graph, program, schedule);
-    return account(graph, program, schedule, trace.result, &trace);
+    const FrontierTrace ftrace = run_frontier(graph, program, schedule);
+    return account(graph, program, schedule, ftrace.result, &ftrace, sink);
   }
   const FunctionalResult functional =
       run_functional(graph, program, &schedule);
-  return account(graph, program, schedule, functional, nullptr);
+  return account(graph, program, schedule, functional, nullptr, sink);
 }
 
 namespace {
@@ -131,6 +172,7 @@ void HyveMachine::account_with_sram(const Graph& graph,
                                     const Partitioning& schedule,
                                     std::uint32_t value_bytes, bool has_apply,
                                     const FrontierTrace* frontier,
+                                    const TraceSink& sink,
                                     RunReport& report) const {
   const auto n = static_cast<std::uint32_t>(config_.num_pus);
   const std::uint32_t p = schedule.num_intervals();
@@ -209,6 +251,10 @@ void HyveMachine::account_with_sram(const Graph& graph,
     std::uint64_t edges_this_iter = 0;
     std::uint64_t remote_edges = 0;
     double processing_time = 0;
+    // Simulated clock of the processing stream within this iteration
+    // (only advanced for trace spans; exec_time uses processing_time).
+    const double iter_start_ns = exec_time;
+    double step_start_ns = iter_start_ns;
     for (std::uint32_t sb_y = 0; sb_y < k; ++sb_y) {
       for (std::uint32_t sb_x = 0; sb_x < k; ++sb_x) {
         for (std::uint32_t step = 0; step < n; ++step) {
@@ -219,11 +265,28 @@ void HyveMachine::account_with_sram(const Graph& graph,
             const std::uint32_t y = sb_y * n + pu;
             const std::uint64_t e = block_edges(iter, x, y);
             edges_this_iter += e;
-            if (config_.data_sharing && x % n != y % n) remote_edges += e;
-            step_time =
-                std::max(step_time, block_processing_time_ns(e, stages));
+            const bool remote = config_.data_sharing && x % n != y % n;
+            if (remote) remote_edges += e;
+            const double block_ns = block_processing_time_ns(e, stages);
+            step_time = std::max(step_time, block_ns);
+            if (sink.on() && e > 0) {
+              sink.trace->complete(
+                  sink.pid, TraceSink::kPuBase + pu, "block",
+                  "process", step_start_ns, block_ns,
+                  {{"x", static_cast<double>(x)},
+                   {"y", static_cast<double>(y)},
+                   {"edges", static_cast<double>(e)}});
+              if (remote)
+                sink.trace->complete(
+                    sink.pid, TraceSink::kRouter, "share",
+                    "router", step_start_ns, block_ns,
+                    {{"src_interval", static_cast<double>(x)},
+                     {"pu", static_cast<double>(pu)},
+                     {"edges", static_cast<double>(e)}});
+            }
           }
           processing_time += step_time;
+          step_start_ns += step_time;
         }
       }
     }
@@ -254,8 +317,40 @@ void HyveMachine::account_with_sram(const Graph& graph,
 
     // Interval loading double-buffers against processing (Fig. 8's step
     // 1/6 overlap with steps 2-5), so an iteration is bound by the slower
-    // of the two streams.
-    exec_time += std::max(transfer_time, processing_time + apply_time);
+    // of the two streams. The phase breakdown attributes the iteration
+    // to whichever stream bound it, so phase times sum to exec_time_ns.
+    const double busy_time = processing_time + apply_time;
+    if (transfer_time > busy_time) {
+      report.phases.time(Phase::kLoad) += transfer_time;
+    } else {
+      report.phases.time(Phase::kProcess) += processing_time;
+      report.phases.time(Phase::kApply) += apply_time;
+    }
+
+    if (sink.on()) {
+      const double iter_time = std::max(transfer_time, busy_time);
+      sink.trace->complete(sink.pid, TraceSink::kScheduler, "iteration",
+                           "iteration", iter_start_ns, iter_time,
+                           {{"iter", static_cast<double>(iter)},
+                            {"edges", static_cast<double>(edges_this_iter)}});
+      if (transfer_time > 0)
+        sink.trace->complete(
+            sink.pid, TraceSink::kTransfer, "interval load+update", "load",
+            iter_start_ns, transfer_time,
+            {{"loads", static_cast<double>(it.interval_loads)},
+             {"writebacks", static_cast<double>(it.interval_writebacks)}});
+      if (apply_time > 0)
+        sink.trace->complete(sink.pid, TraceSink::kScheduler, "apply",
+                             "apply", iter_start_ns + processing_time,
+                             apply_time,
+                             {{"vertices", static_cast<double>(v)}});
+      if (config_.edge_memory_tech == MemTech::kReram &&
+          config_.power_gating && processing_time > 0)
+        sink.trace->complete(sink.pid, TraceSink::kBpg, "bank awake",
+                             "bpg", iter_start_ns, processing_time);
+    }
+
+    exec_time += std::max(transfer_time, busy_time);
     streaming_time += processing_time;
     total += it;
   }
@@ -298,6 +393,9 @@ void HyveMachine::account_without_sram(const Graph& graph,
   const std::uint32_t iters = report.iterations;
   report.exec_time_ns = iter_time * iters;
   report.streaming_time_ns = report.exec_time_ns;
+  // No on-chip level: every iteration is one bound edge/vertex stream,
+  // so the whole wall-clock is processing.
+  report.phases.time(Phase::kProcess) = report.exec_time_ns;
   AccessStats total;
   for (std::uint32_t i = 0; i < iters; ++i) total += per_iter;
   report.stats = total;
@@ -306,7 +404,8 @@ void HyveMachine::account_without_sram(const Graph& graph,
 RunReport HyveMachine::account(const Graph& graph, VertexProgram& program,
                                const Partitioning& schedule,
                                const FunctionalResult& functional,
-                               const FrontierTrace* frontier) const {
+                               const FrontierTrace* frontier,
+                               const TraceSink& sink) const {
   RunReport report;
   report.config_label = config_.label;
   report.algorithm = program.name();
@@ -314,12 +413,24 @@ RunReport HyveMachine::account(const Graph& graph, VertexProgram& program,
   report.iterations = functional.iterations;
   report.edges_traversed = functional.edges_traversed;
 
+  if (sink.on())
+    sink.name_tracks(config_.label + " / " + program.name(),
+                     config_.num_pus);
+
   const std::uint32_t value_bytes = program.vertex_value_bytes();
   if (config_.has_onchip_vertex_memory()) {
     account_with_sram(graph, schedule, value_bytes, program.has_apply_phase(),
-                      frontier, report);
+                      frontier, sink, report);
   } else {
     account_without_sram(graph, value_bytes, report);
+    if (sink.on() && report.iterations > 0) {
+      const double iter_time =
+          report.exec_time_ns / report.iterations;
+      for (std::uint32_t i = 0; i < report.iterations; ++i)
+        sink.trace->complete(sink.pid, TraceSink::kScheduler, "iteration",
+                             "iteration", i * iter_time, iter_time,
+                             {{"iter", static_cast<double>(i)}});
+    }
   }
 
   const AccessStats& s = report.stats;
@@ -349,6 +460,12 @@ RunReport HyveMachine::account(const Graph& graph, VertexProgram& program,
     energy[EnergyComponent::kEdgeMemBackground] =
         report.bpg.gated_background_pj;
     report.exec_time_ns += report.bpg.exposed_wake_time_ns;
+    report.phases.time(Phase::kWake) += report.bpg.exposed_wake_time_ns;
+    if (sink.on() && report.bpg.exposed_wake_time_ns > 0)
+      sink.trace->complete(sink.pid, TraceSink::kBpg, "exposed wake", "bpg",
+                           t, report.bpg.exposed_wake_time_ns,
+                           {{"bank_wakes",
+                             static_cast<double>(report.bpg.bank_wakes)}});
   } else {
     energy[EnergyComponent::kEdgeMemBackground] =
         units::power_over(emem.background_power_mw(edge_capacity), t);
@@ -364,15 +481,21 @@ RunReport HyveMachine::account(const Graph& graph, VertexProgram& program,
   const bool shared_module =
       !config_.has_onchip_vertex_memory() &&
       config_.edge_memory_tech == config_.offchip_vertex_tech;
-  double vdyn = vmem.stream_read_energy_pj(s.offchip_vertex_bytes_read) +
-                vmem.stream_write_energy_pj(s.offchip_vertex_bytes_written);
-  vdyn += static_cast<double>(s.offchip_vertex_random_reads) *
+  // Stream traffic is the interval loading/updating phase; random
+  // traffic (baselines without on-chip SRAM) happens per processed edge
+  // — the split feeds the per-phase energy attribution below.
+  const double vmem_stream_pj =
+      vmem.stream_read_energy_pj(s.offchip_vertex_bytes_read) +
+      vmem.stream_write_energy_pj(s.offchip_vertex_bytes_written);
+  const double vmem_random_pj =
+      static_cast<double>(s.offchip_vertex_random_reads) *
           vmem.random_read_energy_pj(value_bytes) *
-          kNoSramVertexLocalityFactor;
-  vdyn += static_cast<double>(s.offchip_vertex_random_writes) *
+          kNoSramVertexLocalityFactor +
+      static_cast<double>(s.offchip_vertex_random_writes) *
           vmem.random_write_energy_pj(value_bytes) *
           kNoSramVertexLocalityFactor;
-  energy[EnergyComponent::kOffchipVertexDynamic] = vdyn;
+  energy[EnergyComponent::kOffchipVertexDynamic] =
+      vmem_stream_pj + vmem_random_pj;
   energy[EnergyComponent::kOffchipVertexBackground] =
       shared_module
           ? 0.0
@@ -402,7 +525,69 @@ RunReport HyveMachine::account(const Graph& graph, VertexProgram& program,
       static_cast<double>(s.vertex_ops) * kCmosEdgeOpEnergyPj;
   energy[EnergyComponent::kLogicStatic] = units::power_over(kLogicStaticMw, t);
 
+  // ---- per-phase energy attribution ----
+  // Every component lands in exactly one phase, recomputed from the
+  // same stats the component terms used, so the phase sums equal
+  // total_pj() to floating-point reassociation error (validated at
+  // 1e-9 relative tolerance by report validation).
+  {
+    PhaseBreakdown& ph = report.phases;
+    // Apply-phase shares of the SRAM and PU dynamic terms: vertex_ops
+    // counts only apply-step operations (one read + one write each).
+    double apply_sram_pj = 0;
+    double process_sram_pj = 0;
+    double load_sram_pj = 0;
+    if (sram_) {
+      apply_sram_pj = static_cast<double>(s.vertex_ops) *
+                      (sram_->read_energy_pj(value_bytes) +
+                       sram_->write_energy_pj(value_bytes));
+      process_sram_pj =
+          static_cast<double>(s.sram_random_reads - s.vertex_ops) *
+              sram_->read_energy_pj(value_bytes) +
+          static_cast<double>(s.sram_random_writes - s.vertex_ops) *
+              sram_->write_energy_pj(value_bytes);
+      load_sram_pj =
+          sram_->write_energy_pj(4) *
+              (static_cast<double>(s.sram_fill_bytes) / 4.0) +
+          sram_->read_energy_pj(4) *
+              (static_cast<double>(s.sram_drain_bytes) / 4.0);
+    }
+    const double apply_pu_pj =
+        static_cast<double>(s.vertex_ops) * kCmosEdgeOpEnergyPj;
+    const double process_pu_pj =
+        static_cast<double>(s.edge_ops) *
+        (kCmosEdgeOpEnergyPj + kControllerPerEdgeEnergyPj);
+
+    ph.energy(Phase::kProcess) = energy[EnergyComponent::kEdgeMemDynamic] +
+                                 energy[EnergyComponent::kRouter] +
+                                 process_pu_pj + process_sram_pj +
+                                 vmem_random_pj;
+    ph.energy(Phase::kApply) = apply_pu_pj + apply_sram_pj;
+    ph.energy(Phase::kLoad) = vmem_stream_pj + load_sram_pj;
+    ph.energy(Phase::kBackground) =
+        energy[EnergyComponent::kEdgeMemBackground] +
+        energy[EnergyComponent::kOffchipVertexBackground] +
+        energy[EnergyComponent::kSramLeakage] +
+        energy[EnergyComponent::kLogicStatic];
+  }
+  report.validate_phase_totals();
+
   return report;
+}
+
+void RunReport::validate_phase_totals(double rel_tol) const {
+  const auto close = [rel_tol](double a, double b) {
+    return std::abs(a - b) <=
+           rel_tol * std::max({std::abs(a), std::abs(b), 1.0});
+  };
+  HYVE_CHECK_MSG(close(phases.total_time_ns(), exec_time_ns),
+                 "phase times sum to " << phases.total_time_ns()
+                                       << " ns but exec_time_ns is "
+                                       << exec_time_ns);
+  HYVE_CHECK_MSG(close(phases.total_energy_pj(), total_energy_pj()),
+                 "phase energies sum to " << phases.total_energy_pj()
+                                          << " pJ but the total is "
+                                          << total_energy_pj());
 }
 
 }  // namespace hyve

@@ -28,6 +28,10 @@
 
 namespace hyve {
 
+namespace obs {
+class Trace;
+}  // namespace obs
+
 struct RunReport {
   std::string config_label;
   std::string algorithm;
@@ -38,7 +42,16 @@ struct RunReport {
   double streaming_time_ns = 0;  // edge memory actively streaming
   AccessStats stats;
   EnergyBreakdown energy;
+  // Per-phase attribution of exec_time_ns and the energy total (see
+  // Phase in sim/energy.hpp). Its sums equal the run totals; report
+  // validation enforces this at 1e-9 relative tolerance so breakdowns
+  // can never silently drift from the totals.
+  PhaseBreakdown phases;
   PowerGatingResult bpg;  // zeros when power gating is off/ inapplicable
+
+  // Throws InvariantError unless phases sums to exec_time_ns and
+  // total_energy_pj() within `rel_tol` relative tolerance.
+  void validate_phase_totals(double rel_tol = 1e-9) const;
 
   double total_energy_pj() const { return energy.total_pj(); }
   // Million traversed edges per second.
@@ -59,11 +72,19 @@ class HyveMachine {
   std::uint32_t choose_num_intervals(const Graph& graph,
                                      std::uint32_t vertex_value_bytes) const;
 
-  // Simulates the full run of `algorithm` on `graph`.
-  RunReport run(const Graph& graph, Algorithm algorithm) const;
+  // Simulates the full run of `algorithm` on `graph`. When `trace` is
+  // non-null the architectural walk additionally emits Chrome trace
+  // events (per-PU block spans, interval transfers, router sharing,
+  // power-gating windows) on tracks of process `trace_pid`, with
+  // timestamps in simulated nanoseconds.
+  RunReport run(const Graph& graph, Algorithm algorithm,
+                obs::Trace* trace = nullptr,
+                std::uint32_t trace_pid = 1) const;
 
   // As above with a caller-supplied program (custom algorithms).
-  RunReport run(const Graph& graph, VertexProgram& program) const;
+  RunReport run(const Graph& graph, VertexProgram& program,
+                obs::Trace* trace = nullptr,
+                std::uint32_t trace_pid = 1) const;
 
   // Runs on a graph whose layout preparation was done by the caller —
   // e.g. the memoising caches of src/exp. `graph` must already reflect
@@ -72,21 +93,28 @@ class HyveMachine {
   // choose_num_intervals() intervals; both are checked. Produces a
   // report identical to run()'s.
   RunReport run_with_schedule(const Graph& graph, const Partitioning& schedule,
-                              Algorithm algorithm) const;
+                              Algorithm algorithm,
+                              obs::Trace* trace = nullptr,
+                              std::uint32_t trace_pid = 1) const;
   RunReport run_with_schedule(const Graph& graph, const Partitioning& schedule,
-                              VertexProgram& program) const;
+                              VertexProgram& program,
+                              obs::Trace* trace = nullptr,
+                              std::uint32_t trace_pid = 1) const;
 
  private:
+  struct TraceSink;  // trace + pid + track layout (null trace = no-op)
+
   const MemoryModel& edge_memory() const;
   const MemoryModel& offchip_vertex_memory() const;
 
   RunReport account(const Graph& graph, VertexProgram& program,
                     const Partitioning& schedule,
                     const FunctionalResult& functional,
-                    const FrontierTrace* frontier) const;
+                    const FrontierTrace* frontier,
+                    const TraceSink& sink) const;
   void account_with_sram(const Graph& graph, const Partitioning& schedule,
                          std::uint32_t value_bytes, bool has_apply,
-                         const FrontierTrace* frontier,
+                         const FrontierTrace* frontier, const TraceSink& sink,
                          RunReport& report) const;
   void account_without_sram(const Graph& graph, std::uint32_t value_bytes,
                             RunReport& report) const;

@@ -70,6 +70,24 @@ void write_report_json(std::ostream& os, const RunReport& r) {
     write_number(os, r.energy[c]);
   }
   os << '}';
+  os << ",\"phase_time_ns\":{";
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Phase::kCount); ++i) {
+    const auto p = static_cast<Phase>(i);
+    if (i > 0) os << ',';
+    write_escaped(os, phase_name(p));
+    os << ':';
+    write_number(os, r.phases.time(p));
+  }
+  os << '}';
+  os << ",\"phase_energy_pj\":{";
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Phase::kCount); ++i) {
+    const auto p = static_cast<Phase>(i);
+    if (i > 0) os << ',';
+    write_escaped(os, phase_name(p));
+    os << ':';
+    write_number(os, r.phases.energy(p));
+  }
+  os << '}';
   os << ",\"stats\":{"
      << "\"edge_bytes_read\":" << r.stats.edge_bytes_read
      << ",\"edge_stream_passes\":" << r.stats.edge_stream_passes
@@ -275,6 +293,12 @@ RunReport run_report_from_json(const std::string& json) {
     r.energy[c] = f.num("energy_breakdown_pj." + component_name(c));
   }
 
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Phase::kCount); ++i) {
+    const auto p = static_cast<Phase>(i);
+    r.phases.time(p) = f.num("phase_time_ns." + phase_name(p));
+    r.phases.energy(p) = f.num("phase_energy_pj." + phase_name(p));
+  }
+
   AccessStats& s = r.stats;
   s.edge_bytes_read = f.u64("stats.edge_bytes_read");
   s.edge_stream_passes = f.u64("stats.edge_stream_passes");
@@ -305,6 +329,12 @@ RunReport run_report_from_json(const std::string& json) {
       !close(f.num("mteps_per_watt"), r.mteps_per_watt(), 1e-6))
     throw std::runtime_error(
         "run_report_from_json: derived fields inconsistent with components");
+  // The per-phase breakdown must re-sum to the run totals (same
+  // slack for the rounded parts).
+  if (!close(r.phases.total_time_ns(), r.exec_time_ns, 1e-6) ||
+      !close(r.phases.total_energy_pj(), r.total_energy_pj(), 1e-6))
+    throw std::runtime_error(
+        "run_report_from_json: phase breakdown inconsistent with totals");
   return r;
 }
 
@@ -321,6 +351,12 @@ bool reports_equivalent(const RunReport& a, const RunReport& b,
        i < static_cast<std::size_t>(EnergyComponent::kCount); ++i) {
     const auto c = static_cast<EnergyComponent>(i);
     if (!close(a.energy[c], b.energy[c], rel_tol)) return false;
+  }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Phase::kCount); ++i) {
+    const auto p = static_cast<Phase>(i);
+    if (!close(a.phases.time(p), b.phases.time(p), rel_tol) ||
+        !close(a.phases.energy(p), b.phases.energy(p), rel_tol))
+      return false;
   }
   const AccessStats& x = a.stats;
   const AccessStats& y = b.stats;
@@ -349,6 +385,9 @@ bool reports_equivalent(const RunReport& a, const RunReport& b,
 }
 
 std::string validated_report_json(const RunReport& report) {
+  // Breakdowns can never silently drift from the totals: every record
+  // any tool emits first proves its phase sums (1e-9 relative).
+  report.validate_phase_totals();
   const std::string json = report_to_json(report);
   RunReport parsed;
   try {

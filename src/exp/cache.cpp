@@ -1,5 +1,6 @@
 #include "exp/cache.hpp"
 
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 
 namespace hyve::exp {
@@ -9,6 +10,17 @@ namespace {
 // Heap footprint of an owned graph — what eviction can actually free.
 std::size_t graph_bytes(const Graph& g) {
   return sizeof(Graph) + g.edges().capacity() * sizeof(Edge);
+}
+
+// Registry mirrors of the per-instance atomics (loads()/builds()/...):
+// the instance counters stay authoritative for tests; these feed the
+// process-wide `--metrics` dump.
+void count(const char* name, std::uint64_t delta = 1) {
+  if (obs::enabled()) obs::registry().counter(name).add(delta);
+}
+
+void gauge(const char* name, std::int64_t value) {
+  if (obs::enabled()) obs::registry().gauge(name).set(value);
 }
 
 }  // namespace
@@ -71,6 +83,7 @@ std::shared_ptr<const Graph> GraphCache::materialise(Entry& entry) {
     const std::scoped_lock lock(mu_);
     if (entry.graph) {
       entry.last_use = ++tick_;
+      count("exp.graph_cache.hits");
       return entry.graph;
     }
   }
@@ -81,17 +94,21 @@ std::shared_ptr<const Graph> GraphCache::materialise(Entry& entry) {
     const std::scoped_lock lock(mu_);
     if (entry.graph) {
       entry.last_use = ++tick_;
+      count("exp.graph_cache.hits");
       return entry.graph;
     }
   }
   std::shared_ptr<const Graph> built = entry.build();
   ++loads_;
+  count("exp.graph_cache.loads");
   const std::scoped_lock lock(mu_);
   entry.graph = built;
   entry.bytes = entry.evictable ? graph_bytes(*built) : 0;
   entry.last_use = ++tick_;
   resident_bytes_ += entry.bytes;
   if (budget_bytes_ > 0) evict_to_budget_locked(&entry);
+  gauge("exp.graph_cache.resident_bytes",
+        static_cast<std::int64_t>(resident_bytes_));
   return built;
 }
 
@@ -111,6 +128,7 @@ void GraphCache::evict_to_budget_locked(const Entry* keep) {
     resident_bytes_ -= victim->bytes;
     victim->bytes = 0;
     ++evictions_;
+    count("exp.graph_cache.evictions");
   }
 }
 
@@ -171,6 +189,7 @@ std::shared_ptr<const Partitioning> PartitionCache::acquire(
               p->num_edges() == graph.num_edges(),
           "partition cache key \"" << key
                                    << "\" reused for a different graph");
+      count("exp.partition_cache.hits");
       return p;
     }
   }
@@ -179,16 +198,20 @@ std::shared_ptr<const Partitioning> PartitionCache::acquire(
     const std::scoped_lock lock(mu_);
     if (entry->partitioning) {
       entry->last_use = ++tick_;
+      count("exp.partition_cache.hits");
       return entry->partitioning;
     }
   }
   auto built = std::make_shared<const Partitioning>(graph, num_intervals);
   ++builds_;
+  count("exp.partition_cache.builds");
   const std::scoped_lock lock(mu_);
   entry->partitioning = built;
   entry->last_use = ++tick_;
   ++resident_;
   if (max_entries_ > 0) evict_to_cap_locked(entry);
+  gauge("exp.partition_cache.resident",
+        static_cast<std::int64_t>(resident_));
   return built;
 }
 
@@ -203,6 +226,7 @@ void PartitionCache::evict_to_cap_locked(const Entry* keep) {
     victim->partitioning.reset();
     --resident_;
     ++evictions_;
+    count("exp.partition_cache.evictions");
   }
 }
 

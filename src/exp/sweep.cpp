@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -10,6 +11,8 @@
 #include <utility>
 
 #include "core/report_io.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/table.hpp"
 
@@ -40,7 +43,8 @@ std::vector<SweepCell> expand(const SweepSpec& spec) {
 
 RunReport run_cached(GraphCache& graphs, PartitionCache& partitions,
                      const HyveConfig& config, Algorithm algorithm,
-                     const std::string& graph_key) {
+                     const std::string& graph_key, obs::Trace* trace,
+                     std::uint32_t trace_pid) {
   const HyveMachine machine(config);
   const auto program = make_program(algorithm);
   // Hold shared ownership for the whole run: under a cache size cap a
@@ -56,7 +60,8 @@ RunReport run_cached(GraphCache& graphs, PartitionCache& partitions,
       machine.choose_num_intervals(*graph, program->vertex_value_bytes());
   const std::shared_ptr<const Partitioning> schedule =
       partitions.acquire(schedule_key, *graph, p);
-  return machine.run_with_schedule(*graph, *schedule, *program);
+  return machine.run_with_schedule(*graph, *schedule, *program, trace,
+                                   trace_pid);
 }
 
 std::optional<ResultSink::Format> ResultSink::parse_format(
@@ -146,9 +151,34 @@ std::vector<SweepResult> SweepEngine::run(const SweepSpec& spec,
   std::mutex mu;  // guards reports[] and flushed
   std::size_t flushed = 0;
 
+  std::atomic<std::int64_t> in_flight{0};
+
   parallel_cells(n, options.jobs, [&](std::size_t i) {
+    const auto wall_start = std::chrono::steady_clock::now();
+    if (obs::enabled())
+      obs::registry()
+          .gauge("exp.sweep.in_flight")
+          .set(in_flight.fetch_add(1, std::memory_order_relaxed) + 1);
+    // pid 0 would collide with the default single-run pid of 1 for the
+    // first cell only; cell index + 1 keeps every cell distinct anyway.
     RunReport report = run_cached(graphs_, partitions_, cells[i].config,
-                                  cells[i].algorithm, cells[i].graph_key);
+                                  cells[i].algorithm, cells[i].graph_key,
+                                  options.trace,
+                                  static_cast<std::uint32_t>(i) + 1);
+    if (obs::enabled()) {
+      static obs::Counter& cells_done =
+          obs::registry().counter("exp.sweep.cells");
+      static obs::Histogram& wall_us =
+          obs::registry().histogram("exp.sweep.cell_wall_us");
+      cells_done.add();
+      wall_us.observe(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - wall_start)
+              .count()));
+      obs::registry()
+          .gauge("exp.sweep.in_flight")
+          .set(in_flight.fetch_sub(1, std::memory_order_relaxed) - 1);
+    }
     const std::scoped_lock lock(mu);
     reports[i] = std::move(report);
     // Emit the completed prefix; later cells wait their turn so the

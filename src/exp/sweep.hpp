@@ -21,6 +21,10 @@
 #include "core/machine.hpp"
 #include "exp/cache.hpp"
 
+namespace hyve::obs {
+class Trace;
+}  // namespace hyve::obs
+
 namespace hyve::exp {
 
 // Declarative grid. Expansion order is row-major with configs outermost
@@ -60,10 +64,14 @@ void parallel_cells(std::size_t n, int jobs,
                     const std::function<void(std::size_t)>& fn);
 
 // Runs one cell through the caches. Produces a report identical to
-// HyveMachine(config).run(graph, algorithm).
+// HyveMachine(config).run(graph, algorithm). When `trace` is non-null
+// the run's phase spans land on tracks of process `trace_pid` (the
+// engine uses one pid per cell so sweep traces stay disentangled).
 RunReport run_cached(GraphCache& graphs, PartitionCache& partitions,
                      const HyveConfig& config, Algorithm algorithm,
-                     const std::string& graph_key);
+                     const std::string& graph_key,
+                     obs::Trace* trace = nullptr,
+                     std::uint32_t trace_pid = 1);
 
 // Thread-safe, order-stable record writer. The engine calls write() in
 // strict cell order; every record is round-tripped through
@@ -90,6 +98,10 @@ class ResultSink {
 
 struct SweepOptions {
   int jobs = 0;  // worker threads; 0 → hardware concurrency
+  // Optional span sink. Each cell traces onto its own pid (cell index
+  // + 1); timestamps are simulated ns, so the trace bytes are the same
+  // for any `jobs` value.
+  obs::Trace* trace = nullptr;
 };
 
 struct SweepResult {

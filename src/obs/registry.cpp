@@ -1,0 +1,125 @@
+#include "obs/registry.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hyve::obs {
+
+namespace {
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Histogram::observe(std::uint64_t sample) {
+  if (!enabled()) return;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (sample < seen &&
+         !min_.compare_exchange_weak(seen, sample,
+                                     std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (sample > seen &&
+         !max_.compare_exchange_weak(seen, sample,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::min() const {
+  const std::uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == kEmptyMin ? 0 : v;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(kEmptyMin, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+void Registry::claim(const std::string& name, Kind kind) {
+  const auto [it, inserted] = kinds_.emplace(name, kind);
+  HYVE_CHECK_MSG(inserted || it->second == kind,
+                 "metric \"" << name
+                             << "\" already registered as another kind");
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::scoped_lock lock(mu_);
+  claim(name, Kind::kCounter);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::scoped_lock lock(mu_);
+  claim(name, Kind::kGauge);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  const std::scoped_lock lock(mu_);
+  claim(name, Kind::kHistogram);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Registry::dump(std::ostream& os) const {
+  const std::scoped_lock lock(mu_);
+  // kinds_ is one sorted map over every instrument name, so the lines
+  // come out in one stable lexicographic pass.
+  for (const auto& [name, kind] : kinds_) {
+    switch (kind) {
+      case Kind::kCounter:
+        os << name << '=' << counters_.at(name)->value() << '\n';
+        break;
+      case Kind::kGauge:
+        os << name << '=' << gauges_.at(name)->value() << '\n';
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *histograms_.at(name);
+        os << name << ".count=" << h.count() << '\n'
+           << name << ".max=" << h.max() << '\n'
+           << name << ".min=" << h.min() << '\n'
+           << name << ".sum=" << h.sum() << '\n';
+        break;
+      }
+    }
+  }
+}
+
+std::string Registry::dump_string() const {
+  std::ostringstream os;
+  dump(os);
+  return os.str();
+}
+
+std::size_t Registry::size() const {
+  const std::scoped_lock lock(mu_);
+  return kinds_.size();
+}
+
+void Registry::reset_values() {
+  const std::scoped_lock lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace hyve::obs

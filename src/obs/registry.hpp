@@ -1,0 +1,127 @@
+// Process-wide metrics registry (the observability layer's "numbers"
+// half; src/obs/trace.hpp is the "timeline" half).
+//
+// Instruments are named counters, gauges and histograms with atomic
+// updates, cheap enough for the simulator's hot loops: an update is one
+// relaxed atomic load (the global enable flag) plus, when enabled, one
+// relaxed RMW. Collection is off by default, so instrumented code costs
+// a predicted branch when nobody asked for metrics (--metrics and
+// --cache-stats turn it on).
+//
+// Handles returned by counter()/gauge()/histogram() are stable for the
+// registry's lifetime, so hot paths register once through a static
+// reference and update lock-free afterwards:
+//
+//   static obs::Counter& blocks =
+//       obs::registry().counter("sim.pipeline.blocks");
+//   blocks.add();
+//
+// dump() renders every registered instrument as sorted "key=value"
+// lines — a stable, diffable text format for --metrics output. Values
+// reflect whatever ran; the *key set and order* are what is stable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace hyve::obs {
+
+// Global collection switch. Updates are dropped while disabled.
+bool enabled();
+void set_enabled(bool on);
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    if (enabled()) value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    if (enabled()) value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) {
+    if (enabled()) value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Count / sum / min / max over integer samples (e.g. microseconds,
+// edge counts). No buckets: the simulator's consumers want totals and
+// extremes, and four atomics keep observe() cheap and TSan-clean.
+class Histogram {
+ public:
+  void observe(std::uint64_t sample);
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  // Min/max of the observed samples; 0 when empty.
+  std::uint64_t min() const;
+  std::uint64_t max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  static constexpr std::uint64_t kEmptyMin = ~std::uint64_t{0};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{kEmptyMin};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+class Registry {
+ public:
+  // The instrument registered under `name`, created on first use. A name
+  // identifies exactly one instrument kind (asking for an existing name
+  // with a different kind throws InvariantError).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // Sorted "key=value" lines, one per instrument value; histograms
+  // expand to key.count/key.sum/key.min/key.max.
+  void dump(std::ostream& os) const;
+  std::string dump_string() const;
+
+  // Registered instruments (all kinds).
+  std::size_t size() const;
+  // Zeroes every instrument (handles stay valid) — test isolation.
+  void reset_values();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  void claim(const std::string& name, Kind kind);
+
+  mutable std::mutex mu_;  // guards the maps, not the instruments
+  std::map<std::string, Kind> kinds_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// The process-wide registry every instrumented layer reports into.
+Registry& registry();
+
+}  // namespace hyve::obs

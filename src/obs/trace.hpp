@@ -1,0 +1,68 @@
+// Span-based event tracing in Chrome trace-event JSON.
+//
+// A Trace collects events on (pid, tid) tracks and writes the standard
+// {"traceEvents":[...]} JSON that chrome://tracing and Perfetto load
+// directly. Timestamps are SIMULATED time handed in by the caller in
+// nanoseconds (the trace-event `ts`/`dur` unit is microseconds, so the
+// writer divides by 1e3) — never wall-clock, so a trace is byte-identical
+// across runs and thread counts.
+//
+// Appending is thread-safe (the sweep engine's workers trace concurrent
+// cells under distinct pids); write() orders events by (pid, tid, ts)
+// so the file is deterministic regardless of append interleaving and
+// every track's timestamps are monotonically non-decreasing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hyve::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'X';      // X = complete, i = instant, M = metadata
+  double ts_ns = 0;   // simulated start time
+  double dur_ns = 0;  // complete events only
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  // Numeric args rendered into the event's "args" object.
+  std::vector<std::pair<std::string, double>> args;
+  // Pre-rendered raw JSON args (metadata names); appended after `args`.
+  std::string raw_args;
+};
+
+class Trace {
+ public:
+  // A span of simulated time [ts_ns, ts_ns + dur_ns) on a track.
+  void complete(std::uint32_t pid, std::uint32_t tid, std::string name,
+                std::string cat, double ts_ns, double dur_ns,
+                std::vector<std::pair<std::string, double>> args = {});
+  // A point event.
+  void instant(std::uint32_t pid, std::uint32_t tid, std::string name,
+               std::string cat, double ts_ns,
+               std::vector<std::pair<std::string, double>> args = {});
+  // Names a track in the viewer (metadata event).
+  void thread_name(std::uint32_t pid, std::uint32_t tid, std::string name);
+  void process_name(std::uint32_t pid, std::string name);
+
+  std::size_t events() const;
+
+  // The full trace document, one event per line, sorted by
+  // (pid, tid, ts, name) with metadata events first.
+  void write(std::ostream& os) const;
+  // write() to a file; throws std::runtime_error when it cannot.
+  void write_file(const std::string& path) const;
+
+ private:
+  void append(TraceEvent event);
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace hyve::obs

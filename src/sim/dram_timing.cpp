@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace hyve {
@@ -63,6 +65,11 @@ DramTraceResult DramTimingSim::run(std::span<const MemRequest> trace) {
         bank.activated_ns = act_ns;
         column_issue_ns = act_ns + t_rcd;
         ++result.row_misses;
+        if (trace_ != nullptr)
+          trace_->instant(trace_pid_,
+                          static_cast<std::uint32_t>(bank_of(address)),
+                          "row-activate", "dram", act_ns,
+                          {{"row", static_cast<double>(row)}});
       }
 
       // The data bus serialises bursts across all banks.
@@ -85,6 +92,17 @@ DramTraceResult DramTimingSim::run(std::span<const MemRequest> trace) {
           ? 0.0
           : static_cast<double>(result.bursts) * params_.burst_bytes /
                 finish_ns;
+
+  if (obs::enabled()) {
+    static obs::Counter& row_hits =
+        obs::registry().counter("sim.dram.row_hits");
+    static obs::Counter& row_misses =
+        obs::registry().counter("sim.dram.row_misses");
+    static obs::Counter& bursts = obs::registry().counter("sim.dram.bursts");
+    row_hits.add(result.row_hits);
+    row_misses.add(result.row_misses);
+    bursts.add(result.bursts);
+  }
   return result;
 }
 

@@ -18,6 +18,10 @@
 
 namespace hyve {
 
+namespace obs {
+class Trace;
+}  // namespace obs
+
 struct DramTimingParams {
   double tck_ns = 0.9375;  // DDR4-2133: 1066 MHz memory clock
   // JEDEC-style timings in memory-clock cycles (-093 speed grade class).
@@ -58,6 +62,14 @@ class DramTimingSim {
   // bus serialises bursts) and returns the timing profile.
   DramTraceResult run(std::span<const MemRequest> trace);
 
+  // Mirrors row activations into `trace` as instant events (one per
+  // row miss, tid = bank, ts = simulated activation time) on tracks of
+  // process `pid`. Null detaches.
+  void set_trace(obs::Trace* trace, std::uint32_t pid = 1) {
+    trace_ = trace;
+    trace_pid_ = pid;
+  }
+
   const DramTimingParams& params() const { return params_; }
 
  private:
@@ -69,6 +81,8 @@ class DramTimingSim {
   };
 
   DramTimingParams params_;
+  obs::Trace* trace_ = nullptr;
+  std::uint32_t trace_pid_ = 1;
 };
 
 }  // namespace hyve

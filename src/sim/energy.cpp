@@ -21,6 +21,26 @@ std::string component_name(EnergyComponent c) {
   return "?";
 }
 
+std::string phase_name(Phase p) {
+  switch (p) {
+    case Phase::kLoad: return "load";
+    case Phase::kProcess: return "process";
+    case Phase::kApply: return "apply";
+    case Phase::kWake: return "wake";
+    case Phase::kBackground: return "background";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+double PhaseBreakdown::total_time_ns() const {
+  return std::accumulate(time_ns.begin(), time_ns.end(), 0.0);
+}
+
+double PhaseBreakdown::total_energy_pj() const {
+  return std::accumulate(energy_pj.begin(), energy_pj.end(), 0.0);
+}
+
 double EnergyBreakdown::total_pj() const {
   return std::accumulate(pj_.begin(), pj_.end(), 0.0);
 }

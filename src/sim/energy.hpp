@@ -49,6 +49,46 @@ class EnergyBreakdown {
   std::array<double, static_cast<std::size_t>(EnergyComponent::kCount)> pj_{};
 };
 
+// Algorithm-2 phases a run's wall-clock and energy are attributed to.
+// Time attribution is critical-path: interval loading double-buffers
+// against processing, so each iteration charges only the stream that
+// bound it (kLoad when the interval transfer dominated, otherwise
+// kProcess + kApply); kWake is the exposed power-gating wake latency
+// and kBackground carries the always-on energies (background power,
+// leakage, static logic) with no wall-clock of its own. The sums across
+// phases therefore equal RunReport::exec_time_ns and
+// EnergyBreakdown::total_pj() exactly (enforced at 1e-9 relative
+// tolerance by report validation).
+enum class Phase : std::size_t {
+  kLoad = 0,    // interval loading/updating (off-chip vertex streams)
+  kProcess,     // edge streaming through the PU pipelines
+  kApply,       // per-vertex apply step (e.g. PageRank scale)
+  kWake,        // exposed bank power-gating wake latency
+  kBackground,  // always-on power over the run (no wall-clock share)
+  kCount,
+};
+
+std::string phase_name(Phase p);
+
+struct PhaseBreakdown {
+  std::array<double, static_cast<std::size_t>(Phase::kCount)> time_ns{};
+  std::array<double, static_cast<std::size_t>(Phase::kCount)> energy_pj{};
+
+  double& time(Phase p) { return time_ns[static_cast<std::size_t>(p)]; }
+  double time(Phase p) const {
+    return time_ns[static_cast<std::size_t>(p)];
+  }
+  double& energy(Phase p) {
+    return energy_pj[static_cast<std::size_t>(p)];
+  }
+  double energy(Phase p) const {
+    return energy_pj[static_cast<std::size_t>(p)];
+  }
+
+  double total_time_ns() const;
+  double total_energy_pj() const;
+};
+
 // Raw traffic/operation counts accumulated by a run.
 struct AccessStats {
   // Edge memory (sequential stream, read-only at runtime).

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 
 namespace hyve {
@@ -67,6 +68,13 @@ std::vector<MemRequest> MemoryController::range_requests(
   const std::uint64_t first = range.offset / kBurst * kBurst;
   for (std::uint64_t addr = first; addr < range.end(); addr += kBurst)
     requests.push_back({addr, kBurst, is_write});
+  if (obs::enabled()) {
+    static obs::Counter& reads =
+        obs::registry().counter("sim.memctl.read_requests");
+    static obs::Counter& writes =
+        obs::registry().counter("sim.memctl.write_requests");
+    (is_write ? writes : reads).add(requests.size());
+  }
   return requests;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
+
 namespace hyve {
 
 double PipelineStageTimes::bottleneck_ns() const {
@@ -10,6 +12,17 @@ double PipelineStageTimes::bottleneck_ns() const {
 
 double block_processing_time_ns(std::uint64_t edges,
                                 const PipelineStageTimes& stages) {
+  if (obs::enabled()) {
+    static obs::Counter& blocks =
+        obs::registry().counter("sim.pipeline.blocks");
+    static obs::Counter& empty_blocks =
+        obs::registry().counter("sim.pipeline.empty_blocks");
+    static obs::Histogram& block_edges =
+        obs::registry().histogram("sim.pipeline.block_edges");
+    blocks.add();
+    if (edges == 0) empty_blocks.add();
+    block_edges.observe(edges);
+  }
   if (edges == 0) return 0.0;
   return static_cast<double>(edges) * stages.bottleneck_ns() +
          stages.fill_latency_ns;

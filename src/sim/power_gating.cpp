@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 #include "util/units.hpp"
 
@@ -48,6 +49,20 @@ PowerGatingResult evaluate_power_gating(const ReramModel& reram,
 
   HYVE_CHECK(result.gated_background_pj <=
              result.ungated_background_pj + result.wake_energy_pj);
+
+  if (obs::enabled()) {
+    static obs::Counter& evaluations =
+        obs::registry().counter("sim.bpg.evaluations");
+    static obs::Counter& bank_wakes =
+        obs::registry().counter("sim.bpg.bank_wakes");
+    static obs::Histogram& idle_permille =
+        obs::registry().histogram("sim.bpg.idle_permille");
+    evaluations.add();
+    bank_wakes.add(result.bank_wakes);
+    if (activity.total_time_ns > 0)
+      idle_permille.observe(static_cast<std::uint64_t>(
+          1000.0 * idle_time_ns / activity.total_time_ns));
+  }
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "memmodel/techparams.hpp"
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 
 namespace hyve {
@@ -102,6 +103,17 @@ ReramTraceResult ReramTimingSim::run(std::span<const MemRequest> trace) {
       finish_ns <= 0 ? 0.0
                      : static_cast<double>(result.accesses) * access_bytes /
                            finish_ns;
+
+  if (obs::enabled()) {
+    static obs::Counter& accesses =
+        obs::registry().counter("sim.reram.accesses");
+    static obs::Counter& runs = obs::registry().counter("sim.reram.runs");
+    static obs::Histogram& banks_touched =
+        obs::registry().histogram("sim.reram.banks_touched");
+    accesses.add(result.accesses);
+    runs.add();
+    banks_touched.observe(result.banks_touched);
+  }
   return result;
 }
 

@@ -1,21 +1,12 @@
 #include "util/log.hpp"
 
+#include <cctype>
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
 
 namespace hyve {
 namespace {
-
-LogLevel parse_level() {
-  const char* env = std::getenv("HYVE_LOG");
-  if (env == nullptr) return LogLevel::kInfo;
-  const std::string v(env);
-  if (v == "debug") return LogLevel::kDebug;
-  if (v == "warn") return LogLevel::kWarn;
-  if (v == "error") return LogLevel::kError;
-  return LogLevel::kInfo;
-}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -29,15 +20,41 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  std::string v(name);
+  for (char& c : v)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn" || v == "warning") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
 LogLevel log_threshold() {
-  static const LogLevel threshold = parse_level();
+  static const LogLevel threshold = [] {
+    const char* env = std::getenv("HYVE_LOG");
+    if (env == nullptr) return LogLevel::kInfo;
+    return parse_log_level(env).value_or(LogLevel::kInfo);
+  }();
   return threshold;
 }
 
 void log_line(LogLevel level, const std::string& message) {
+  // Compose the full line first and insert it with a single stream
+  // write: stderr is unbuffered, so a multi-part << from two threads
+  // could interleave fragments even under a process-local mutex once
+  // another process shares the descriptor.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += "[hyve ";
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
   static std::mutex mu;
   const std::scoped_lock lock(mu);
-  std::cerr << "[hyve " << level_name(level) << "] " << message << '\n';
+  std::cerr << line;
 }
 
 }  // namespace hyve

@@ -4,16 +4,25 @@
 // noteworthy; set HYVE_LOG=debug in the environment for verbose traces.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace hyve {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-// Current threshold (from HYVE_LOG env var; defaults to Info).
+// Parses a threshold name case-insensitively: debug, info, warn (or
+// warning), error. Returns nullopt for anything else.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+// Current threshold (from HYVE_LOG env var; defaults to Info, also for
+// values parse_log_level rejects).
 LogLevel log_threshold();
 
+// Formats and writes "[hyve LEVEL] message\n" to stderr as one write,
+// so lines from concurrent sweep workers never interleave mid-line.
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {

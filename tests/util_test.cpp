@@ -8,6 +8,7 @@
 
 #include "util/check.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -214,6 +215,30 @@ TEST(Cli, ParsesOptionsFlagsAndPositionals) {
   EXPECT_TRUE(verbose);
   EXPECT_EQ(parser.positionals(),
             (std::vector<std::string>{"mode", "out.txt"}));
+}
+
+// ---------- Log ----------
+
+TEST(Log, ParsesEveryThresholdName) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+}
+
+TEST(Log, ParsesCaseInsensitively) {
+  EXPECT_EQ(parse_log_level("WARN"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("Error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("DeBuG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("WARNING"), LogLevel::kWarn);
+}
+
+TEST(Log, RejectsUnknownThresholdNames) {
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level("warn "), std::nullopt);
+  EXPECT_EQ(parse_log_level("err"), std::nullopt);
 }
 
 TEST(Cli, UsageListsEveryOption) {

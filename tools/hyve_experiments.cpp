@@ -13,11 +13,14 @@
 //
 // Output is deterministic and order-stable for any --jobs value.
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "core/report_io.hpp"
 #include "exp/sweep.hpp"
 #include "graph/datasets.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -28,6 +31,8 @@ int main(int argc, char** argv) {
   exp::SweepOptions options;
   options.jobs = 1;  // historical default: serial
   auto format = exp::ResultSink::Format::kJsonl;
+  bool metrics = false;
+  std::string trace_path;
 
   cli::ArgParser parser("hyve_experiments",
                         "run a (configs x algorithms x datasets) grid and "
@@ -74,6 +79,14 @@ int main(int argc, char** argv) {
                   if (!f) parser.fail("unknown format " + v);
                   format = *f;
                 });
+  parser.flag("--metrics",
+              "dump the metrics registry to stderr as sorted key=value "
+              "lines",
+              &metrics);
+  parser.option("--trace", "PATH",
+                "write a Chrome trace-event JSON of the sweep to PATH "
+                "(one pid per cell)",
+                [&](const std::string& v) { trace_path = v; });
   parser.parse(argc, argv);
 
   if (add_frontier) {
@@ -84,11 +97,19 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (metrics) obs::set_enabled(true);
+    std::optional<obs::Trace> trace;
+    if (!trace_path.empty()) trace.emplace();
+    options.trace = trace ? &*trace : nullptr;
+
     exp::GraphCache graphs;
     exp::PartitionCache partitions;
     exp::SweepEngine engine(graphs, partitions);
     exp::ResultSink sink(std::cout, format);
     engine.run(spec, options, &sink);
+
+    if (trace) trace->write_file(trace_path);
+    if (metrics) obs::registry().dump(std::cerr);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -20,6 +20,8 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "memmodel/area.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -33,6 +35,8 @@ int main(int argc, char** argv) {
   bool compare = false;
   bool area = false;
   bool csv = false;
+  bool metrics = false;
+  std::string trace_path;
 
   cli::ArgParser parser(
       "hyve_sim",
@@ -105,6 +109,14 @@ int main(int argc, char** argv) {
   parser.flag("--compare", "also run GraphR and the CPU baselines", &compare);
   parser.flag("--area", "print the silicon area estimate", &area);
   parser.flag("--csv", "machine-readable breakdown", &csv);
+  parser.flag("--metrics",
+              "dump the metrics registry to stderr as sorted key=value "
+              "lines",
+              &metrics);
+  parser.option("--trace", "PATH",
+                "write a Chrome trace-event JSON (chrome://tracing, "
+                "Perfetto) of the run to PATH",
+                [&](const std::string& v) { trace_path = v; });
 
   try {
     parser.parse(argc, argv);
@@ -112,11 +124,18 @@ int main(int argc, char** argv) {
     if (!graph)
       parser.fail("no input graph (--dataset/--graph/--rmat)");
 
+    if (metrics) obs::set_enabled(true);
+    std::optional<obs::Trace> trace;
+    if (!trace_path.empty()) trace.emplace();
+
     const HyveMachine machine(config);
-    const RunReport r = machine.run(*graph, algo);
+    const RunReport r =
+        machine.run(*graph, algo, trace ? &*trace : nullptr);
     // Same guarantee as the sweep engine's ResultSink: hyve_sim can never
     // emit a report the downstream tooling cannot parse back.
     validate_report_round_trip(r);
+
+    if (trace) trace->write_file(trace_path);
 
     if (csv) {
       Table t({"graph", "algo", "config", "P", "iterations", "time_ns",
@@ -182,6 +201,8 @@ int main(int argc, char** argv) {
                 << Table::num(a.edge_chip_mm2, 1) << " mm^2, power gates +"
                 << Table::num(100.0 * a.power_gate_overhead(), 2) << "%\n";
     }
+
+    if (metrics) obs::registry().dump(std::cerr);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
