@@ -14,6 +14,7 @@
 // label, which diffs --jobs 1 against --jobs 8).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <functional>
@@ -21,11 +22,14 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <tuple>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "core/bench_json.hpp"
 #include "core/machine.hpp"
 #include "exp/cache.hpp"
 #include "exp/sweep.hpp"
@@ -52,6 +56,28 @@ inline exp::PartitionCache& partition_cache() {
   return cache;
 }
 
+// Collector behind --json: every report that flows through run_dataset /
+// run_grid is captured here and serialised by Options::finish(). Off by
+// default so benches without --json pay one branch per cell.
+struct JsonCollector {
+  std::mutex mu;
+  bool enabled = false;
+  std::vector<BenchRun> runs;
+};
+
+inline JsonCollector& json_collector() {
+  static JsonCollector collector;
+  return collector;
+}
+
+inline void record_report(const std::string& graph_key,
+                          const RunReport& report) {
+  JsonCollector& collector = json_collector();
+  if (!collector.enabled) return;
+  const std::scoped_lock lock(collector.mu);
+  collector.runs.push_back(BenchRun{graph_key, report});
+}
+
 // The shared bench command line (every bench_* binary accepts these):
 //   --jobs N              sweep worker threads (0 = hardware concurrency)
 //   --datasets YT,WK,...  restrict the dataset axis of dataset benches
@@ -61,6 +87,8 @@ inline exp::PartitionCache& partition_cache() {
 //   --cache-stats         print cache counters to stderr after the run
 //   --metrics             dump the full metrics registry to stderr
 //   --trace PATH          write a Chrome trace-event JSON of the run
+//   --json PATH           write a versioned bench report JSON of the run
+//                         (validate/diff with hyve_report)
 struct Options {
   int jobs = 1;
   bool smoke = false;
@@ -69,6 +97,8 @@ struct Options {
   bool metrics = false;
   std::string trace_path;
   std::shared_ptr<obs::Trace> trace;  // set when --trace was given
+  std::string json_path;              // set when --json was given
+  std::string bench_name;             // the binary's prog name
 
   // Emits the requested telemetry. Everything goes to stderr (or the
   // --trace file) so stdout keeps the byte-identical --jobs guarantee
@@ -82,6 +112,8 @@ struct Options {
       // out-of-band eviction (set_byte_budget shrinking a live cache).
       reg.gauge("exp.graph_cache.resident_bytes")
           .set(static_cast<std::int64_t>(graph_cache().resident_bytes()));
+      reg.gauge("exp.graph_cache.byte_budget")
+          .set(static_cast<std::int64_t>(graph_cache().byte_budget()));
       reg.gauge("exp.partition_cache.resident")
           .set(static_cast<std::int64_t>(partition_cache().resident()));
       if (cache_stats)
@@ -101,12 +133,63 @@ struct Options {
       if (metrics) reg.dump(std::cerr);
     }
     if (trace) trace->write_file(trace_path);
+    if (!json_path.empty()) write_json_report();
+  }
+
+ private:
+  // Builds and writes the BenchReportDoc from everything the collector
+  // captured. Only deterministic content goes in: runs are sorted and
+  // deduplicated by (config, algorithm, graph) — run order depends on
+  // worker scheduling, the reports themselves do not — and the metrics
+  // rollup keeps only sim.* instruments (simulated counts; exp.* mixes
+  // in wall clock and eviction order). This is what lets the bench-json
+  // CI step byte-diff --jobs 1 against --jobs 8.
+  void write_json_report() const {
+    BenchReportDoc doc;
+    doc.bench = bench_name;
+    doc.git_rev = build_git_rev();
+    doc.smoke = smoke;
+    for (const DatasetId id : datasets)
+      doc.datasets.push_back(dataset_name(id));
+    {
+      JsonCollector& collector = json_collector();
+      const std::scoped_lock lock(collector.mu);
+      doc.runs = collector.runs;
+    }
+    const auto key = [](const BenchRun& r) {
+      return std::tie(r.report.config_label, r.report.algorithm,
+                      r.graph_key);
+    };
+    std::sort(doc.runs.begin(), doc.runs.end(),
+              [&](const BenchRun& a, const BenchRun& b) {
+                return key(a) < key(b);
+              });
+    doc.runs.erase(std::unique(doc.runs.begin(), doc.runs.end(),
+                               [&](const BenchRun& a, const BenchRun& b) {
+                                 return key(a) == key(b);
+                               }),
+                   doc.runs.end());
+    for (const BenchRun& run : doc.runs) doc.ledger_rollup += run.report.ledger;
+    std::istringstream dump(obs::registry().dump_string());
+    std::string line;
+    while (std::getline(dump, line)) {
+      const std::size_t eq = line.find('=');
+      if (eq == std::string::npos) continue;
+      const std::string name = line.substr(0, eq);
+      if (name.rfind("sim.", 0) == 0)
+        doc.metrics.emplace(name, line.substr(eq + 1));
+    }
+    write_bench_report_file(json_path, doc);
+    std::cerr << bench_name << ": wrote " << json_path << " ("
+              << doc.runs.size() << " run(s))\n";
   }
 };
 
 inline Options parse_args(int argc, char** argv, const std::string& prog,
                           const std::string& summary) {
   Options opts;
+  opts.bench_name = prog;
+  bool explicit_graph_budget = false;
   cli::ArgParser parser(prog, summary);
   parser.option("--jobs", "N",
                 "worker threads (0 = hardware concurrency; default 1)",
@@ -131,8 +214,10 @@ inline Options parse_args(int argc, char** argv, const std::string& prog,
               "(bench-smoke CI; numbers are not measurements)",
               &opts.smoke);
   parser.option("--graph-cache-mb", "N",
-                "graph cache byte budget in MiB (0 = unbounded; default 0)",
+                "graph cache byte budget in MiB (0 = unbounded; default "
+                "auto-sized from available memory)",
                 [&](const std::string& v) {
+                  explicit_graph_budget = true;
                   graph_cache().set_byte_budget(
                       units::MiB(static_cast<std::uint64_t>(cli::parse_int(
                           parser, "--graph-cache-mb", v, 0, 1 << 20))));
@@ -152,13 +237,34 @@ inline Options parse_args(int argc, char** argv, const std::string& prog,
                 "write a Chrome trace-event JSON (chrome://tracing, "
                 "Perfetto) of the sweep to PATH",
                 [&](const std::string& v) { opts.trace_path = v; });
+  parser.option("--json", "PATH",
+                "write a versioned bench report JSON (run reports, energy "
+                "ledger rollup, sim.* metrics) to PATH; validate or diff "
+                "with hyve_report",
+                [&](const std::string& v) { opts.json_path = v; });
   parser.parse(argc, argv);
   // Telemetry is opt-in: the registry stays a single relaxed-load branch
   // in the hot paths unless one of these flags asks for it. Enabling
   // happens before any cell runs, so registry counters match the
   // caches' own whole-run counters.
-  if (opts.cache_stats || opts.metrics) obs::set_enabled(true);
+  if (opts.cache_stats || opts.metrics || !opts.json_path.empty())
+    obs::set_enabled(true);
   if (!opts.trace_path.empty()) opts.trace = std::make_shared<obs::Trace>();
+  if (!opts.json_path.empty()) json_collector().enabled = true;
+  // Without --graph-cache-mb the budget is sized from the machine
+  // (fixed 256 MiB under --smoke so CI output is host-independent)
+  // instead of growing without bound. Logged to stderr — stdout keeps
+  // the byte-identical --jobs guarantee.
+  if (!explicit_graph_budget) {
+    const std::size_t budget = exp::default_graph_cache_budget(opts.smoke);
+    graph_cache().set_byte_budget(budget);
+    std::cerr << prog << ": graph cache budget auto-sized to ";
+    if (budget > 0)
+      std::cerr << budget / (1024 * 1024) << " MiB";
+    else
+      std::cerr << "unbounded (available memory unknown)";
+    std::cerr << " (override with --graph-cache-mb)\n";
+  }
   return opts;
 }
 
@@ -166,8 +272,10 @@ inline Options parse_args(int argc, char** argv, const std::string& prog,
 // the report is identical (tested in exp_test).
 inline RunReport run_dataset(const HyveConfig& cfg, DatasetId id,
                              Algorithm algo) {
-  return exp::run_cached(graph_cache(), partition_cache(), cfg, algo,
-                         dataset_name(id));
+  RunReport report = exp::run_cached(graph_cache(), partition_cache(), cfg,
+                                     algo, dataset_name(id));
+  record_report(dataset_name(id), report);
+  return report;
 }
 
 // The --datasets filter as GraphCache keys, for SweepSpec::graphs.
@@ -210,7 +318,10 @@ inline GridResults run_grid(const exp::SweepSpec& spec, const Options& opts) {
   exp::SweepOptions options;
   options.jobs = opts.jobs;
   options.trace = opts.trace.get();
-  return GridResults(spec, engine.run(spec, options));
+  std::vector<exp::SweepResult> results = engine.run(spec, options);
+  for (const exp::SweepResult& result : results)
+    record_report(result.cell.graph_key, result.report);
+  return GridResults(spec, std::move(results));
 }
 
 // Order-stable parallel map for irregular cell lists: computes fn(i) for

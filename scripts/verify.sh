@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
 # Tier-1 verification: build, full test suite (unit + bench-smoke), an
-# observability smoke run (--metrics/--trace on a tiny graph), then the
-# sweep-engine concurrency tests under ThreadSanitizer.
+# observability smoke run (--metrics/--trace on a tiny graph), a
+# bench-json smoke run (--json + hyve_report --check/--compare, byte-
+# diffed across --jobs), then the sweep-engine concurrency tests under
+# ThreadSanitizer.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -26,6 +28,22 @@ grep -q '"ph"' "$obs_dir/trace.json" ||
 grep -q '"traceEvents"' "$obs_dir/trace.json" ||
   { echo "obs-smoke: not a trace-event document" >&2; exit 1; }
 echo "obs-smoke: OK"
+
+# bench-json: a smoke bench must emit a report hyve_report accepts, the
+# document must be byte-identical for any --jobs value, and comparing a
+# report against itself must find no regressions.
+./build/bench/bench_fig13 --smoke --jobs 1 --json "$obs_dir/bench_j1.json" \
+  >/dev/null 2>&1
+./build/bench/bench_fig13 --smoke --jobs 8 --json "$obs_dir/bench_j8.json" \
+  >/dev/null 2>&1
+./build/tools/hyve_report --check "$obs_dir/bench_j1.json" >/dev/null ||
+  { echo "bench-json: --check rejected a fresh report" >&2; exit 1; }
+cmp "$obs_dir/bench_j1.json" "$obs_dir/bench_j8.json" ||
+  { echo "bench-json: --jobs 1 and --jobs 8 reports differ" >&2; exit 1; }
+./build/tools/hyve_report --compare "$obs_dir/bench_j1.json" \
+  "$obs_dir/bench_j8.json" >/dev/null ||
+  { echo "bench-json: identical reports flagged as regressed" >&2; exit 1; }
+echo "bench-json: OK"
 
 cmake -B build-tsan -S . -DHYVE_SANITIZE=thread
 cmake --build build-tsan -j

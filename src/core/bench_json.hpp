@@ -1,0 +1,101 @@
+// Versioned machine-readable bench reports.
+//
+// Every bench binary can emit one BENCH_<name>.json document (--json
+// PATH via the shared bench harness) holding the run reports of every
+// cell it simulated, the cross-run energy-ledger rollup, the
+// deterministic sim.* metrics of the run, and provenance (bench name,
+// git revision, --smoke). The schema is versioned and self-identifying
+// so CI can archive the files and `hyve_report` can validate any file
+// (--check) or diff two of them for regressions (--compare).
+//
+// Documents are byte-deterministic for a given binary and flag set:
+// runs are sorted by (config, algorithm, graph), the ledger rollup and
+// metrics are sorted maps, and nothing wall-clock-dependent is included
+// — the bench-json CI step byte-diffs --jobs 1 against --jobs 8.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/machine.hpp"
+
+namespace hyve {
+
+inline constexpr int kBenchReportSchemaVersion = 1;
+inline constexpr const char* kBenchReportSchemaName = "hyve-bench-report";
+
+// The git revision the binary was configured from ("unknown" outside a
+// checkout).
+std::string build_git_rev();
+
+struct BenchRun {
+  std::string graph_key;  // GraphCache key, usually the dataset name
+  RunReport report;
+};
+
+struct BenchReportDoc {
+  std::string bench;      // bench binary name, e.g. "bench_fig13"
+  std::string git_rev;    // provenance; not compared across files
+  bool smoke = false;     // numbers are smoke stand-ins, not measurements
+  std::vector<std::string> datasets;  // the run's --datasets axis
+  // Every simulated cell, sorted by (config, algorithm, graph).
+  std::vector<BenchRun> runs;
+  // Cell-wise sum of the runs' energy ledgers; parsing re-proves the
+  // equality, so a rollup can never drift from its runs.
+  EnergyLedger ledger_rollup;
+  // Deterministic registry rollup: only sim.* instruments (simulated
+  // counts), never exp.* (wall clock, scheduling). Values are the dump's
+  // raw numeric tokens.
+  std::map<std::string, std::string> metrics;
+};
+
+// Serialises the document (single line). Validates every run's ledger
+// and phase invariants first — throws rather than emit a file the
+// checker would reject.
+std::string bench_report_to_json(const BenchReportDoc& doc);
+void write_bench_report_file(const std::string& path,
+                             const BenchReportDoc& doc);
+
+// Parses and fully validates a document: schema name/version, every
+// run record (via run_report_from_fields, which enforces the breakdown
+// and ledger invariants), and rollup == sum of run ledgers. Throws
+// std::runtime_error naming the problem on any violation — `hyve_report
+// --check` is exactly this call.
+BenchReportDoc bench_report_from_json(const std::string& json);
+BenchReportDoc read_bench_report_file(const std::string& path);
+
+// One metric delta of one cell between two documents.
+struct BenchCompareLine {
+  std::string cell;    // "config/algorithm/graph"
+  std::string metric;  // e.g. "exec_time_ns"
+  double old_value = 0;
+  double new_value = 0;
+  double delta_pct = 0;  // (new - old) / old * 100
+  bool regressed = false;
+};
+
+struct BenchCompareResult {
+  std::vector<BenchCompareLine> lines;  // every compared (cell, metric)
+  std::vector<std::string> added;       // cells only in the new document
+  std::vector<std::string> removed;     // cells only in the old document
+  std::size_t cells_compared = 0;
+  std::size_t regressions = 0;
+};
+
+// Cell-by-cell comparison of the headline metrics (exec_time_ns and
+// energy_pj lower-is-better; mteps and mteps_per_watt higher-is-better).
+// A metric regresses when it moves in the worse direction by more than
+// `threshold_pct` percent. Cells present on only one side are listed but
+// are not regressions (grids legitimately grow and shrink).
+BenchCompareResult compare_bench_reports(const BenchReportDoc& old_doc,
+                                         const BenchReportDoc& new_doc,
+                                         double threshold_pct);
+
+// Human-readable rendering of a comparison, one line per delta plus a
+// summary line.
+std::string format_bench_compare(const BenchCompareResult& result,
+                                 double threshold_pct);
+
+}  // namespace hyve

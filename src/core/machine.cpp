@@ -24,6 +24,7 @@ struct HyveMachine::TraceSink {
   static constexpr std::uint32_t kTransfer = 1;
   static constexpr std::uint32_t kRouter = 2;
   static constexpr std::uint32_t kBpg = 3;
+  static constexpr std::uint32_t kCounters = 4;  // "ph":"C" sample tracks
   static constexpr std::uint32_t kPuBase = 10;
 
   bool on() const { return trace != nullptr; }
@@ -35,6 +36,7 @@ struct HyveMachine::TraceSink {
     trace->thread_name(pid, kTransfer, "interval transfer");
     trace->thread_name(pid, kRouter, "router");
     trace->thread_name(pid, kBpg, "power gating");
+    trace->thread_name(pid, kCounters, "counters");
     for (int pu = 0; pu < num_pus; ++pu)
       trace->thread_name(pid, kPuBase + static_cast<std::uint32_t>(pu),
                          "PU " + std::to_string(pu));
@@ -166,6 +168,76 @@ PipelineStageTimes stage_times(double edge_stream_bytes_per_ns, int num_pus,
   return stages;
 }
 
+// The dynamic-energy formulas of one run, shared between the whole-run
+// ledger charges in account() and the per-iteration power-draw counter
+// samples: both must price an operation identically or the counter
+// timeline would drift from the ledger it previews.
+struct DynCosts {
+  const MemoryModel& emem;
+  const MemoryModel& vmem;
+  const SramModel* sram;
+  std::uint32_t value_bytes;
+
+  double edge_stream_pj(std::uint64_t bytes) const {
+    return emem.stream_read_energy_pj(bytes);
+  }
+  double vmem_stream_pj(std::uint64_t read, std::uint64_t written) const {
+    return vmem.stream_read_energy_pj(read) +
+           vmem.stream_write_energy_pj(written);
+  }
+  double vmem_random_pj(std::uint64_t reads, std::uint64_t writes) const {
+    return static_cast<double>(reads) * vmem.random_read_energy_pj(
+                                            value_bytes) *
+               kNoSramVertexLocalityFactor +
+           static_cast<double>(writes) * vmem.random_write_energy_pj(
+                                             value_bytes) *
+               kNoSramVertexLocalityFactor;
+  }
+  // Source read + destination read + destination write per edge (Eq. 4).
+  double sram_edge_pj(std::uint64_t edges) const {
+    if (sram == nullptr) return 0;
+    return static_cast<double>(edges) *
+           (2.0 * sram->read_energy_pj(value_bytes) +
+            sram->write_energy_pj(value_bytes));
+  }
+  // One read + one write per applied vertex.
+  double sram_apply_pj(std::uint64_t ops) const {
+    if (sram == nullptr) return 0;
+    return static_cast<double>(ops) * (sram->read_energy_pj(value_bytes) +
+                                       sram->write_energy_pj(value_bytes));
+  }
+  double sram_fill_pj(std::uint64_t fill_bytes,
+                      std::uint64_t drain_bytes) const {
+    if (sram == nullptr) return 0;
+    return sram->write_energy_pj(4) * (static_cast<double>(fill_bytes) / 4.0) +
+           sram->read_energy_pj(4) * (static_cast<double>(drain_bytes) / 4.0);
+  }
+  double pu_edge_pj(std::uint64_t edges) const {
+    return static_cast<double>(edges) *
+           (kCmosEdgeOpEnergyPj + kControllerPerEdgeEnergyPj);
+  }
+  double pu_apply_pj(std::uint64_t ops) const {
+    return static_cast<double>(ops) * kCmosEdgeOpEnergyPj;
+  }
+  double router_pj(std::uint64_t hops) const {
+    return static_cast<double>(hops) * kRouterHopEnergyPj;
+  }
+
+  // All dynamic energy implied by one iteration's access stats — the
+  // numerator of the simulated power-draw counter track.
+  double iteration_dynamic_pj(const AccessStats& it) const {
+    return edge_stream_pj(it.edge_bytes_read) +
+           vmem_stream_pj(it.offchip_vertex_bytes_read,
+                          it.offchip_vertex_bytes_written) +
+           vmem_random_pj(it.offchip_vertex_random_reads,
+                          it.offchip_vertex_random_writes) +
+           sram_edge_pj(it.edge_ops) + sram_apply_pj(it.vertex_ops) +
+           sram_fill_pj(it.sram_fill_bytes, it.sram_drain_bytes) +
+           pu_edge_pj(it.edge_ops) + pu_apply_pj(it.vertex_ops) +
+           router_pj(it.router_hops);
+  }
+};
+
 }  // namespace
 
 void HyveMachine::account_with_sram(const Graph& graph,
@@ -173,13 +245,24 @@ void HyveMachine::account_with_sram(const Graph& graph,
                                     std::uint32_t value_bytes, bool has_apply,
                                     const FrontierTrace* frontier,
                                     const TraceSink& sink,
-                                    RunReport& report) const {
+                                    RunReport& report,
+                                    UnitTallies& tallies) const {
   const auto n = static_cast<std::uint32_t>(config_.num_pus);
   const std::uint32_t p = schedule.num_intervals();
   const std::uint32_t k = p / n;
   HYVE_CHECK(k * n == p);
   const std::uint64_t v = graph.num_vertices();
   const std::uint32_t edge_bytes = config_.edge_bytes;
+
+  tallies.pu_edges.assign(n, 0);
+  tallies.pu_remote.assign(n, 0);
+  tallies.pu_apply.assign(n, 0);
+  // Destination interval y lives in PU y % n, which also runs its apply
+  // step — the per-PU apply populations the ledger attributes to.
+  std::vector<std::uint64_t> apply_pop(n, 0);
+  if (has_apply)
+    for (std::uint32_t y = 0; y < p; ++y)
+      apply_pop[y % n] += schedule.interval_population(y);
 
   // Edges of block (x, y) streamed during iteration `iter` (frontier
   // skipping zeroes whole source-rows of the block grid).
@@ -260,13 +343,19 @@ void HyveMachine::account_with_sram(const Graph& graph,
         for (std::uint32_t step = 0; step < n; ++step) {
           // Synchronising: the step lasts as long as its slowest PU.
           double step_time = 0;
+          std::uint32_t active_pus = 0;
           for (std::uint32_t pu = 0; pu < n; ++pu) {
             const std::uint32_t x = sb_x * n + (pu + step) % n;
             const std::uint32_t y = sb_y * n + pu;
             const std::uint64_t e = block_edges(iter, x, y);
             edges_this_iter += e;
+            tallies.pu_edges[pu] += e;
+            if (e > 0) ++active_pus;
             const bool remote = config_.data_sharing && x % n != y % n;
-            if (remote) remote_edges += e;
+            if (remote) {
+              remote_edges += e;
+              tallies.pu_remote[pu] += e;
+            }
             const double block_ns = block_processing_time_ns(e, stages);
             step_time = std::max(step_time, block_ns);
             if (sink.on() && e > 0) {
@@ -285,6 +374,14 @@ void HyveMachine::account_with_sram(const Graph& graph,
                      {"edges", static_cast<double>(e)}});
             }
           }
+          // Pipeline occupancy: how many of the N PUs this synchronised
+          // step actually kept busy (frontier skipping and skew idle the
+          // rest until the step barrier).
+          if (sink.on() && step_time > 0)
+            sink.trace->counter(
+                sink.pid, TraceSink::kCounters, "pipeline occupancy",
+                step_start_ns,
+                {{"active_pus", static_cast<double>(active_pus)}});
           processing_time += step_time;
           step_start_ns += step_time;
         }
@@ -301,6 +398,8 @@ void HyveMachine::account_with_sram(const Graph& graph,
       it.vertex_ops = v;
       it.sram_random_reads += v;
       it.sram_random_writes += v;
+      for (std::uint32_t pu = 0; pu < n; ++pu)
+        tallies.pu_apply[pu] += apply_pop[pu];
     }
 
     // ---- Timing ----
@@ -345,9 +444,27 @@ void HyveMachine::account_with_sram(const Graph& graph,
                              apply_time,
                              {{"vertices", static_cast<double>(v)}});
       if (config_.edge_memory_tech == MemTech::kReram &&
-          config_.power_gating && processing_time > 0)
+          config_.power_gating && processing_time > 0) {
         sink.trace->complete(sink.pid, TraceSink::kBpg, "bank awake",
                              "bpg", iter_start_ns, processing_time);
+        // BPG gate state: one bank awake while the edge stream runs,
+        // everything re-gated for the rest of the iteration.
+        sink.trace->counter(sink.pid, TraceSink::kCounters, "banks awake",
+                            iter_start_ns, {{"awake", 1.0}});
+        sink.trace->counter(sink.pid, TraceSink::kCounters, "banks awake",
+                            iter_start_ns + processing_time,
+                            {{"awake", 0.0}});
+      }
+      // Simulated power draw: the iteration's dynamic energy over its
+      // wall-clock (pJ/ns = mW), sampled at each iteration boundary.
+      if (iter_time > 0) {
+        const DynCosts costs{edge_memory(), offchip_vertex_memory(),
+                             sram_ ? &*sram_ : nullptr, value_bytes};
+        sink.trace->counter(
+            sink.pid, TraceSink::kCounters, "power",
+            iter_start_ns,
+            {{"dynamic_mw", costs.iteration_dynamic_pj(it) / iter_time}});
+      }
     }
 
     exec_time += std::max(transfer_time, busy_time);
@@ -418,24 +535,44 @@ RunReport HyveMachine::account(const Graph& graph, VertexProgram& program,
                      config_.num_pus);
 
   const std::uint32_t value_bytes = program.vertex_value_bytes();
+  UnitTallies tallies;
+  const DynCosts costs{edge_memory(), offchip_vertex_memory(),
+                       sram_ ? &*sram_ : nullptr, value_bytes};
   if (config_.has_onchip_vertex_memory()) {
     account_with_sram(graph, schedule, value_bytes, program.has_apply_phase(),
-                      frontier, sink, report);
+                      frontier, sink, report, tallies);
   } else {
     account_without_sram(graph, value_bytes, report);
     if (sink.on() && report.iterations > 0) {
       const double iter_time =
           report.exec_time_ns / report.iterations;
-      for (std::uint32_t i = 0; i < report.iterations; ++i)
+      AccessStats per_iter = report.stats;
+      // Uniform iterations: the per-iteration power sample is the run
+      // average (this walk has no per-iteration structure to refine it).
+      const double iter_dynamic_pj =
+          costs.iteration_dynamic_pj(per_iter) / report.iterations;
+      for (std::uint32_t i = 0; i < report.iterations; ++i) {
         sink.trace->complete(sink.pid, TraceSink::kScheduler, "iteration",
                              "iteration", i * iter_time, iter_time,
                              {{"iter", static_cast<double>(i)}});
+        if (iter_time > 0)
+          sink.trace->counter(sink.pid, TraceSink::kCounters, "power",
+                              i * iter_time,
+                              {{"dynamic_mw", iter_dynamic_pj / iter_time}});
+      }
     }
   }
 
   const AccessStats& s = report.stats;
   EnergyBreakdown& energy = report.energy;
+  EnergyLedger& ledger = report.ledger;
   const double t = report.exec_time_ns;
+  // Per-PU attribution only where the walk produced per-PU counts; the
+  // SRAM-less baselines charge whole-module units instead.
+  const bool per_pu = !tallies.pu_edges.empty();
+  const auto pu_unit = [](std::uint32_t pu) {
+    return "pu" + std::to_string(pu);
+  };
 
   // ---- edge memory ----
   // The module must both hold the edges and feed N PUs at full pipeline
@@ -448,8 +585,8 @@ RunReport HyveMachine::account(const Graph& graph, VertexProgram& program,
       static_cast<std::uint64_t>(static_cast<double>(graph.num_edges()) *
                                  config_.edge_bytes * kCapacitySlackFactor),
       emem.min_capacity_for_bandwidth_gbps(required_edge_gbps));
-  energy[EnergyComponent::kEdgeMemDynamic] =
-      emem.stream_read_energy_pj(s.edge_bytes_read);
+  ledger.charge(EnergyComponent::kEdgeMemDynamic, Phase::kProcess, "edge-mem",
+                costs.edge_stream_pj(s.edge_bytes_read));
   if (config_.edge_memory_tech == MemTech::kReram && config_.power_gating) {
     EdgeMemoryActivity activity;
     activity.total_time_ns = t;
@@ -457,8 +594,15 @@ RunReport HyveMachine::account(const Graph& graph, VertexProgram& program,
     activity.bytes_streamed = s.edge_bytes_read;
     activity.capacity_bytes = edge_capacity;
     report.bpg = evaluate_power_gating(reram_, activity);
-    energy[EnergyComponent::kEdgeMemBackground] =
-        report.bpg.gated_background_pj;
+    // Bank-state attribution: the single streaming bank, the re-gated
+    // remainder of the module, and the gate-open pulses (the wake
+    // energy, charged to the wake phase it buys back).
+    ledger.charge(EnergyComponent::kEdgeMemBackground, Phase::kBackground,
+                  "banks:awake", report.bpg.awake_background_pj);
+    ledger.charge(EnergyComponent::kEdgeMemBackground, Phase::kBackground,
+                  "banks:gated", report.bpg.idle_background_pj);
+    ledger.charge(EnergyComponent::kEdgeMemBackground, Phase::kWake,
+                  "banks:wake", report.bpg.wake_energy_pj);
     report.exec_time_ns += report.bpg.exposed_wake_time_ns;
     report.phases.time(Phase::kWake) += report.bpg.exposed_wake_time_ns;
     if (sink.on() && report.bpg.exposed_wake_time_ns > 0)
@@ -467,8 +611,9 @@ RunReport HyveMachine::account(const Graph& graph, VertexProgram& program,
                            {{"bank_wakes",
                              static_cast<double>(report.bpg.bank_wakes)}});
   } else {
-    energy[EnergyComponent::kEdgeMemBackground] =
-        units::power_over(emem.background_power_mw(edge_capacity), t);
+    ledger.charge(
+        EnergyComponent::kEdgeMemBackground, Phase::kBackground, "edge-mem",
+        units::power_over(emem.background_power_mw(edge_capacity), t));
   }
 
   // ---- off-chip vertex memory ----
@@ -482,95 +627,74 @@ RunReport HyveMachine::account(const Graph& graph, VertexProgram& program,
       !config_.has_onchip_vertex_memory() &&
       config_.edge_memory_tech == config_.offchip_vertex_tech;
   // Stream traffic is the interval loading/updating phase; random
-  // traffic (baselines without on-chip SRAM) happens per processed edge
-  // — the split feeds the per-phase energy attribution below.
-  const double vmem_stream_pj =
-      vmem.stream_read_energy_pj(s.offchip_vertex_bytes_read) +
-      vmem.stream_write_energy_pj(s.offchip_vertex_bytes_written);
-  const double vmem_random_pj =
-      static_cast<double>(s.offchip_vertex_random_reads) *
-          vmem.random_read_energy_pj(value_bytes) *
-          kNoSramVertexLocalityFactor +
-      static_cast<double>(s.offchip_vertex_random_writes) *
-          vmem.random_write_energy_pj(value_bytes) *
-          kNoSramVertexLocalityFactor;
-  energy[EnergyComponent::kOffchipVertexDynamic] =
-      vmem_stream_pj + vmem_random_pj;
-  energy[EnergyComponent::kOffchipVertexBackground] =
-      shared_module
-          ? 0.0
-          : units::power_over(vmem.background_power_mw(vertex_capacity), t);
+  // traffic (baselines without on-chip SRAM) happens per processed edge.
+  ledger.charge(EnergyComponent::kOffchipVertexDynamic, Phase::kLoad,
+                "vertex-mem",
+                costs.vmem_stream_pj(s.offchip_vertex_bytes_read,
+                                     s.offchip_vertex_bytes_written));
+  ledger.charge(EnergyComponent::kOffchipVertexDynamic, Phase::kProcess,
+                "vertex-mem",
+                costs.vmem_random_pj(s.offchip_vertex_random_reads,
+                                     s.offchip_vertex_random_writes));
+  if (!shared_module)
+    ledger.charge(
+        EnergyComponent::kOffchipVertexBackground, Phase::kBackground,
+        "vertex-mem",
+        units::power_over(vmem.background_power_mw(vertex_capacity), t));
 
   // ---- on-chip vertex memory ----
   if (sram_) {
-    energy[EnergyComponent::kSramDynamic] =
-        static_cast<double>(s.sram_random_reads) *
-            sram_->read_energy_pj(value_bytes) +
-        static_cast<double>(s.sram_random_writes) *
-            sram_->write_energy_pj(value_bytes) +
-        sram_->write_energy_pj(4) *
-            (static_cast<double>(s.sram_fill_bytes) / 4.0) +
-        sram_->read_energy_pj(4) *
-            (static_cast<double>(s.sram_drain_bytes) / 4.0);
-    energy[EnergyComponent::kSramLeakage] =
-        units::power_over(sram_->leakage_power_mw() * config_.num_pus, t);
+    ledger.charge(EnergyComponent::kSramDynamic, Phase::kLoad, "sram",
+                  costs.sram_fill_pj(s.sram_fill_bytes, s.sram_drain_bytes));
+    const double pu_leak_pj =
+        units::power_over(sram_->leakage_power_mw(), t);
+    for (std::uint32_t pu = 0; pu < tallies.pu_edges.size(); ++pu) {
+      ledger.charge(EnergyComponent::kSramDynamic, Phase::kProcess,
+                    pu_unit(pu), costs.sram_edge_pj(tallies.pu_edges[pu]));
+      ledger.charge(EnergyComponent::kSramDynamic, Phase::kApply,
+                    pu_unit(pu), costs.sram_apply_pj(tallies.pu_apply[pu]));
+      ledger.charge(EnergyComponent::kSramLeakage, Phase::kBackground,
+                    pu_unit(pu), pu_leak_pj);
+    }
   }
 
   // ---- router / PUs / control ----
-  energy[EnergyComponent::kRouter] =
-      static_cast<double>(s.router_hops) * kRouterHopEnergyPj;
-  energy[EnergyComponent::kPuDynamic] =
-      static_cast<double>(s.edge_ops) *
-          (kCmosEdgeOpEnergyPj + kControllerPerEdgeEnergyPj) +
-      static_cast<double>(s.vertex_ops) * kCmosEdgeOpEnergyPj;
-  energy[EnergyComponent::kLogicStatic] = units::power_over(kLogicStaticMw, t);
-
-  // ---- per-phase energy attribution ----
-  // Every component lands in exactly one phase, recomputed from the
-  // same stats the component terms used, so the phase sums equal
-  // total_pj() to floating-point reassociation error (validated at
-  // 1e-9 relative tolerance by report validation).
-  {
-    PhaseBreakdown& ph = report.phases;
-    // Apply-phase shares of the SRAM and PU dynamic terms: vertex_ops
-    // counts only apply-step operations (one read + one write each).
-    double apply_sram_pj = 0;
-    double process_sram_pj = 0;
-    double load_sram_pj = 0;
-    if (sram_) {
-      apply_sram_pj = static_cast<double>(s.vertex_ops) *
-                      (sram_->read_energy_pj(value_bytes) +
-                       sram_->write_energy_pj(value_bytes));
-      process_sram_pj =
-          static_cast<double>(s.sram_random_reads - s.vertex_ops) *
-              sram_->read_energy_pj(value_bytes) +
-          static_cast<double>(s.sram_random_writes - s.vertex_ops) *
-              sram_->write_energy_pj(value_bytes);
-      load_sram_pj =
-          sram_->write_energy_pj(4) *
-              (static_cast<double>(s.sram_fill_bytes) / 4.0) +
-          sram_->read_energy_pj(4) *
-              (static_cast<double>(s.sram_drain_bytes) / 4.0);
+  if (per_pu) {
+    for (std::uint32_t pu = 0; pu < tallies.pu_edges.size(); ++pu) {
+      ledger.charge(EnergyComponent::kRouter, Phase::kProcess, pu_unit(pu),
+                    costs.router_pj(tallies.pu_remote[pu]));
+      ledger.charge(EnergyComponent::kPuDynamic, Phase::kProcess, pu_unit(pu),
+                    costs.pu_edge_pj(tallies.pu_edges[pu]));
+      ledger.charge(EnergyComponent::kPuDynamic, Phase::kApply, pu_unit(pu),
+                    costs.pu_apply_pj(tallies.pu_apply[pu]));
     }
-    const double apply_pu_pj =
-        static_cast<double>(s.vertex_ops) * kCmosEdgeOpEnergyPj;
-    const double process_pu_pj =
-        static_cast<double>(s.edge_ops) *
-        (kCmosEdgeOpEnergyPj + kControllerPerEdgeEnergyPj);
-
-    ph.energy(Phase::kProcess) = energy[EnergyComponent::kEdgeMemDynamic] +
-                                 energy[EnergyComponent::kRouter] +
-                                 process_pu_pj + process_sram_pj +
-                                 vmem_random_pj;
-    ph.energy(Phase::kApply) = apply_pu_pj + apply_sram_pj;
-    ph.energy(Phase::kLoad) = vmem_stream_pj + load_sram_pj;
-    ph.energy(Phase::kBackground) =
-        energy[EnergyComponent::kEdgeMemBackground] +
-        energy[EnergyComponent::kOffchipVertexBackground] +
-        energy[EnergyComponent::kSramLeakage] +
-        energy[EnergyComponent::kLogicStatic];
+  } else {
+    ledger.charge(EnergyComponent::kRouter, Phase::kProcess, "pus",
+                  costs.router_pj(s.router_hops));
+    ledger.charge(EnergyComponent::kPuDynamic, Phase::kProcess, "pus",
+                  costs.pu_edge_pj(s.edge_ops));
+    ledger.charge(EnergyComponent::kPuDynamic, Phase::kApply, "pus",
+                  costs.pu_apply_pj(s.vertex_ops));
   }
+  ledger.charge(EnergyComponent::kLogicStatic, Phase::kBackground, "logic",
+                units::power_over(kLogicStaticMw, t));
+
+  // ---- derive the breakdowns from the ledger ----
+  // The ledger is the single accounting surface: every joule above went
+  // through charge(), so the component/phase breakdowns are its marginal
+  // sums and agree with it by construction. validate_ledger() re-proves
+  // the agreement (and validate_phase_totals the phase/total one) so a
+  // future charge added outside this block cannot silently skew them.
+  for (std::size_t c = 0;
+       c < static_cast<std::size_t>(EnergyComponent::kCount); ++c)
+    energy[static_cast<EnergyComponent>(c)] =
+        ledger.component_pj(static_cast<EnergyComponent>(c));
+  for (std::size_t p = 0; p < static_cast<std::size_t>(Phase::kCount); ++p)
+    report.phases.energy(static_cast<Phase>(p)) =
+        ledger.phase_pj(static_cast<Phase>(p));
+
   report.validate_phase_totals();
+  report.validate_ledger();
 
   return report;
 }
@@ -588,6 +712,38 @@ void RunReport::validate_phase_totals(double rel_tol) const {
                  "phase energies sum to " << phases.total_energy_pj()
                                           << " pJ but the total is "
                                           << total_energy_pj());
+}
+
+void RunReport::validate_ledger(double rel_tol) const {
+  // Reports assembled by hand (tests, parsers fed pre-ledger files)
+  // carry no attribution cells; only a machine-produced ledger makes
+  // claims to check.
+  if (ledger.empty()) return;
+  const auto close = [rel_tol](double a, double b) {
+    return std::abs(a - b) <=
+           rel_tol * std::max({std::abs(a), std::abs(b), 1.0});
+  };
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(EnergyComponent::kCount); ++i) {
+    const auto c = static_cast<EnergyComponent>(i);
+    HYVE_CHECK_MSG(close(ledger.component_pj(c), energy[c]),
+                   "ledger cells for " << component_name(c) << " sum to "
+                                       << ledger.component_pj(c)
+                                       << " pJ but the breakdown has "
+                                       << energy[c]);
+  }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Phase::kCount); ++i) {
+    const auto p = static_cast<Phase>(i);
+    HYVE_CHECK_MSG(close(ledger.phase_pj(p), phases.energy(p)),
+                   "ledger cells for phase " << phase_name(p) << " sum to "
+                                             << ledger.phase_pj(p)
+                                             << " pJ but the breakdown has "
+                                             << phases.energy(p));
+  }
+  HYVE_CHECK_MSG(close(ledger.total_pj(), total_energy_pj()),
+                 "ledger total " << ledger.total_pj()
+                                 << " pJ but the report total is "
+                                 << total_energy_pj());
 }
 
 }  // namespace hyve

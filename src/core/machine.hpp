@@ -15,6 +15,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "algos/frontier.hpp"
 #include "algos/runner.hpp"
@@ -47,11 +48,23 @@ struct RunReport {
   // validation enforces this at 1e-9 relative tolerance so breakdowns
   // can never silently drift from the totals.
   PhaseBreakdown phases;
+  // The full energy-attribution ledger: every joule the simulator
+  // charged, tagged (component × phase × PU-or-bank). The machine
+  // derives `energy` and `phases.energy` from these cells, so the
+  // marginals agree by construction; validate_ledger() re-proves it
+  // before any serialisation. Empty on hand-built reports.
+  EnergyLedger ledger;
   PowerGatingResult bpg;  // zeros when power gating is off/ inapplicable
 
   // Throws InvariantError unless phases sums to exec_time_ns and
   // total_energy_pj() within `rel_tol` relative tolerance.
   void validate_phase_totals(double rel_tol = 1e-9) const;
+  // Throws InvariantError unless the ledger's per-component marginals
+  // equal `energy`, its per-phase marginals equal `phases.energy`, and
+  // its grand total equals total_energy_pj(), all within `rel_tol`
+  // relative tolerance. A report with no ledger cells passes (reports
+  // assembled by hand carry no attribution).
+  void validate_ledger(double rel_tol = 1e-9) const;
 
   double total_energy_pj() const { return energy.total_pj(); }
   // Million traversed edges per second.
@@ -104,6 +117,16 @@ class HyveMachine {
  private:
   struct TraceSink;  // trace + pid + track layout (null trace = no-op)
 
+  // Per-PU operation tallies gathered by the architectural walk, so the
+  // energy ledger can attribute PU-local energies (pipeline ops, SRAM
+  // accesses, router hops) to the unit that incurred them. Empty for the
+  // SRAM-less baselines, whose walk has no per-PU structure.
+  struct UnitTallies {
+    std::vector<std::uint64_t> pu_edges;   // edges processed per PU
+    std::vector<std::uint64_t> pu_remote;  // router hops per PU
+    std::vector<std::uint64_t> pu_apply;   // apply-step ops per PU
+  };
+
   const MemoryModel& edge_memory() const;
   const MemoryModel& offchip_vertex_memory() const;
 
@@ -115,7 +138,7 @@ class HyveMachine {
   void account_with_sram(const Graph& graph, const Partitioning& schedule,
                          std::uint32_t value_bytes, bool has_apply,
                          const FrontierTrace* frontier, const TraceSink& sink,
-                         RunReport& report) const;
+                         RunReport& report, UnitTallies& tallies) const;
   void account_without_sram(const Graph& graph, std::uint32_t value_bytes,
                             RunReport& report) const;
 

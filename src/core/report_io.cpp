@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cmath>
 #include <iomanip>
+#include <limits>
 #include <map>
 #include <ostream>
 #include <sstream>
@@ -88,6 +89,27 @@ void write_report_json(std::ostream& os, const RunReport& r) {
     write_number(os, r.phases.energy(p));
   }
   os << '}';
+  // The attribution ledger, one cell per element; the map iterates in
+  // key order so the array is deterministic. Absent (empty) for
+  // hand-assembled reports and pre-ledger files.
+  if (!r.ledger.empty()) {
+    os << ",\"energy_ledger\":[";
+    bool first = true;
+    for (const auto& [key, pj] : r.ledger.cells()) {
+      if (!first) os << ',';
+      first = false;
+      os << "{\"component\":";
+      write_escaped(os, component_name(key.component));
+      os << ",\"phase\":";
+      write_escaped(os, phase_name(key.phase));
+      os << ",\"unit\":";
+      write_escaped(os, key.unit);
+      os << ",\"pj\":";
+      write_number(os, pj);
+      os << '}';
+    }
+    os << ']';
+  }
   os << ",\"stats\":{"
      << "\"edge_bytes_read\":" << r.stats.edge_bytes_read
      << ",\"edge_stream_passes\":" << r.stats.edge_stream_passes
@@ -110,6 +132,10 @@ void write_report_json(std::ostream& os, const RunReport& r) {
   os << ",\"power_gating\":{"
      << "\"gated_background_pj\":";
   write_number(os, r.bpg.gated_background_pj);
+  os << ",\"awake_background_pj\":";
+  write_number(os, r.bpg.awake_background_pj);
+  os << ",\"idle_background_pj\":";
+  write_number(os, r.bpg.idle_background_pj);
   os << ",\"ungated_background_pj\":";
   write_number(os, r.bpg.ungated_background_pj);
   os << ",\"wake_energy_pj\":";
@@ -206,6 +232,33 @@ class FlatJsonParser {
     return s_.substr(start, pos_ - start);
   }
 
+  std::string literal_token() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           std::isalpha(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+    const std::string token = s_.substr(start, pos_ - start);
+    if (token != "true" && token != "false" && token != "null")
+      fail("unknown literal \"" + token + "\"");
+    return token;
+  }
+
+  void value(const std::string& key) {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') {
+      object(key + ".");
+    } else if (c == '[') {
+      array(key + ".");
+    } else if (c == '"') {
+      fields_[key] = string_token();
+    } else if (std::isalpha(static_cast<unsigned char>(c))) {
+      fields_[key] = literal_token();
+    } else {
+      fields_[key] = number_token();
+    }
+  }
+
   void object(const std::string& prefix) {
     skip_ws();
     expect('{');
@@ -219,15 +272,7 @@ class FlatJsonParser {
       const std::string key = prefix + string_token();
       skip_ws();
       expect(':');
-      skip_ws();
-      const char c = peek();
-      if (c == '{') {
-        object(key + ".");
-      } else if (c == '"') {
-        fields_[key] = string_token();
-      } else {
-        fields_[key] = number_token();
-      }
+      value(key);
       skip_ws();
       if (peek() == ',') {
         ++pos_;
@@ -238,45 +283,138 @@ class FlatJsonParser {
     }
   }
 
+  // Array elements land under "prefix.N" keys (N = element index), so
+  // consumers walk them with has("prefix.0..."), has("prefix.1..."), ...
+  void array(const std::string& prefix) {
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return;
+    }
+    std::size_t index = 0;
+    while (true) {
+      value(prefix + std::to_string(index));
+      ++index;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return;
+    }
+  }
+
   const std::string& s_;
   std::size_t pos_ = 0;
   std::map<std::string, std::string> fields_;
 };
 
+// Typed access over the dotted-key map. Every conversion failure —
+// missing key, non-numeric token, negative value for an unsigned field,
+// trailing garbage — surfaces as std::runtime_error naming the field, so
+// malformed records fail loudly instead of half-parsing.
 class FieldReader {
  public:
-  explicit FieldReader(std::map<std::string, std::string> fields)
-      : fields_(std::move(fields)) {}
+  FieldReader(const std::map<std::string, std::string>& fields,
+              std::string prefix)
+      : fields_(fields), prefix_(std::move(prefix)) {}
+
+  bool has(const std::string& key) const {
+    return fields_.count(prefix_ + key) > 0;
+  }
 
   const std::string& raw(const std::string& key) const {
-    const auto it = fields_.find(key);
+    const auto it = fields_.find(prefix_ + key);
     if (it == fields_.end())
       throw std::runtime_error("run_report_from_json: missing field \"" +
-                               key + "\"");
+                               prefix_ + key + "\"");
     return it->second;
   }
 
   std::string str(const std::string& key) const { return raw(key); }
-  double num(const std::string& key) const { return std::stod(raw(key)); }
-  std::uint64_t u64(const std::string& key) const {
-    return std::stoull(raw(key));
+
+  double num(const std::string& key) const {
+    const std::string& token = raw(key);
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(token, &used);
+      if (used != token.size()) throw std::invalid_argument("trailing");
+      return v;
+    } catch (const std::exception&) {
+      fail_type(key, token, "a number");
+    }
   }
+
+  std::uint64_t u64(const std::string& key) const {
+    const std::string& token = raw(key);
+    try {
+      // stoull happily wraps negatives; refuse them explicitly.
+      if (!token.empty() && token[0] == '-')
+        throw std::invalid_argument("negative");
+      std::size_t used = 0;
+      const std::uint64_t v = std::stoull(token, &used);
+      if (used != token.size()) throw std::invalid_argument("trailing");
+      return v;
+    } catch (const std::exception&) {
+      fail_type(key, token, "a non-negative integer");
+    }
+  }
+
   std::uint32_t u32(const std::string& key) const {
-    return static_cast<std::uint32_t>(std::stoul(raw(key)));
+    const std::uint64_t v = u64(key);
+    if (v > std::numeric_limits<std::uint32_t>::max())
+      fail_type(key, raw(key), "a 32-bit integer");
+    return static_cast<std::uint32_t>(v);
   }
 
  private:
-  std::map<std::string, std::string> fields_;
+  [[noreturn]] void fail_type(const std::string& key,
+                              const std::string& token,
+                              const std::string& expected) const {
+    throw std::runtime_error("run_report_from_json: field \"" + prefix_ +
+                             key + "\" is not " + expected + ": \"" + token +
+                             "\"");
+  }
+
+  const std::map<std::string, std::string>& fields_;
+  std::string prefix_;
 };
 
 bool close(double a, double b, double rel_tol) {
   return std::abs(a - b) <= rel_tol * std::max({std::abs(a), std::abs(b), 1.0});
 }
 
+EnergyComponent component_from_name(const std::string& name) {
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(EnergyComponent::kCount); ++i) {
+    const auto c = static_cast<EnergyComponent>(i);
+    if (component_name(c) == name) return c;
+  }
+  throw std::runtime_error(
+      "run_report_from_json: unknown energy component \"" + name + "\"");
+}
+
+Phase phase_from_name(const std::string& name) {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Phase::kCount); ++i) {
+    const auto p = static_cast<Phase>(i);
+    if (phase_name(p) == name) return p;
+  }
+  throw std::runtime_error("run_report_from_json: unknown phase \"" + name +
+                           "\"");
+}
+
 }  // namespace
 
-RunReport run_report_from_json(const std::string& json) {
-  const FieldReader f(FlatJsonParser(json).parse());
+std::map<std::string, std::string> parse_flat_json(const std::string& text) {
+  return FlatJsonParser(text).parse();
+}
+
+RunReport run_report_from_fields(
+    const std::map<std::string, std::string>& fields,
+    const std::string& prefix) {
+  const FieldReader f(fields, prefix);
 
   RunReport r;
   r.config_label = f.str("config");
@@ -321,6 +459,30 @@ RunReport run_report_from_json(const std::string& json) {
   r.bpg.wake_energy_pj = f.num("power_gating.wake_energy_pj");
   r.bpg.exposed_wake_time_ns = f.num("power_gating.exposed_wake_time_ns");
   r.bpg.bank_wakes = f.u64("power_gating.bank_wakes");
+  // The awake/idle decomposition postdates the original schema; absent
+  // fields (pre-ledger files) read as zero.
+  if (f.has("power_gating.awake_background_pj"))
+    r.bpg.awake_background_pj = f.num("power_gating.awake_background_pj");
+  if (f.has("power_gating.idle_background_pj"))
+    r.bpg.idle_background_pj = f.num("power_gating.idle_background_pj");
+
+  // Attribution ledger (optional: pre-ledger files carry none).
+  try {
+    for (std::size_t i = 0;; ++i) {
+      const std::string base = "energy_ledger." + std::to_string(i) + ".";
+      if (!f.has(base + "component")) break;
+      r.ledger.charge(component_from_name(f.str(base + "component")),
+                      phase_from_name(f.str(base + "phase")),
+                      f.str(base + "unit"), f.num(base + "pj"));
+    }
+    // Cells must re-sum to the breakdowns they claim to attribute
+    // (looser than the runtime invariant: the parts were rounded).
+    r.validate_ledger(1e-6);
+  } catch (const InvariantError& e) {
+    throw std::runtime_error(
+        std::string("run_report_from_json: energy ledger invalid: ") +
+        e.what());
+  }
 
   // The derived fields must agree with the reconstructed components
   // (looser than the write precision: the totals re-sum rounded parts).
@@ -336,6 +498,10 @@ RunReport run_report_from_json(const std::string& json) {
     throw std::runtime_error(
         "run_report_from_json: phase breakdown inconsistent with totals");
   return r;
+}
+
+RunReport run_report_from_json(const std::string& json) {
+  return run_report_from_fields(parse_flat_json(json), "");
 }
 
 bool reports_equivalent(const RunReport& a, const RunReport& b,
@@ -374,20 +540,40 @@ bool reports_equivalent(const RunReport& a, const RunReport& b,
       x.vertex_ops != y.vertex_ops || x.interval_loads != y.interval_loads ||
       x.interval_writebacks != y.interval_writebacks)
     return false;
-  return close(a.bpg.gated_background_pj, b.bpg.gated_background_pj,
-               rel_tol) &&
-         close(a.bpg.ungated_background_pj, b.bpg.ungated_background_pj,
-               rel_tol) &&
-         close(a.bpg.wake_energy_pj, b.bpg.wake_energy_pj, rel_tol) &&
-         close(a.bpg.exposed_wake_time_ns, b.bpg.exposed_wake_time_ns,
-               rel_tol) &&
-         a.bpg.bank_wakes == b.bpg.bank_wakes;
+  if (!(close(a.bpg.gated_background_pj, b.bpg.gated_background_pj,
+              rel_tol) &&
+        close(a.bpg.awake_background_pj, b.bpg.awake_background_pj,
+              rel_tol) &&
+        close(a.bpg.idle_background_pj, b.bpg.idle_background_pj, rel_tol) &&
+        close(a.bpg.ungated_background_pj, b.bpg.ungated_background_pj,
+              rel_tol) &&
+        close(a.bpg.wake_energy_pj, b.bpg.wake_energy_pj, rel_tol) &&
+        close(a.bpg.exposed_wake_time_ns, b.bpg.exposed_wake_time_ns,
+              rel_tol) &&
+        a.bpg.bank_wakes == b.bpg.bank_wakes))
+    return false;
+  // Ledgers must agree cell-for-cell (both empty is agreement too).
+  const auto& la = a.ledger.cells();
+  const auto& lb = b.ledger.cells();
+  if (la.size() != lb.size()) return false;
+  auto ita = la.begin();
+  auto itb = lb.begin();
+  for (; ita != la.end(); ++ita, ++itb) {
+    if (ita->first.component != itb->first.component ||
+        ita->first.phase != itb->first.phase ||
+        ita->first.unit != itb->first.unit ||
+        !close(ita->second, itb->second, rel_tol))
+      return false;
+  }
+  return true;
 }
 
 std::string validated_report_json(const RunReport& report) {
   // Breakdowns can never silently drift from the totals: every record
-  // any tool emits first proves its phase sums (1e-9 relative).
+  // any tool emits first proves its phase sums and its ledger marginals
+  // (1e-9 relative).
   report.validate_phase_totals();
+  report.validate_ledger();
   const std::string json = report_to_json(report);
   RunReport parsed;
   try {

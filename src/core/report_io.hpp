@@ -7,6 +7,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <map>
 #include <string>
 
 #include "core/machine.hpp"
@@ -27,6 +28,20 @@ std::string report_to_json(const RunReport& report);
 // components. The sweep engine's ResultSink round-trips every record it
 // emits through this to guarantee the output stays machine-readable.
 RunReport run_report_from_json(const std::string& json);
+
+// The underlying flat-JSON parse: dotted keys ("stats.edge_ops"), array
+// elements under "prefix.N" keys, values kept as raw tokens. Shared with
+// the bench-report tooling, which embeds run records in a larger
+// document. Throws std::runtime_error on malformed input.
+std::map<std::string, std::string> parse_flat_json(const std::string& text);
+
+// Rebuilds a RunReport from parsed fields whose keys start with `prefix`
+// (e.g. "runs.3." for the fourth element of a bench report's runs
+// array). run_report_from_json() is parse_flat_json + this with an empty
+// prefix. Same validation and failure behaviour.
+RunReport run_report_from_fields(
+    const std::map<std::string, std::string>& fields,
+    const std::string& prefix = "");
 
 // Field-by-field equality with relative tolerance `rel_tol` on doubles
 // (serialisation rounds to 12 significant digits); exact on integers and

@@ -1,5 +1,7 @@
 #include "exp/cache.hpp"
 
+#include <fstream>
+
 #include "obs/registry.hpp"
 #include "util/check.hpp"
 
@@ -159,6 +161,8 @@ std::shared_ptr<const Graph> GraphCache::acquire_balanced(
 void GraphCache::set_byte_budget(std::size_t bytes) {
   const std::scoped_lock lock(mu_);
   budget_bytes_ = bytes;
+  gauge("exp.graph_cache.byte_budget",
+        static_cast<std::int64_t>(budget_bytes_));
   if (budget_bytes_ > 0) evict_to_budget_locked(nullptr);
 }
 
@@ -170,6 +174,18 @@ std::size_t GraphCache::byte_budget() const {
 std::size_t GraphCache::resident_bytes() const {
   const std::scoped_lock lock(mu_);
   return resident_bytes_;
+}
+
+std::size_t default_graph_cache_budget(bool smoke) {
+  if (smoke) return std::size_t{256} << 20;
+  std::ifstream meminfo("/proc/meminfo");
+  std::string key;
+  std::uint64_t kib = 0;
+  std::string unit;
+  while (meminfo >> key >> kib >> unit)
+    if (key == "MemAvailable:")
+      return static_cast<std::size_t>(kib) * 1024 / 4;
+  return 0;  // no MemAvailable (non-Linux): keep the unbounded default
 }
 
 std::shared_ptr<const Partitioning> PartitionCache::acquire(

@@ -118,6 +118,13 @@ class GraphCache {
   std::atomic<std::size_t> evictions_{0};
 };
 
+// Byte budget for a GraphCache when the user gave none: a quarter of
+// the machine's currently available memory (/proc/meminfo MemAvailable),
+// so a generated-graph sweep cannot swap the host, or 0 (unbounded) on
+// platforms where that cannot be read. Smoke runs get a fixed 256 MiB so
+// CI output never depends on the host's memory pressure.
+std::size_t default_graph_cache_budget(bool smoke);
+
 // Interval-block partitionings keyed by (graph key, P). The caller
 // guarantees `key` uniquely identifies the graph's edge layout — use
 // GraphCache keys (and GraphCache::balanced_key for remapped images).

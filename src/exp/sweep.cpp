@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <set>
 #include <thread>
 #include <utility>
 
@@ -147,6 +148,35 @@ std::vector<SweepResult> SweepEngine::run(const SweepSpec& spec,
   const std::vector<SweepCell> cells = expand(spec);
   const std::size_t n = cells.size();
   std::vector<std::optional<RunReport>> reports(n);
+
+  if (options.trace != nullptr) {
+    // Graph-cache hit-rate timeline on the sweep's own pid-0 track.
+    // Computed analytically in cell-index order — the first touch of
+    // each graph key is its compulsory miss, every later touch a hit
+    // (the unbounded-budget behaviour) — so the trace stays
+    // byte-identical for any --jobs value even though the real
+    // execution order races and a byte-capped cache may evict.
+    options.trace->process_name(0, "sweep");
+    options.trace->thread_name(0, 0, "graph cache");
+    std::set<std::string> seen;
+    std::uint64_t touches = 0;
+    std::uint64_t hits = 0;
+    const auto touch = [&](const std::string& key) {
+      ++touches;
+      if (!seen.insert(key).second) ++hits;
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      touch(cells[i].graph_key);
+      if (cells[i].config.hash_balance)
+        touch(GraphCache::balanced_key(cells[i].graph_key,
+                                       cells[i].config.hash_balance_seed));
+      // ts is the cell index: the track reads as "hit rate after cell i".
+      options.trace->counter(
+          0, 0, "graph-cache hit rate", static_cast<double>(i),
+          {{"hit_rate", static_cast<double>(hits) /
+                            static_cast<double>(touches)}});
+    }
+  }
 
   std::mutex mu;  // guards reports[] and flushed
   std::size_t flushed = 0;

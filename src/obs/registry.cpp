@@ -89,7 +89,12 @@ void Registry::dump(std::ostream& os) const {
         break;
       case Kind::kHistogram: {
         const Histogram& h = *histograms_.at(name);
-        os << name << ".count=" << h.count() << '\n'
+        const double avg =
+            h.count() > 0 ? static_cast<double>(h.sum()) /
+                                static_cast<double>(h.count())
+                          : 0.0;
+        os << name << ".avg=" << avg << '\n'
+           << name << ".count=" << h.count() << '\n'
            << name << ".max=" << h.max() << '\n'
            << name << ".min=" << h.min() << '\n'
            << name << ".sum=" << h.sum() << '\n';

@@ -101,7 +101,8 @@ class Registry {
   Histogram& histogram(const std::string& name);
 
   // Sorted "key=value" lines, one per instrument value; histograms
-  // expand to key.count/key.sum/key.min/key.max.
+  // expand to key.avg/key.count/key.max/key.min/key.sum (avg is 0 for
+  // an empty histogram).
   void dump(std::ostream& os) const;
   std::string dump_string() const;
 

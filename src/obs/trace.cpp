@@ -112,6 +112,20 @@ void Trace::instant(std::uint32_t pid, std::uint32_t tid, std::string name,
   append(std::move(e));
 }
 
+void Trace::counter(std::uint32_t pid, std::uint32_t tid, std::string name,
+                    double ts_ns,
+                    std::vector<std::pair<std::string, double>> series) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = "counter";
+  e.ph = 'C';
+  e.ts_ns = ts_ns;
+  e.pid = pid;
+  e.tid = tid;
+  e.args = std::move(series);
+  append(std::move(e));
+}
+
 void Trace::thread_name(std::uint32_t pid, std::uint32_t tid,
                         std::string name) {
   TraceEvent e;

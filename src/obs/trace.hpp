@@ -25,7 +25,7 @@ namespace hyve::obs {
 struct TraceEvent {
   std::string name;
   std::string cat;
-  char ph = 'X';      // X = complete, i = instant, M = metadata
+  char ph = 'X';      // X = complete, i = instant, C = counter, M = metadata
   double ts_ns = 0;   // simulated start time
   double dur_ns = 0;  // complete events only
   std::uint32_t pid = 0;
@@ -46,6 +46,13 @@ class Trace {
   void instant(std::uint32_t pid, std::uint32_t tid, std::string name,
                std::string cat, double ts_ns,
                std::vector<std::pair<std::string, double>> args = {});
+  // A counter sample ("ph":"C"): the named track's series take the given
+  // values from ts_ns until the next sample. Viewers render one stacked
+  // area chart per (pid, name); `series` are its stacked components —
+  // simulated power draw, banks awake, pipeline occupancy, hit rates.
+  void counter(std::uint32_t pid, std::uint32_t tid, std::string name,
+               double ts_ns,
+               std::vector<std::pair<std::string, double>> series);
   // Names a track in the viewer (metadata event).
   void thread_name(std::uint32_t pid, std::uint32_t tid, std::string name);
   void process_name(std::uint32_t pid, std::string name);

@@ -2,7 +2,47 @@
 
 #include <numeric>
 
+#include "util/check.hpp"
+
 namespace hyve {
+
+void EnergyLedger::charge(EnergyComponent component, Phase phase,
+                          const std::string& unit, double pj) {
+  HYVE_CHECK_MSG(component != EnergyComponent::kCount &&
+                     phase != Phase::kCount,
+                 "ledger charge needs a real component and phase");
+  HYVE_CHECK_MSG(pj >= 0, "negative ledger charge: " << pj << " pJ to "
+                                                     << component_name(component)
+                                                     << "/" << phase_name(phase)
+                                                     << "/" << unit);
+  if (pj == 0) return;
+  cells_[{component, phase, unit}] += pj;
+}
+
+double EnergyLedger::total_pj() const {
+  double sum = 0;
+  for (const auto& [key, pj] : cells_) sum += pj;
+  return sum;
+}
+
+double EnergyLedger::component_pj(EnergyComponent c) const {
+  double sum = 0;
+  for (const auto& [key, pj] : cells_)
+    if (key.component == c) sum += pj;
+  return sum;
+}
+
+double EnergyLedger::phase_pj(Phase p) const {
+  double sum = 0;
+  for (const auto& [key, pj] : cells_)
+    if (key.phase == p) sum += pj;
+  return sum;
+}
+
+EnergyLedger& EnergyLedger::operator+=(const EnergyLedger& other) {
+  for (const auto& [key, pj] : other.cells_) cells_[key] += pj;
+  return *this;
+}
 
 std::string component_name(EnergyComponent c) {
   switch (c) {

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <string>
 
 namespace hyve {
@@ -69,6 +70,54 @@ enum class Phase : std::size_t {
 };
 
 std::string phase_name(Phase p);
+
+// One cell of the energy-attribution ledger: the joules a run charged to
+// a (component, phase, unit) triple. `unit` is the finest hardware
+// granularity the energy model distinguishes for that component: a
+// processing unit ("pu0".."puN"), a bank state of the gated edge memory
+// ("banks:awake"/"banks:gated"/"banks:wake"), or a whole module
+// ("edge-mem", "vertex-mem", "sram", "pus", "logic").
+struct LedgerKey {
+  EnergyComponent component = EnergyComponent::kCount;
+  Phase phase = Phase::kCount;
+  std::string unit;
+
+  bool operator<(const LedgerKey& other) const {
+    if (component != other.component) return component < other.component;
+    if (phase != other.phase) return phase < other.phase;
+    return unit < other.unit;
+  }
+};
+
+// The full attribution of a run's energy: every joule the simulator
+// charges lands in exactly one cell, so the per-component marginals equal
+// the EnergyBreakdown, the per-phase marginals equal the PhaseBreakdown's
+// energies, and the grand total equals EnergyBreakdown::total_pj() — all
+// enforced at 1e-9 relative tolerance by RunReport::validate_ledger().
+// Cells are kept sorted by key so serialisation is deterministic.
+class EnergyLedger {
+ public:
+  // Adds `pj` to the (component, phase, unit) cell. Charges must be
+  // non-negative (energy only accumulates); zero charges are dropped so
+  // the ledger stays sparse.
+  void charge(EnergyComponent component, Phase phase, const std::string& unit,
+              double pj);
+
+  const std::map<LedgerKey, double>& cells() const { return cells_; }
+  bool empty() const { return cells_.empty(); }
+  std::size_t size() const { return cells_.size(); }
+
+  double total_pj() const;
+  // Marginal sums over one dimension.
+  double component_pj(EnergyComponent c) const;
+  double phase_pj(Phase p) const;
+
+  // Cell-wise merge — the bench tooling's cross-run rollups.
+  EnergyLedger& operator+=(const EnergyLedger& other);
+
+ private:
+  std::map<LedgerKey, double> cells_;
+};
 
 struct PhaseBreakdown {
   std::array<double, static_cast<std::size_t>(Phase::kCount)> time_ns{};

@@ -28,9 +28,11 @@ PowerGatingResult evaluate_power_gating(const ReramModel& reram,
 
   const double idle_time_ns =
       activity.total_time_ns - activity.streaming_time_ns;
+  result.awake_background_pj =
+      units::power_over(streaming_mw, activity.streaming_time_ns);
+  result.idle_background_pj = units::power_over(idle_mw, idle_time_ns);
   result.gated_background_pj =
-      units::power_over(streaming_mw, activity.streaming_time_ns) +
-      units::power_over(idle_mw, idle_time_ns);
+      result.awake_background_pj + result.idle_background_pj;
 
   // One gate-open per bank touched by the sequential scan.
   const std::uint64_t bank_bytes =

@@ -27,6 +27,11 @@ struct EdgeMemoryActivity {
 struct PowerGatingResult {
   double ungated_background_pj = 0;  // all banks powered the whole run
   double gated_background_pj = 0;    // BPG: one bank awake while streaming
+  // Decomposition of gated_background_pj for the energy-attribution
+  // ledger: awake (one bank streaming) + idle (all banks gated, shared
+  // rails only) + wake transitions sum to the gated total exactly.
+  double awake_background_pj = 0;    // streaming windows, one bank awake
+  double idle_background_pj = 0;     // non-streaming windows, gates closed
   std::uint64_t bank_wakes = 0;      // gate-open transitions
   double wake_energy_pj = 0;         // included in gated_background_pj
   double exposed_wake_time_ns = 0;   // wake latency not hidden by prefetch

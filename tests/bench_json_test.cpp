@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <sys/wait.h>
+
+#include "core/bench_json.hpp"
+#include "core/report_io.hpp"
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+
+namespace hyve {
+namespace {
+
+RunReport run_small(std::uint64_t seed, Algorithm algo) {
+  const Graph g = generate_rmat(4000, 24000, {}, seed);
+  return HyveMachine(HyveConfig::hyve_opt()).run(g, algo);
+}
+
+// A two-run document as the bench harness would assemble it.
+BenchReportDoc sample_doc() {
+  BenchReportDoc doc;
+  doc.bench = "bench_test";
+  doc.git_rev = build_git_rev();
+  doc.smoke = true;
+  doc.datasets = {"g1", "g2"};
+  doc.runs.push_back({"g1", run_small(11, Algorithm::kBfs)});
+  doc.runs.push_back({"g2", run_small(23, Algorithm::kBfs)});
+  for (const BenchRun& run : doc.runs) doc.ledger_rollup += run.report.ledger;
+  doc.metrics.emplace("sim.pipeline.blocks", "42");
+  return doc;
+}
+
+// Slows a report down by `factor` while keeping every invariant intact:
+// exec time and the per-phase times scale together, energy is untouched
+// (so the ledger still sums). MTEPS drops, MTEPS/W follows energy and
+// stays put.
+RunReport slowed(RunReport r, double factor) {
+  r.exec_time_ns *= factor;
+  r.streaming_time_ns *= factor;
+  for (std::size_t p = 0; p < static_cast<std::size_t>(Phase::kCount); ++p)
+    r.phases.time(static_cast<Phase>(p)) *= factor;
+  r.validate_phase_totals();
+  r.validate_ledger();
+  return r;
+}
+
+TEST(BenchJson, RoundTripPreservesDocument) {
+  const BenchReportDoc doc = sample_doc();
+  const BenchReportDoc parsed = bench_report_from_json(bench_report_to_json(doc));
+
+  EXPECT_EQ(parsed.bench, "bench_test");
+  EXPECT_EQ(parsed.git_rev, doc.git_rev);
+  EXPECT_TRUE(parsed.smoke);
+  EXPECT_EQ(parsed.datasets, doc.datasets);
+  ASSERT_EQ(parsed.runs.size(), 2u);
+  EXPECT_EQ(parsed.runs[0].graph_key, "g1");
+  EXPECT_EQ(parsed.runs[1].graph_key, "g2");
+  for (std::size_t i = 0; i < parsed.runs.size(); ++i)
+    EXPECT_TRUE(
+        reports_equivalent(parsed.runs[i].report, doc.runs[i].report, 1e-6));
+  EXPECT_EQ(parsed.ledger_rollup.size(), doc.ledger_rollup.size());
+  EXPECT_NEAR(parsed.ledger_rollup.total_pj(), doc.ledger_rollup.total_pj(),
+              1e-6 * doc.ledger_rollup.total_pj());
+  ASSERT_EQ(parsed.metrics.count("sim.pipeline.blocks"), 1u);
+  EXPECT_EQ(parsed.metrics.at("sim.pipeline.blocks"), "42");
+}
+
+TEST(BenchJson, SerialisationRefusesAnInvalidRun) {
+  BenchReportDoc doc = sample_doc();
+  // Skew one component total away from its ledger cells.
+  doc.runs[0].report.energy[EnergyComponent::kEdgeMemDynamic] *= 2.0;
+  EXPECT_THROW(bench_report_to_json(doc), InvariantError);
+}
+
+TEST(BenchJson, WrongSchemaNameIsRejected) {
+  std::string json = bench_report_to_json(sample_doc());
+  const std::size_t at = json.find("hyve-bench-report");
+  ASSERT_NE(at, std::string::npos);
+  json.replace(at, 17, "some-other-schema");
+  EXPECT_THROW(bench_report_from_json(json), std::runtime_error);
+}
+
+TEST(BenchJson, UnsupportedSchemaVersionIsRejected) {
+  std::string json = bench_report_to_json(sample_doc());
+  const std::string field = "\"schema_version\":1";
+  const std::size_t at = json.find(field);
+  ASSERT_NE(at, std::string::npos);
+  json.replace(at, field.size(), "\"schema_version\":999");
+  EXPECT_THROW(bench_report_from_json(json), std::runtime_error);
+}
+
+TEST(BenchJson, RollupDriftingFromRunsIsRejected) {
+  BenchReportDoc doc = sample_doc();
+  // A rollup that misses one run: to_json itself accepts it (it only
+  // validates per-run invariants) but parsing re-proves the sum.
+  doc.ledger_rollup = doc.runs[0].report.ledger;
+  EXPECT_THROW(bench_report_from_json(bench_report_to_json(doc)),
+               std::runtime_error);
+}
+
+TEST(BenchJson, WriteReadFileRoundTrips) {
+  const std::string path = testing::TempDir() + "bench_json_roundtrip.json";
+  const BenchReportDoc doc = sample_doc();
+  write_bench_report_file(path, doc);
+  const BenchReportDoc parsed = read_bench_report_file(path);
+  EXPECT_EQ(parsed.runs.size(), doc.runs.size());
+  EXPECT_EQ(parsed.bench, doc.bench);
+}
+
+TEST(BenchJson, CompareFlagsAnInjectedRegression) {
+  const BenchReportDoc old_doc = sample_doc();
+  BenchReportDoc new_doc = old_doc;
+  new_doc.runs[0].report = slowed(new_doc.runs[0].report, 1.10);
+
+  const BenchCompareResult result =
+      compare_bench_reports(old_doc, new_doc, 0.5);
+  EXPECT_EQ(result.cells_compared, 2u);
+  // The slowed cell regresses on exec time (+10%) and MTEPS (-9%);
+  // energy and MTEPS/W are untouched, as is the whole second cell.
+  EXPECT_EQ(result.regressions, 2u);
+  for (const BenchCompareLine& line : result.lines) {
+    const bool should_regress =
+        line.cell.find("/g1") != std::string::npos &&
+        (line.metric == "exec_time_ns" || line.metric == "mteps");
+    EXPECT_EQ(line.regressed, should_regress)
+        << line.cell << " " << line.metric;
+  }
+
+  // A generous threshold absorbs the same delta.
+  EXPECT_EQ(compare_bench_reports(old_doc, new_doc, 15.0).regressions, 0u);
+  // Identical documents never regress.
+  EXPECT_EQ(compare_bench_reports(old_doc, old_doc, 0.0).regressions, 0u);
+}
+
+TEST(BenchJson, CompareListsAddedAndRemovedCells) {
+  BenchReportDoc old_doc = sample_doc();
+  BenchReportDoc new_doc = old_doc;
+  old_doc.runs.pop_back();           // "g2" only in new
+  new_doc.runs.erase(new_doc.runs.begin());  // "g1" only in old
+  const BenchCompareResult result =
+      compare_bench_reports(old_doc, new_doc, 0.5);
+  EXPECT_EQ(result.cells_compared, 0u);
+  EXPECT_EQ(result.regressions, 0u);
+  ASSERT_EQ(result.added.size(), 1u);
+  ASSERT_EQ(result.removed.size(), 1u);
+  EXPECT_NE(result.added[0].find("/g2"), std::string::npos);
+  EXPECT_NE(result.removed[0].find("/g1"), std::string::npos);
+}
+
+#ifdef HYVE_REPORT_BIN
+int run_tool(const std::string& args) {
+  const std::string cmd =
+      std::string(HYVE_REPORT_BIN) + " " + args + " >/dev/null 2>&1";
+  const int rc = std::system(cmd.c_str());
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+// The acceptance contract of the binary itself: --check passes a fresh
+// file, --compare exits non-zero exactly when a regression is injected.
+TEST(BenchJson, HyveReportBinaryExitCodes) {
+  const std::string dir = testing::TempDir();
+  const std::string old_path = dir + "hyve_report_old.json";
+  const std::string new_path = dir + "hyve_report_new.json";
+  const std::string bad_path = dir + "hyve_report_bad.json";
+
+  const BenchReportDoc old_doc = sample_doc();
+  BenchReportDoc new_doc = old_doc;
+  new_doc.runs[0].report = slowed(new_doc.runs[0].report, 1.10);
+  write_bench_report_file(old_path, old_doc);
+  write_bench_report_file(new_path, new_doc);
+  std::ofstream(bad_path) << "{\"schema\":\"hyve-bench-report\"";
+
+  EXPECT_EQ(run_tool("--check " + old_path), 0);
+  EXPECT_EQ(run_tool("--check " + bad_path), 1);
+  EXPECT_EQ(run_tool("--compare " + old_path + " " + old_path), 0);
+  EXPECT_EQ(run_tool("--compare " + old_path + " " + new_path), 1);
+  EXPECT_EQ(run_tool("--compare " + old_path + " " + new_path +
+                     " --threshold 15"),
+            0);
+  // Usage errors are distinct from regressions.
+  EXPECT_EQ(run_tool("--check " + old_path + " --compare " + old_path), 2);
+}
+#endif
+
+}  // namespace
+}  // namespace hyve

@@ -98,6 +98,7 @@ TEST(Registry, DumpIsSortedKeyValueLines) {
   reg.histogram("a.first").observe(4);
 
   EXPECT_EQ(reg.dump_string(),
+            "a.first.avg=7\n"
             "a.first.count=2\n"
             "a.first.max=10\n"
             "a.first.min=4\n"
@@ -228,7 +229,26 @@ TEST(Trace, GoldenSpanCountForFixedSeedPageRank) {
   // Fixed seed, fixed config, simulated time: the event count is exact.
   // A change here means the instrumentation (or the simulated schedule
   // it mirrors) changed — update deliberately.
-  EXPECT_EQ(trace.events(), 1254u);
+  EXPECT_EQ(trace.events(), 1365u);
+}
+
+TEST(Trace, CounterTracksCarryPowerAndOccupancyTimelines) {
+  const std::string doc = traced_pagerank_run();
+  // The counter track exists and carries every advertised timeline.
+  EXPECT_NE(doc.find("\"name\":\"power\",\"cat\":\"counter\",\"ph\":\"C\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"pipeline occupancy\",\"cat\":\"counter\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"banks awake\",\"cat\":\"counter\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"dynamic_mw\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"active_pus\":"), std::string::npos);
+  // Counter events never carry a duration.
+  for (const std::string& line : event_lines(doc)) {
+    if (line.find("\"ph\":\"C\"") != std::string::npos) {
+      EXPECT_EQ(line.find("\"dur\":"), std::string::npos) << line;
+    }
+  }
 }
 
 TEST(Trace, WriteIsByteDeterministic) {
@@ -261,6 +281,9 @@ TEST(Trace, SweepTraceIsIndependentOfJobCount) {
   // One pid per cell.
   EXPECT_NE(serial.find("\"pid\":1"), std::string::npos);
   EXPECT_NE(serial.find("\"pid\":4"), std::string::npos);
+  // The sweep's own pid-0 cache timeline rides along, jobs-independent.
+  EXPECT_NE(serial.find("\"name\":\"graph-cache hit rate\""),
+            std::string::npos);
 }
 
 TEST(Trace, DramRowActivationsAreMirrored) {
@@ -322,6 +345,80 @@ TEST(Phases, CorruptedBreakdownFailsValidation) {
   r.phases.time(Phase::kProcess) *= 1.5;
   EXPECT_THROW(r.validate_phase_totals(), InvariantError);
   EXPECT_THROW(validated_report_json(r), InvariantError);
+}
+
+// ---------- Energy-attribution ledger invariants ----------
+
+TEST(Ledger, ChargeValidatesItsArguments) {
+  EnergyLedger ledger;
+  EXPECT_THROW(ledger.charge(EnergyComponent::kCount, Phase::kLoad, "x", 1.0),
+               InvariantError);
+  EXPECT_THROW(ledger.charge(EnergyComponent::kRouter, Phase::kCount, "x", 1.0),
+               InvariantError);
+  EXPECT_THROW(ledger.charge(EnergyComponent::kRouter, Phase::kLoad, "x", -1.0),
+               InvariantError);
+  ledger.charge(EnergyComponent::kRouter, Phase::kLoad, "x", 0.0);
+  EXPECT_TRUE(ledger.empty());  // zero charges stay out of the cell map
+  ledger.charge(EnergyComponent::kRouter, Phase::kLoad, "x", 2.0);
+  ledger.charge(EnergyComponent::kRouter, Phase::kLoad, "x", 3.0);
+  EXPECT_EQ(ledger.size(), 1u);
+  EXPECT_DOUBLE_EQ(ledger.total_pj(), 5.0);
+  EXPECT_DOUBLE_EQ(ledger.component_pj(EnergyComponent::kRouter), 5.0);
+  EXPECT_DOUBLE_EQ(ledger.phase_pj(Phase::kLoad), 5.0);
+}
+
+TEST(Ledger, MachineRunAttributesEveryJoule) {
+  const RunReport r = pagerank_report();
+  ASSERT_FALSE(r.ledger.empty());
+  EXPECT_NO_THROW(r.validate_ledger());
+  EXPECT_NEAR(r.ledger.total_pj(), r.total_energy_pj(),
+              1e-9 * r.total_energy_pj());
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(EnergyComponent::kCount); ++i) {
+    const auto c = static_cast<EnergyComponent>(i);
+    EXPECT_NEAR(r.ledger.component_pj(c), r.energy[c],
+                1e-9 * (r.energy[c] + 1.0))
+        << component_name(c);
+  }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Phase::kCount); ++i) {
+    const auto p = static_cast<Phase>(i);
+    EXPECT_NEAR(r.ledger.phase_pj(p), r.phases.energy(p),
+                1e-9 * (r.phases.energy(p) + 1.0))
+        << phase_name(p);
+  }
+  // hyve_opt runs power-gated ReRAM with per-PU SRAM pipelines: the
+  // ledger must resolve down to bank states and individual units.
+  bool has_pu0 = false, has_bank_state = false;
+  for (const auto& [key, pj] : r.ledger.cells()) {
+    if (key.unit == "pu0") has_pu0 = true;
+    if (key.unit.rfind("banks:", 0) == 0) has_bank_state = true;
+  }
+  EXPECT_TRUE(has_pu0);
+  EXPECT_TRUE(has_bank_state);
+}
+
+TEST(Ledger, SkewedBreakdownFailsValidation) {
+  RunReport r = pagerank_report();
+  r.energy[EnergyComponent::kRouter] =
+      r.energy[EnergyComponent::kRouter] * 2.0 + 1.0;
+  EXPECT_THROW(r.validate_ledger(), InvariantError);
+}
+
+TEST(Ledger, HandBuiltReportWithoutCellsPasses) {
+  RunReport r;
+  r.energy[EnergyComponent::kRouter] = 12.0;
+  EXPECT_NO_THROW(r.validate_ledger());
+}
+
+TEST(Ledger, MergeAccumulatesCellwise) {
+  EnergyLedger a, b;
+  a.charge(EnergyComponent::kRouter, Phase::kProcess, "pu0", 1.0);
+  b.charge(EnergyComponent::kRouter, Phase::kProcess, "pu0", 2.0);
+  b.charge(EnergyComponent::kSramLeakage, Phase::kBackground, "pu1", 4.0);
+  a += b;
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.total_pj(), 7.0);
+  EXPECT_DOUBLE_EQ(a.component_pj(EnergyComponent::kRouter), 3.0);
 }
 
 TEST(Phases, ParserRejectsInconsistentBreakdown) {

@@ -83,5 +83,84 @@ TEST(ReportIo, ValidationRejectsReportThatCannotRoundTrip) {
   EXPECT_THROW(validated_report_json(r), InvariantError);
 }
 
+TEST(ReportIo, LedgerRoundTripsThroughJson) {
+  const RunReport r = sample_report();
+  ASSERT_FALSE(r.ledger.empty());
+  const std::string json = validated_report_json(r);
+  EXPECT_NE(json.find("\"energy_ledger\":["), std::string::npos);
+  const RunReport parsed = run_report_from_json(json);
+  EXPECT_EQ(parsed.ledger.size(), r.ledger.size());
+  EXPECT_TRUE(reports_equivalent(r, parsed, 1e-9));
+  EXPECT_NO_THROW(parsed.validate_ledger(1e-6));
+  EXPECT_NEAR(parsed.bpg.awake_background_pj, r.bpg.awake_background_pj,
+              1e-6 * (r.bpg.awake_background_pj + 1.0));
+  EXPECT_NEAR(parsed.bpg.idle_background_pj, r.bpg.idle_background_pj,
+              1e-6 * (r.bpg.idle_background_pj + 1.0));
+}
+
+// ---------- Malformed input must fail loudly, never half-parse ----------
+
+TEST(ReportIo, TruncatedJsonIsRejected) {
+  const std::string json = report_to_json(sample_report());
+  // Chop at several depths: mid-key, mid-number, missing closer.
+  for (const std::size_t keep :
+       {json.size() - 1, json.size() / 2, json.size() / 4, std::size_t{1}}) {
+    EXPECT_THROW(run_report_from_json(json.substr(0, keep)),
+                 std::runtime_error)
+        << "accepted a " << keep << "-byte prefix";
+  }
+}
+
+TEST(ReportIo, WrongTypePhaseFieldIsRejected) {
+  const std::string json = report_to_json(sample_report());
+  const std::string key = "\"phase_time_ns\":{\"load\":";
+  const auto at = json.find(key);
+  ASSERT_NE(at, std::string::npos);
+  // Replace the number that follows with a string token.
+  const auto end = json.find_first_of(",}", at + key.size());
+  std::string corrupt = json.substr(0, at + key.size()) + "\"fast\"" +
+                        json.substr(end);
+  EXPECT_THROW(run_report_from_json(corrupt), std::runtime_error);
+}
+
+TEST(ReportIo, NegativeCounterIsRejected) {
+  std::string json = report_to_json(sample_report());
+  const std::string key = "\"stats\":{\"edge_bytes_read\":";
+  const auto at = json.find(key);
+  ASSERT_NE(at, std::string::npos);
+  json.insert(at + key.size(), "-");
+  EXPECT_THROW(run_report_from_json(json), std::runtime_error);
+}
+
+TEST(ReportIo, NonSummingBreakdownIsRejected) {
+  RunReport r = sample_report();
+  std::string json = report_to_json(r);
+  // Double one component: the breakdown no longer sums to energy_pj and
+  // the ledger no longer matches the breakdown — the parser must refuse.
+  const std::string key = "\"energy_breakdown_pj\":{\"edge-mem dynamic\":";
+  const auto at = json.find(key);
+  ASSERT_NE(at, std::string::npos);
+  const auto end = json.find_first_of(",}", at + key.size());
+  const double doubled =
+      2.0 * r.energy[EnergyComponent::kEdgeMemDynamic] + 1.0;
+  json = json.substr(0, at + key.size()) + std::to_string(doubled) +
+         json.substr(end);
+  EXPECT_THROW(run_report_from_json(json), std::runtime_error);
+}
+
+TEST(ReportIo, LedgerCellWithUnknownComponentIsRejected) {
+  std::string json = report_to_json(sample_report());
+  const std::string key = "\"energy_ledger\":[{\"component\":\"";
+  const auto at = json.find(key);
+  ASSERT_NE(at, std::string::npos);
+  json.insert(at + key.size(), "warp drive ");
+  EXPECT_THROW(run_report_from_json(json), std::runtime_error);
+}
+
+TEST(ReportIo, UnknownLiteralIsRejected) {
+  EXPECT_THROW(run_report_from_json("{\"config\":bogus}"),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace hyve

@@ -1,0 +1,90 @@
+// hyve_report — validate and compare bench report JSON files.
+//
+// The bench binaries emit versioned BENCH_<name>.json documents via
+// --json (see src/core/bench_json.hpp). This tool is the consumer side:
+//
+//   hyve_report --check BENCH_fig13.json
+//       Parses the file and enforces every invariant the schema makes:
+//       schema name/version, per-run phase and energy-ledger sums,
+//       rollup == sum of run ledgers. Exit 0 when valid, 1 when not.
+//
+//   hyve_report --compare OLD.json NEW.json [--threshold PCT]
+//       Per-cell, per-metric deltas between two documents (exec time and
+//       energy lower-is-better, MTEPS and MTEPS/W higher-is-better).
+//       Exit 1 when any metric moved in the worse direction by more than
+//       the threshold (default 0.5%), 0 otherwise — wire it into CI to
+//       catch performance regressions between revisions.
+#include <iostream>
+#include <string>
+
+#include "core/bench_json.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hyve;
+
+  std::string check_path;
+  std::string compare_old;
+  double threshold_pct = 0.5;
+
+  cli::ArgParser parser("hyve_report",
+                        "validate and compare bench --json reports");
+  parser.option("--check", "FILE",
+                "validate FILE against the bench-report schema and its "
+                "ledger invariants",
+                [&](const std::string& v) { check_path = v; });
+  parser.option("--compare", "OLD",
+                "compare OLD against the NEW positional argument "
+                "(hyve_report --compare old.json new.json)",
+                [&](const std::string& v) { compare_old = v; });
+  parser.option("--threshold", "PCT",
+                "regression threshold in percent for --compare "
+                "(default 0.5)",
+                [&](const std::string& v) {
+                  try {
+                    std::size_t used = 0;
+                    threshold_pct = std::stod(v, &used);
+                    if (used != v.size() || threshold_pct < 0)
+                      throw std::invalid_argument(v);
+                  } catch (const std::exception&) {
+                    parser.fail("--threshold expects a non-negative "
+                                "percentage, got \"" + v + "\"");
+                  }
+                });
+  parser.allow_positionals(1);
+  parser.parse(argc, argv);
+
+  if (check_path.empty() == compare_old.empty())
+    parser.fail("pass exactly one of --check FILE or --compare OLD NEW");
+
+  if (!check_path.empty()) {
+    if (!parser.positionals().empty())
+      parser.fail("--check takes no positional argument");
+    try {
+      const BenchReportDoc doc = read_bench_report_file(check_path);
+      std::cout << check_path << ": ok (bench " << doc.bench << ", "
+                << doc.runs.size() << " run(s), "
+                << doc.ledger_rollup.size() << " ledger cell(s), rev "
+                << doc.git_rev << (doc.smoke ? ", smoke" : "") << ")\n";
+      return 0;
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  if (parser.positionals().size() != 1)
+    parser.fail("--compare needs the NEW file as a positional argument");
+  try {
+    const BenchReportDoc old_doc = read_bench_report_file(compare_old);
+    const BenchReportDoc new_doc =
+        read_bench_report_file(parser.positionals()[0]);
+    const BenchCompareResult result =
+        compare_bench_reports(old_doc, new_doc, threshold_pct);
+    std::cout << format_bench_compare(result, threshold_pct);
+    return result.regressions > 0 ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
