@@ -56,6 +56,18 @@ inline exp::PartitionCache& partition_cache() {
   return cache;
 }
 
+inline exp::FunctionalCache& functional_cache() {
+  static exp::FunctionalCache cache;
+  return cache;
+}
+
+// Null until --functional-cache is parsed; passed through to
+// run_cached/SweepEngine so memoisation stays strictly opt-in.
+inline exp::FunctionalCache*& functional_cache_if_enabled() {
+  static exp::FunctionalCache* enabled = nullptr;
+  return enabled;
+}
+
 // Collector behind --json: every report that flows through run_dataset /
 // run_grid is captured here and serialised by Options::finish(). Off by
 // default so benches without --json pay one branch per cell.
@@ -84,6 +96,8 @@ inline void record_report(const std::string& graph_key,
 //   --smoke               deterministic stand-ins for wall-clock timings
 //   --graph-cache-mb N    byte budget for the shared graph cache
 //   --partition-cache N   entry cap for the shared partition cache
+//   --functional-cache    memoise functional phases across cells
+//   --functional-cache-mb N  byte budget for the functional cache
 //   --cache-stats         print cache counters to stderr after the run
 //   --metrics             dump the full metrics registry to stderr
 //   --trace PATH          write a Chrome trace-event JSON of the run
@@ -93,6 +107,7 @@ struct Options {
   int jobs = 1;
   bool smoke = false;
   std::vector<DatasetId> datasets{kAllDatasets.begin(), kAllDatasets.end()};
+  bool functional_cache = false;
   bool cache_stats = false;
   bool metrics = false;
   std::string trace_path;
@@ -116,7 +131,10 @@ struct Options {
           .set(static_cast<std::int64_t>(graph_cache().byte_budget()));
       reg.gauge("exp.partition_cache.resident")
           .set(static_cast<std::int64_t>(partition_cache().resident()));
-      if (cache_stats)
+      reg.gauge("exp.functional_cache.bytes")
+          .set(static_cast<std::int64_t>(
+              bench::functional_cache().resident_bytes()));
+      if (cache_stats) {
         std::cerr << "cache stats: graphs loads="
                   << reg.counter("exp.graph_cache.loads").value()
                   << " evictions="
@@ -130,6 +148,18 @@ struct Options {
                   << " resident="
                   << reg.gauge("exp.partition_cache.resident").value()
                   << "\n";
+        if (functional_cache)
+          std::cerr << "functional cache: hits="
+                    << reg.counter("exp.functional_cache.hits").value()
+                    << " misses="
+                    << reg.counter("exp.functional_cache.misses").value()
+                    << " evictions="
+                    << reg.counter("exp.functional_cache.evictions").value()
+                    << " bytes="
+                    << reg.gauge("exp.functional_cache.bytes").value()
+                    << " hit_rate="
+                    << bench::functional_cache().hit_rate() << "\n";
+      }
       if (metrics) reg.dump(std::cerr);
     }
     if (trace) trace->write_file(trace_path);
@@ -229,6 +259,19 @@ inline Options parse_args(int argc, char** argv, const std::string& prog,
                       static_cast<std::size_t>(cli::parse_int(
                           parser, "--partition-cache", v, 0, 1 << 20)));
                 });
+  parser.flag("--functional-cache",
+              "memoise functional phases across cells that share a graph "
+              "image, algorithm, P and frontier mode (identical output)",
+              &opts.functional_cache);
+  parser.option("--functional-cache-mb", "N",
+                "functional cache byte budget in MiB (0 = unbounded; "
+                "default 0; implies --functional-cache)",
+                [&](const std::string& v) {
+                  opts.functional_cache = true;
+                  functional_cache().set_byte_budget(
+                      units::MiB(static_cast<std::uint64_t>(cli::parse_int(
+                          parser, "--functional-cache-mb", v, 0, 1 << 20))));
+                });
   parser.flag("--cache-stats", "print cache counters to stderr",
               &opts.cache_stats);
   parser.flag("--metrics", "dump the metrics registry to stderr",
@@ -251,6 +294,8 @@ inline Options parse_args(int argc, char** argv, const std::string& prog,
     obs::set_enabled(true);
   if (!opts.trace_path.empty()) opts.trace = std::make_shared<obs::Trace>();
   if (!opts.json_path.empty()) json_collector().enabled = true;
+  if (opts.functional_cache)
+    functional_cache_if_enabled() = &functional_cache();
   // Without --graph-cache-mb the budget is sized from the machine
   // (fixed 256 MiB under --smoke so CI output is host-independent)
   // instead of growing without bound. Logged to stderr — stdout keeps
@@ -273,7 +318,9 @@ inline Options parse_args(int argc, char** argv, const std::string& prog,
 inline RunReport run_dataset(const HyveConfig& cfg, DatasetId id,
                              Algorithm algo) {
   RunReport report = exp::run_cached(graph_cache(), partition_cache(), cfg,
-                                     algo, dataset_name(id));
+                                     algo, dataset_name(id),
+                                     /*trace=*/nullptr, /*trace_pid=*/1,
+                                     functional_cache_if_enabled());
   record_report(dataset_name(id), report);
   return report;
 }
@@ -314,7 +361,8 @@ class GridResults {
 
 // Declarative grid → engine → indexed results, on the shared caches.
 inline GridResults run_grid(const exp::SweepSpec& spec, const Options& opts) {
-  exp::SweepEngine engine(graph_cache(), partition_cache());
+  exp::SweepEngine engine(graph_cache(), partition_cache(),
+                          functional_cache_if_enabled());
   exp::SweepOptions options;
   options.jobs = opts.jobs;
   options.trace = opts.trace.get();

@@ -2,8 +2,9 @@
 # Tier-1 verification: build, full test suite (unit + bench-smoke), an
 # observability smoke run (--metrics/--trace on a tiny graph), a
 # bench-json smoke run (--json + hyve_report --check/--compare, byte-
-# diffed across --jobs), then the sweep-engine concurrency tests under
-# ThreadSanitizer.
+# diffed across --jobs), a functional-cache smoke run (cache on/off
+# byte-diff of stdout and --json), then the sweep-engine concurrency
+# tests under ThreadSanitizer.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -44,6 +45,32 @@ cmp "$obs_dir/bench_j1.json" "$obs_dir/bench_j8.json" ||
   "$obs_dir/bench_j8.json" >/dev/null ||
   { echo "bench-json: identical reports flagged as regressed" >&2; exit 1; }
 echo "bench-json: OK"
+
+# functional-cache: memoising the functional phase must never change a
+# byte of output — stdout and --json are diffed with the cache on vs
+# off (serial and parallel), and --cache-stats must actually report it.
+./build/tools/hyve_experiments --datasets YT --algos bfs,pr --jobs 1 \
+  > "$obs_dir/exp_off.jsonl"
+./build/tools/hyve_experiments --datasets YT --algos bfs,pr --jobs 1 \
+  --functional-cache --cache-stats \
+  > "$obs_dir/exp_on.jsonl" 2>"$obs_dir/exp_stats.txt"
+./build/tools/hyve_experiments --datasets YT --algos bfs,pr --jobs 8 \
+  --functional-cache > "$obs_dir/exp_on_j8.jsonl"
+cmp "$obs_dir/exp_off.jsonl" "$obs_dir/exp_on.jsonl" ||
+  { echo "functional-cache: cached output differs from uncached" >&2; exit 1; }
+cmp "$obs_dir/exp_off.jsonl" "$obs_dir/exp_on_j8.jsonl" ||
+  { echo "functional-cache: --jobs 8 cached output differs" >&2; exit 1; }
+grep -q 'functional cache: hits=' "$obs_dir/exp_stats.txt" ||
+  { echo "functional-cache: --cache-stats reported nothing" >&2; exit 1; }
+./build/bench/bench_fig13 --smoke --jobs 2 --functional-cache \
+  --json "$obs_dir/bench_fc.json" > "$obs_dir/bench_fc.out" 2>/dev/null
+./build/bench/bench_fig13 --smoke --jobs 2 \
+  --json "$obs_dir/bench_nofc.json" > "$obs_dir/bench_nofc.out" 2>/dev/null
+cmp "$obs_dir/bench_fc.out" "$obs_dir/bench_nofc.out" ||
+  { echo "functional-cache: bench stdout differs with cache on" >&2; exit 1; }
+cmp "$obs_dir/bench_fc.json" "$obs_dir/bench_nofc.json" ||
+  { echo "functional-cache: bench --json differs with cache on" >&2; exit 1; }
+echo "functional-cache: OK"
 
 cmake -B build-tsan -S . -DHYVE_SANITIZE=thread
 cmake --build build-tsan -j

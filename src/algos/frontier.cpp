@@ -1,23 +1,59 @@
 #include "algos/frontier.hpp"
 
-#include <numeric>
+#include <algorithm>
 
 #include "util/check.hpp"
 
 namespace hyve {
 
+std::uint64_t FrontierTrace::block_edges(std::uint32_t iter, std::uint32_t x,
+                                         std::uint32_t y) const {
+  HYVE_CHECK(iter < iteration_blocks.size());
+  HYVE_CHECK(x < num_intervals && y < num_intervals);
+  const std::uint64_t flat =
+      static_cast<std::uint64_t>(x) * num_intervals + y;
+  const auto& blocks = iteration_blocks[iter];
+  const auto it = std::lower_bound(
+      blocks.begin(), blocks.end(), flat,
+      [](const BlockCount& bc, std::uint64_t key) { return bc.block < key; });
+  if (it == blocks.end() || it->block != flat) return 0;
+  return it->edges;
+}
+
+void FrontierTrace::expand_iteration(std::uint32_t iter,
+                                     std::vector<std::uint64_t>& dense) const {
+  HYVE_CHECK(iter < iteration_blocks.size());
+  dense.assign(static_cast<std::size_t>(num_intervals) * num_intervals, 0);
+  for (const BlockCount& bc : iteration_blocks[iter]) dense[bc.block] = bc.edges;
+}
+
+void FrontierTrace::source_activity(std::uint32_t iter,
+                                    std::vector<char>& active) const {
+  HYVE_CHECK(iter < iteration_blocks.size());
+  active.assign(num_intervals, 0);
+  for (const BlockCount& bc : iteration_blocks[iter])
+    active[bc.block / num_intervals] = 1;
+}
+
 std::uint64_t FrontierTrace::edges_in_iteration(std::uint32_t iter) const {
-  HYVE_CHECK(iter < block_edges.size());
-  return std::accumulate(block_edges[iter].begin(), block_edges[iter].end(),
-                         std::uint64_t{0});
+  HYVE_CHECK(iter < iteration_blocks.size());
+  std::uint64_t total = 0;
+  for (const BlockCount& bc : iteration_blocks[iter]) total += bc.edges;
+  return total;
 }
 
 std::uint64_t FrontierTrace::active_blocks_in_iteration(
     std::uint32_t iter) const {
-  HYVE_CHECK(iter < block_edges.size());
-  std::uint64_t active = 0;
-  for (const std::uint64_t e : block_edges[iter]) active += (e > 0) ? 1 : 0;
-  return active;
+  HYVE_CHECK(iter < iteration_blocks.size());
+  // Only non-empty blocks are stored, so the list length is the count.
+  return iteration_blocks[iter].size();
+}
+
+std::size_t FrontierTrace::approx_bytes() const {
+  std::size_t bytes = sizeof(FrontierTrace);
+  for (const auto& blocks : iteration_blocks)
+    bytes += sizeof(blocks) + blocks.capacity() * sizeof(BlockCount);
+  return bytes;
 }
 
 FrontierTrace run_frontier(const Graph& graph, VertexProgram& program,
@@ -26,34 +62,40 @@ FrontierTrace run_frontier(const Graph& graph, VertexProgram& program,
   const std::uint32_t p = schedule.num_intervals();
 
   FrontierTrace trace;
+  trace.num_intervals = p;
   // Interval activity: all sources are candidates in the first pass.
   std::vector<char> interval_active(p, 1);
   std::vector<char> vertex_changed(graph.num_vertices(), 0);
 
   bool more = true;
   while (more && trace.result.iterations < program.max_iterations()) {
-    std::vector<std::uint64_t> this_pass(schedule.num_blocks(), 0);
+    std::vector<FrontierTrace::BlockCount> this_pass;
     std::fill(vertex_changed.begin(), vertex_changed.end(), 0);
 
     for (std::uint32_t y = 0; y < p; ++y) {
       for (std::uint32_t x = 0; x < p; ++x) {
         if (!interval_active[x]) continue;  // block skipped
-        std::uint64_t processed = 0;
-        for (const Edge& e : schedule.block(x, y)) {
-          ++processed;
-          if (program.process_edge(e)) {
-            vertex_changed[e.dst] = 1;
-            ++trace.result.destination_writes;
-          }
-        }
-        this_pass[static_cast<std::uint64_t>(x) * p + y] = processed;
-        trace.result.edges_traversed += processed;
+        const std::span<const Edge> block = schedule.block(x, y);
+        if (block.empty()) continue;
+        trace.result.destination_writes +=
+            program.process_block(block, &vertex_changed);
+        trace.result.edges_traversed += block.size();
+        this_pass.push_back({static_cast<std::uint64_t>(x) * p + y,
+                             block.size()});
       }
     }
 
     ++trace.result.iterations;
     more = program.end_iteration(trace.result.iterations);
-    trace.block_edges.push_back(std::move(this_pass));
+    // The pass visits blocks destination-major (y outer), so sort into
+    // flattened-index order for the binary-search accessor.
+    std::sort(this_pass.begin(), this_pass.end(),
+              [](const FrontierTrace::BlockCount& a,
+                 const FrontierTrace::BlockCount& b) {
+                return a.block < b.block;
+              });
+    this_pass.shrink_to_fit();
+    trace.iteration_blocks.push_back(std::move(this_pass));
 
     if (program.has_apply_phase()) {
       // The apply phase rewrites every vertex (e.g. PageRank), so every

@@ -22,13 +22,45 @@
 namespace hyve {
 
 struct FrontierTrace {
-  // block_edges[iter][x * P + y] = edges processed in that block during
-  // that iteration (0 for skipped blocks).
-  std::vector<std::vector<std::uint64_t>> block_edges;
+  // One processed block of an iteration: the flattened block index
+  // (x * P + y) and the number of edges it contained. Skipped and empty
+  // blocks are not stored; on the later frontier iterations of BFS/SSSP
+  // only a handful of blocks remain active, so the sparse form is far
+  // smaller than the dense iter x P^2 table it replaces.
+  struct BlockCount {
+    std::uint64_t block = 0;
+    std::uint64_t edges = 0;
+  };
+
+  std::uint32_t num_intervals = 0;
+  // iteration_blocks[iter] = the non-empty blocks processed in that
+  // iteration, sorted by flattened block index.
+  std::vector<std::vector<BlockCount>> iteration_blocks;
   FunctionalResult result;  // edges_traversed counts processed edges only
+
+  std::uint32_t iterations() const {
+    return static_cast<std::uint32_t>(iteration_blocks.size());
+  }
+
+  // Dense-compatible accessor: edges processed in block (x, y) during
+  // `iter` (0 for skipped/empty blocks). Binary search over the sorted
+  // sparse list; prefer expand_iteration() in per-iteration hot loops.
+  std::uint64_t block_edges(std::uint32_t iter, std::uint32_t x,
+                            std::uint32_t y) const;
+
+  // Expands one iteration into a dense P*P table (resized and zeroed).
+  void expand_iteration(std::uint32_t iter,
+                        std::vector<std::uint64_t>& dense) const;
+
+  // Marks active[x] = 1 for every source interval x with at least one
+  // processed block in `iter` (others 0; resized to P).
+  void source_activity(std::uint32_t iter, std::vector<char>& active) const;
 
   std::uint64_t edges_in_iteration(std::uint32_t iter) const;
   std::uint64_t active_blocks_in_iteration(std::uint32_t iter) const;
+
+  // Honest size estimate for cache accounting.
+  std::size_t approx_bytes() const;
 };
 
 // Runs `program` to convergence, skipping blocks with inactive source

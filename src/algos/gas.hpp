@@ -78,6 +78,22 @@ class GasProgram final : public VertexProgram {
     return true;
   }
 
+  std::uint64_t process_block(std::span<const Edge> edges,
+                              std::vector<char>* changed) override {
+    Value* const values = values_.data();
+    std::uint64_t writes = 0;
+    for (const Edge& e : edges) {
+      const std::optional<Value> next =
+          spec_.scatter(e, values[e.src], values[e.dst]);
+      if (!next.has_value()) continue;
+      values[e.dst] = *next;
+      ++writes;
+      if (changed != nullptr) (*changed)[e.dst] = 1;
+    }
+    changed_ |= writes > 0;
+    return writes;
+  }
+
   bool end_iteration(std::uint32_t completed) override {
     if (spec_.apply) {
       for (VertexId v = 0; v < values_.size(); ++v)

@@ -26,6 +26,16 @@ bool PageRankProgram::process_edge(const Edge& e) {
   return true;
 }
 
+std::uint64_t PageRankProgram::process_block(std::span<const Edge> edges,
+                                             std::vector<char>* changed) {
+  double* const accum = accum_.data();
+  const float* const contribution = contribution_.data();
+  for (const Edge& e : edges) accum[e.dst] += contribution[e.src];
+  if (changed != nullptr)
+    for (const Edge& e : edges) (*changed)[e.dst] = 1;
+  return edges.size();
+}
+
 bool PageRankProgram::end_iteration(std::uint32_t completed_iterations) {
   const double base = (1.0 - damping_) / num_vertices_;
   for (VertexId v = 0; v < num_vertices_; ++v) {

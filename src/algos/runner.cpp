@@ -57,14 +57,11 @@ FunctionalResult run_functional(const Graph& graph, VertexProgram& program,
       const std::uint32_t p = schedule->num_intervals();
       // Column-major (destination-major) scan, the Algorithm 2 order.
       for (std::uint32_t y = 0; y < p; ++y) {
-        for (std::uint32_t x = 0; x < p; ++x) {
-          for (const Edge& e : schedule->block(x, y))
-            result.destination_writes += program.process_edge(e) ? 1 : 0;
-        }
+        for (std::uint32_t x = 0; x < p; ++x)
+          result.destination_writes += program.process_block(schedule->block(x, y));
       }
     } else {
-      for (const Edge& e : graph.edges())
-        result.destination_writes += program.process_edge(e) ? 1 : 0;
+      result.destination_writes += program.process_block(graph.edges());
     }
     result.edges_traversed += graph.num_edges();
   };

@@ -23,6 +23,15 @@ bool SpmvProgram::process_edge(const Edge& e) {
   return true;
 }
 
+std::uint64_t SpmvProgram::process_block(std::span<const Edge> edges,
+                                         std::vector<char>* changed) {
+  double* const y = y_.data();
+  for (const Edge& e : edges) y[e.dst] += matrix_value(e) * input_value(e.src);
+  if (changed != nullptr)
+    for (const Edge& e : edges) (*changed)[e.dst] = 1;
+  return edges.size();
+}
+
 bool SpmvProgram::end_iteration(std::uint32_t) { return false; }
 
 }  // namespace hyve

@@ -31,6 +31,24 @@ bool SsspProgram::process_edge(const Edge& e) {
   return false;
 }
 
+std::uint64_t SsspProgram::process_block(std::span<const Edge> edges,
+                                         std::vector<char>* changed) {
+  std::uint64_t* const dist = dist_.data();
+  std::uint64_t writes = 0;
+  for (const Edge& e : edges) {
+    if (dist[e.src] == kUnreached) continue;
+    const std::uint64_t candidate =
+        dist[e.src] + Graph::edge_weight(e, max_weight_);
+    if (candidate < dist[e.dst]) {
+      dist[e.dst] = candidate;
+      ++writes;
+      if (changed != nullptr) (*changed)[e.dst] = 1;
+    }
+  }
+  changed_ |= writes > 0;
+  return writes;
+}
+
 bool SsspProgram::end_iteration(std::uint32_t) {
   const bool more = changed_;
   changed_ = false;

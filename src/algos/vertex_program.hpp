@@ -13,7 +13,9 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "graph/graph.hpp"
 
@@ -38,6 +40,27 @@ class VertexProgram {
 
   // Processes one edge; returns true iff the destination value changed.
   virtual bool process_edge(const Edge& e) = 0;
+
+  // Processes a contiguous block of edges; returns how many of them
+  // changed their destination. When `changed` is non-null it must be
+  // indexable by every destination id in `edges`; the entry of each
+  // changed destination is set to 1 (entries are never cleared — the
+  // frontier walk owns the reset). Concrete programs override this with
+  // a tight non-virtual loop — one virtual call per block instead of one
+  // per edge — and must stay result-equivalent to this per-edge
+  // reference, which the process_block equivalence tests pin for every
+  // algorithm.
+  virtual std::uint64_t process_block(std::span<const Edge> edges,
+                                      std::vector<char>* changed = nullptr) {
+    std::uint64_t writes = 0;
+    for (const Edge& e : edges) {
+      if (process_edge(e)) {
+        ++writes;
+        if (changed != nullptr) (*changed)[e.dst] = 1;
+      }
+    }
+    return writes;
+  }
 
   // Ends the iteration (apply phase, convergence bookkeeping); returns
   // true iff another full edge pass is required.

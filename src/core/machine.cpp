@@ -108,9 +108,12 @@ RunReport HyveMachine::run(const Graph& graph, VertexProgram& program,
       choose_num_intervals(graph, program.vertex_value_bytes());
   if (config_.hash_balance) {
     // Simulate the hash-balanced layout (§4.3): block populations even
-    // out across PUs, which the per-step synchronisation rewards.
-    const Graph balanced = graph.hashed_remap(config_.hash_balance_seed);
-    return run_with_schedule(balanced, Partitioning(balanced, p), program,
+    // out across PUs, which the per-step synchronisation rewards. The
+    // remap is memoized on the source graph, so repeated runs (sweeps
+    // over memory configs, back-to-back algorithms) pay for it once.
+    const std::shared_ptr<const Graph> balanced =
+        graph.hashed_remap_shared(config_.hash_balance_seed);
+    return run_with_schedule(*balanced, Partitioning(*balanced, p), program,
                              trace, trace_pid);
   }
   return run_with_schedule(graph, Partitioning(graph, p), program, trace,
@@ -131,6 +134,21 @@ RunReport HyveMachine::run_with_schedule(const Graph& graph,
                                          VertexProgram& program,
                                          obs::Trace* trace,
                                          std::uint32_t trace_pid) const {
+  const FunctionalOutcome functional =
+      run_functional_phase(graph, schedule, program);
+  return run_with_functional(graph, schedule, program, functional, trace,
+                             trace_pid);
+}
+
+std::size_t FunctionalOutcome::approx_bytes() const {
+  std::size_t bytes = sizeof(FunctionalOutcome);
+  if (frontier.has_value()) bytes += frontier->approx_bytes();
+  return bytes;
+}
+
+FunctionalOutcome HyveMachine::run_functional_phase(
+    const Graph& graph, const Partitioning& schedule,
+    VertexProgram& program) const {
   HYVE_CHECK_MSG(schedule.num_vertices() == graph.num_vertices(),
                  "schedule built for a different graph");
   const std::uint32_t p =
@@ -138,14 +156,44 @@ RunReport HyveMachine::run_with_schedule(const Graph& graph,
   HYVE_CHECK_MSG(schedule.num_intervals() == p,
                  "schedule has P=" << schedule.num_intervals()
                                    << " but this machine needs P=" << p);
-  const TraceSink sink{trace, trace_pid};
+  FunctionalOutcome outcome;
+  outcome.num_intervals = p;
   if (config_.frontier_block_skipping) {
-    const FrontierTrace ftrace = run_frontier(graph, program, schedule);
-    return account(graph, program, schedule, ftrace.result, &ftrace, sink);
+    outcome.frontier = run_frontier(graph, program, schedule);
+    outcome.result = outcome.frontier->result;
+  } else {
+    outcome.result = run_functional(graph, program, &schedule);
   }
-  const FunctionalResult functional =
-      run_functional(graph, program, &schedule);
-  return account(graph, program, schedule, functional, nullptr, sink);
+  return outcome;
+}
+
+RunReport HyveMachine::run_with_functional(const Graph& graph,
+                                           const Partitioning& schedule,
+                                           VertexProgram& program,
+                                           const FunctionalOutcome& functional,
+                                           obs::Trace* trace,
+                                           std::uint32_t trace_pid) const {
+  HYVE_CHECK_MSG(schedule.num_vertices() == graph.num_vertices(),
+                 "schedule built for a different graph");
+  const std::uint32_t p =
+      choose_num_intervals(graph, program.vertex_value_bytes());
+  HYVE_CHECK_MSG(schedule.num_intervals() == p,
+                 "schedule has P=" << schedule.num_intervals()
+                                   << " but this machine needs P=" << p);
+  HYVE_CHECK_MSG(functional.num_intervals == p,
+                 "functional outcome was computed for P="
+                     << functional.num_intervals
+                     << " but this machine needs P=" << p);
+  HYVE_CHECK_MSG(
+      functional.frontier.has_value() == config_.frontier_block_skipping,
+      "functional outcome frontier mode disagrees with this config");
+  if (functional.frontier.has_value())
+    HYVE_CHECK_MSG(functional.frontier->num_intervals == p,
+                   "frontier trace P mismatch");
+  const TraceSink sink{trace, trace_pid};
+  const FrontierTrace* ftrace =
+      functional.frontier.has_value() ? &*functional.frontier : nullptr;
+  return account(graph, program, schedule, functional.result, ftrace, sink);
 }
 
 namespace {
@@ -264,22 +312,22 @@ void HyveMachine::account_with_sram(const Graph& graph,
     for (std::uint32_t y = 0; y < p; ++y)
       apply_pop[y % n] += schedule.interval_population(y);
 
-  // Edges of block (x, y) streamed during iteration `iter` (frontier
-  // skipping zeroes whole source-rows of the block grid).
-  auto block_edges = [&](std::uint32_t iter, std::uint32_t x,
-                         std::uint32_t y) -> std::uint64_t {
+  // Per-iteration views of the frontier trace, refreshed at the top of
+  // the iteration loop: a dense P*P expansion of the sparse trace plus
+  // the per-source-row activity bitmap. Precomputing both turns the old
+  // O(P) interval_active scan (O(iters * P^3) overall) into O(1) lookups.
+  std::vector<std::uint64_t> frontier_blocks;
+  std::vector<char> row_active;
+  // Edges of block (x, y) streamed during the current iteration
+  // (frontier skipping zeroes whole source-rows of the block grid).
+  auto block_edges = [&](std::uint32_t x, std::uint32_t y) -> std::uint64_t {
     if (frontier != nullptr)
-      return frontier
-          ->block_edges[iter][static_cast<std::uint64_t>(x) * p + y];
-    (void)iter;
+      return frontier_blocks[static_cast<std::uint64_t>(x) * p + y];
     return schedule.block_edge_count(x, y);
   };
   // Whether source interval x participates at all in this iteration.
-  auto interval_active = [&](std::uint32_t iter, std::uint32_t x) {
-    if (frontier == nullptr) return true;
-    for (std::uint32_t y = 0; y < p; ++y)
-      if (block_edges(iter, x, y) > 0) return true;
-    return false;
+  auto interval_active = [&](std::uint32_t x) {
+    return frontier == nullptr || row_active[x] != 0;
   };
 
   const MemoryModel& vmem = offchip_vertex_memory();
@@ -296,6 +344,10 @@ void HyveMachine::account_with_sram(const Graph& graph,
 
   for (std::uint32_t iter = 0; iter < report.iterations; ++iter) {
     AccessStats it;
+    if (frontier != nullptr) {
+      frontier->expand_iteration(iter, frontier_blocks);
+      frontier->source_activity(iter, row_active);
+    }
 
     // ---- Loading / Updating phases (Algorithm 2) ----
     // Destination intervals: each loaded once and written back once per
@@ -309,13 +361,13 @@ void HyveMachine::account_with_sram(const Graph& graph,
           static_cast<std::uint64_t>(schedule.interval_population(x)) *
           value_bytes;
       if (config_.data_sharing) {
-        if (interval_active(iter, x)) {
+        if (interval_active(x)) {
           src_bytes += k * interval_bytes;
           src_loads += k;
         }
       } else {
         for (std::uint32_t y = 0; y < p; ++y) {
-          if (frontier == nullptr || block_edges(iter, x, y) > 0) {
+          if (frontier == nullptr || block_edges(x, y) > 0) {
             src_bytes += interval_bytes;
             ++src_loads;
           }
@@ -347,7 +399,7 @@ void HyveMachine::account_with_sram(const Graph& graph,
           for (std::uint32_t pu = 0; pu < n; ++pu) {
             const std::uint32_t x = sb_x * n + (pu + step) % n;
             const std::uint32_t y = sb_y * n + pu;
-            const std::uint64_t e = block_edges(iter, x, y);
+            const std::uint64_t e = block_edges(x, y);
             edges_this_iter += e;
             tallies.pu_edges[pu] += e;
             if (e > 0) ++active_pus;

@@ -74,6 +74,21 @@ struct RunReport {
   double edp_pj_ns() const { return total_energy_pj() * exec_time_ns; }
 };
 
+// The outcome of the functional half of a run: the algorithm's
+// iteration/traversal counts plus, when frontier block skipping is on,
+// the per-iteration block trace the accounting walk replays. It depends
+// only on (graph image, program, P, frontier mode) — not on the memory
+// technologies — so sweeps over memory configs can compute it once and
+// replay it per cell (see exp::FunctionalCache).
+struct FunctionalOutcome {
+  FunctionalResult result;
+  std::optional<FrontierTrace> frontier;  // set iff frontier mode was on
+  std::uint32_t num_intervals = 0;        // P the schedule was built with
+
+  // Honest size estimate for cache accounting.
+  std::size_t approx_bytes() const;
+};
+
 class HyveMachine {
  public:
   explicit HyveMachine(HyveConfig config);
@@ -113,6 +128,27 @@ class HyveMachine {
                               VertexProgram& program,
                               obs::Trace* trace = nullptr,
                               std::uint32_t trace_pid = 1) const;
+
+  // The two halves of run_with_schedule(), split so callers can memoize
+  // the functional phase across runs whose memory configuration differs
+  // but whose functional inputs agree.
+  //
+  // run_functional_phase executes the vertex program for real (dense or
+  // frontier-skipping per config().frontier_block_skipping) and returns
+  // everything accounting needs. run_with_functional replays a
+  // previously computed outcome through the architectural walk; the
+  // outcome must have been produced by a machine with the same frontier
+  // mode and P (checked). Composing the two is byte-identical to
+  // run_with_schedule().
+  FunctionalOutcome run_functional_phase(const Graph& graph,
+                                         const Partitioning& schedule,
+                                         VertexProgram& program) const;
+  RunReport run_with_functional(const Graph& graph,
+                                const Partitioning& schedule,
+                                VertexProgram& program,
+                                const FunctionalOutcome& functional,
+                                obs::Trace* trace = nullptr,
+                                std::uint32_t trace_pid = 1) const;
 
  private:
   struct TraceSink;  // trace + pid + track layout (null trace = no-op)

@@ -147,10 +147,12 @@ std::shared_ptr<const Graph> GraphCache::acquire_balanced(
     if (!slot) {
       slot = std::make_unique<Entry>();
       // Re-acquire the base graph inside the build so a rebuild after
-      // eviction restores the source first (and holds it alive).
+      // eviction restores the source first (and holds it alive). The
+      // per-graph remap memo makes a rebuild of a recently-evicted
+      // image cheap and shares it with direct HyveMachine::run callers.
       slot->build = [this, key, seed] {
         const std::shared_ptr<const Graph> source = acquire(key);
-        return std::make_shared<const Graph>(source->hashed_remap(seed));
+        return source->hashed_remap_shared(seed);
       };
     }
     entry = slot.get();
@@ -260,6 +262,82 @@ std::size_t PartitionCache::max_entries() const {
 std::size_t PartitionCache::resident() const {
   const std::scoped_lock lock(mu_);
   return resident_;
+}
+
+std::shared_ptr<const FunctionalOutcome> FunctionalCache::acquire(
+    const FunctionalKey& key,
+    const std::function<FunctionalOutcome()>& build) {
+  Entry* entry;
+  {
+    const std::scoped_lock lock(mu_);
+    auto& slot = entries_[key];
+    if (!slot) slot = std::make_unique<Entry>();
+    entry = slot.get();
+    if (entry->outcome) {
+      entry->last_use = ++tick_;
+      ++hits_;
+      count("exp.functional_cache.hits");
+      return entry->outcome;
+    }
+  }
+  // Build outside mu_ so unrelated outcomes proceed in parallel; the
+  // per-entry mutex makes concurrent requests share one build.
+  const std::scoped_lock build_lock(entry->build_mu);
+  {
+    const std::scoped_lock lock(mu_);
+    if (entry->outcome) {
+      entry->last_use = ++tick_;
+      ++hits_;
+      count("exp.functional_cache.hits");
+      return entry->outcome;
+    }
+  }
+  auto built = std::make_shared<const FunctionalOutcome>(build());
+  ++misses_;
+  count("exp.functional_cache.misses");
+  const std::scoped_lock lock(mu_);
+  entry->outcome = built;
+  entry->bytes = built->approx_bytes();
+  entry->last_use = ++tick_;
+  resident_bytes_ += entry->bytes;
+  if (budget_bytes_ > 0) evict_to_budget_locked(entry);
+  gauge("exp.functional_cache.bytes",
+        static_cast<std::int64_t>(resident_bytes_));
+  return built;
+}
+
+void FunctionalCache::evict_to_budget_locked(const Entry* keep) {
+  while (resident_bytes_ > budget_bytes_) {
+    Entry* victim = nullptr;
+    for (const auto& [key, entry] : entries_)
+      if (entry->outcome && entry.get() != keep &&
+          (victim == nullptr || entry->last_use < victim->last_use))
+        victim = entry.get();
+    if (victim == nullptr) return;  // only the just-built entry remains
+    victim->outcome.reset();
+    resident_bytes_ -= victim->bytes;
+    victim->bytes = 0;
+    ++evictions_;
+    count("exp.functional_cache.evictions");
+  }
+}
+
+void FunctionalCache::set_byte_budget(std::size_t bytes) {
+  const std::scoped_lock lock(mu_);
+  budget_bytes_ = bytes;
+  if (budget_bytes_ > 0) evict_to_budget_locked(nullptr);
+  gauge("exp.functional_cache.bytes",
+        static_cast<std::int64_t>(resident_bytes_));
+}
+
+std::size_t FunctionalCache::byte_budget() const {
+  const std::scoped_lock lock(mu_);
+  return budget_bytes_;
+}
+
+std::size_t FunctionalCache::resident_bytes() const {
+  const std::scoped_lock lock(mu_);
+  return resident_bytes_;
 }
 
 }  // namespace hyve::exp

@@ -29,6 +29,7 @@
 #include <string>
 #include <utility>
 
+#include "core/machine.hpp"
 #include "graph/datasets.hpp"
 #include "graph/graph.hpp"
 #include "graph/partition.hpp"
@@ -172,6 +173,75 @@ class PartitionCache {
   std::size_t max_entries_ = 0;
   std::size_t resident_ = 0;
   std::atomic<std::size_t> builds_{0};
+  std::atomic<std::size_t> evictions_{0};
+};
+
+// Key of a memoised functional outcome. Two sweep cells share an
+// outcome exactly when their functional inputs agree: the graph image
+// (a GraphCache key; hash-balanced images fold the seed in via
+// GraphCache::balanced_key), the algorithm, the interval count P, and
+// the frontier mode. Memory technologies, power gating, data sharing
+// and edge width never appear — they only affect accounting, so a sweep
+// over memory configs hits this cache on every cell after the first.
+struct FunctionalKey {
+  std::string graph_key;
+  std::string algorithm;
+  std::uint32_t num_intervals = 0;  // P
+  bool frontier = false;
+
+  friend bool operator==(const FunctionalKey&,
+                         const FunctionalKey&) = default;
+  friend auto operator<=>(const FunctionalKey&,
+                          const FunctionalKey&) = default;
+};
+
+// Memoised functional-phase outcomes (HyveMachine::run_functional_phase
+// results) for the sweep engine, following the GraphCache concurrency
+// scheme: entries are created under a short map lock and built under a
+// per-entry mutex, so workers needing the same outcome share one build
+// while different outcomes build in parallel. LRU-evicted against a
+// byte budget (FrontierTrace entries are ~iterations x active-block
+// records; dense outcomes are a few dozen bytes); entries are handed
+// out as shared_ptr so eviction never invalidates a user, and a later
+// request transparently rebuilds (builds must be deterministic).
+class FunctionalCache {
+ public:
+  // The memoised outcome for `key`, built on first use via `build`.
+  std::shared_ptr<const FunctionalOutcome> acquire(
+      const FunctionalKey& key,
+      const std::function<FunctionalOutcome()>& build);
+
+  // LRU byte budget (0 = unbounded, the default), sized by each entry's
+  // FunctionalOutcome::approx_bytes().
+  void set_byte_budget(std::size_t bytes);
+  std::size_t byte_budget() const;
+  std::size_t resident_bytes() const;
+
+  std::size_t hits() const { return hits_.load(); }
+  std::size_t misses() const { return misses_.load(); }
+  std::size_t evictions() const { return evictions_.load(); }
+  double hit_rate() const {
+    const std::size_t h = hits(), m = misses();
+    return h + m == 0 ? 0.0 : static_cast<double>(h) / (h + m);
+  }
+
+ private:
+  struct Entry {
+    std::mutex build_mu;  // serialises (re)builds of this entry
+    std::shared_ptr<const FunctionalOutcome> outcome;
+    std::uint64_t last_use = 0;
+    std::size_t bytes = 0;  // accounted while resident
+  };
+
+  void evict_to_budget_locked(const Entry* keep);
+
+  mutable std::mutex mu_;  // guards the map and LRU state, not builds
+  std::map<FunctionalKey, std::unique_ptr<Entry>> entries_;
+  std::uint64_t tick_ = 0;
+  std::size_t budget_bytes_ = 0;
+  std::size_t resident_bytes_ = 0;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
   std::atomic<std::size_t> evictions_{0};
 };
 

@@ -45,7 +45,7 @@ std::vector<SweepCell> expand(const SweepSpec& spec) {
 RunReport run_cached(GraphCache& graphs, PartitionCache& partitions,
                      const HyveConfig& config, Algorithm algorithm,
                      const std::string& graph_key, obs::Trace* trace,
-                     std::uint32_t trace_pid) {
+                     std::uint32_t trace_pid, FunctionalCache* functional) {
   const HyveMachine machine(config);
   const auto program = make_program(algorithm);
   // Hold shared ownership for the whole run: under a cache size cap a
@@ -61,8 +61,20 @@ RunReport run_cached(GraphCache& graphs, PartitionCache& partitions,
       machine.choose_num_intervals(*graph, program->vertex_value_bytes());
   const std::shared_ptr<const Partitioning> schedule =
       partitions.acquire(schedule_key, *graph, p);
-  return machine.run_with_schedule(*graph, *schedule, *program, trace,
-                                   trace_pid);
+  if (functional == nullptr)
+    return machine.run_with_schedule(*graph, *schedule, *program, trace,
+                                     trace_pid);
+  // schedule_key already identifies the graph image (balance seed
+  // included); P and the frontier mode pin the rest of the functional
+  // inputs, so memory-tech-only config changes share one entry.
+  const FunctionalKey key{schedule_key, program->name(), p,
+                          config.frontier_block_skipping};
+  const std::shared_ptr<const FunctionalOutcome> outcome =
+      functional->acquire(key, [&] {
+        return machine.run_functional_phase(*graph, *schedule, *program);
+      });
+  return machine.run_with_functional(*graph, *schedule, *program, *outcome,
+                                     trace, trace_pid);
 }
 
 std::optional<ResultSink::Format> ResultSink::parse_format(
@@ -194,7 +206,8 @@ std::vector<SweepResult> SweepEngine::run(const SweepSpec& spec,
     RunReport report = run_cached(graphs_, partitions_, cells[i].config,
                                   cells[i].algorithm, cells[i].graph_key,
                                   options.trace,
-                                  static_cast<std::uint32_t>(i) + 1);
+                                  static_cast<std::uint32_t>(i) + 1,
+                                  functional_);
     if (obs::enabled()) {
       static obs::Counter& cells_done =
           obs::registry().counter("exp.sweep.cells");

@@ -67,11 +67,16 @@ void parallel_cells(std::size_t n, int jobs,
 // HyveMachine(config).run(graph, algorithm). When `trace` is non-null
 // the run's phase spans land on tracks of process `trace_pid` (the
 // engine uses one pid per cell so sweep traces stay disentangled).
+// When `functional` is non-null the functional phase is memoised
+// through it: cells that agree on (graph image, algorithm, P, frontier
+// mode) — e.g. a sweep over memory technologies — run the vertex
+// program once and replay the outcome, with byte-identical reports.
 RunReport run_cached(GraphCache& graphs, PartitionCache& partitions,
                      const HyveConfig& config, Algorithm algorithm,
                      const std::string& graph_key,
                      obs::Trace* trace = nullptr,
-                     std::uint32_t trace_pid = 1);
+                     std::uint32_t trace_pid = 1,
+                     FunctionalCache* functional = nullptr);
 
 // Thread-safe, order-stable record writer. The engine calls write() in
 // strict cell order; every record is round-tripped through
@@ -111,8 +116,11 @@ struct SweepResult {
 
 class SweepEngine {
  public:
-  SweepEngine(GraphCache& graphs, PartitionCache& partitions)
-      : graphs_(graphs), partitions_(partitions) {}
+  // `functional` (optional) memoises functional phases across cells —
+  // see run_cached(). The caller owns it, like the two caches.
+  SweepEngine(GraphCache& graphs, PartitionCache& partitions,
+              FunctionalCache* functional = nullptr)
+      : graphs_(graphs), partitions_(partitions), functional_(functional) {}
 
   // Runs every cell of `spec` and returns the reports in cell order. If
   // `sink` is non-null each result is also written to it, in cell order,
@@ -125,6 +133,7 @@ class SweepEngine {
  private:
   GraphCache& graphs_;
   PartitionCache& partitions_;
+  FunctionalCache* functional_;
 };
 
 }  // namespace hyve::exp

@@ -1,12 +1,25 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <numeric>
+#include <utility>
 
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace hyve {
+
+// Per-graph memo of hashed_remap images, shared by copies of the graph.
+// A handful of seeds covers every realistic workload (configs almost
+// always share one balance seed), so a tiny LRU bounds the footprint.
+struct Graph::RemapMemo {
+  static constexpr std::size_t kMaxSeeds = 4;
+
+  std::mutex mu;
+  // Most recently used at the back.
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<const Graph>>> entries;
+};
 
 Graph::Graph(VertexId num_vertices, std::vector<Edge> edges)
     : num_vertices_(num_vertices), edges_(std::move(edges)) {
@@ -52,6 +65,35 @@ Graph Graph::hashed_remap(std::uint64_t seed) const {
   remapped.reserve(edges_.size());
   for (const Edge& e : edges_) remapped.push_back({perm[e.src], perm[e.dst]});
   return Graph(num_vertices_, std::move(remapped));
+}
+
+std::shared_ptr<const Graph> Graph::hashed_remap_shared(
+    std::uint64_t seed) const {
+  // The memo is created lazily on a const graph; a process-wide mutex
+  // guards the (rare) creation so concurrent first calls don't race.
+  static std::mutex create_mu;
+  std::shared_ptr<RemapMemo> memo;
+  {
+    const std::lock_guard<std::mutex> lock(create_mu);
+    if (remap_memo_ == nullptr) remap_memo_ = std::make_shared<RemapMemo>();
+    memo = remap_memo_;
+  }
+  const std::lock_guard<std::mutex> lock(memo->mu);
+  for (auto it = memo->entries.begin(); it != memo->entries.end(); ++it) {
+    if (it->first == seed) {
+      auto hit = *it;
+      memo->entries.erase(it);
+      memo->entries.push_back(hit);
+      return hit.second;
+    }
+  }
+  // Build under the memo lock: concurrent same-seed callers then share
+  // one build instead of duplicating the O(V + E) remap.
+  auto image = std::make_shared<const Graph>(hashed_remap(seed));
+  if (memo->entries.size() >= RemapMemo::kMaxSeeds)
+    memo->entries.erase(memo->entries.begin());
+  memo->entries.emplace_back(seed, image);
+  return image;
 }
 
 Csr Csr::from_graph(const Graph& g) {

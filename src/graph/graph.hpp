@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace hyve {
@@ -43,9 +44,21 @@ class Graph {
   // interval populations before interval-block partitioning.
   Graph hashed_remap(std::uint64_t seed) const;
 
+  // As hashed_remap(), but memoized on this graph: repeated calls with
+  // the same seed (sweeps over memory configs rebuild the balanced
+  // layout per run otherwise) share one immutable image. Copies of this
+  // graph share the memo; a small per-graph LRU bounds it to a handful
+  // of seeds. Thread-safe.
+  std::shared_ptr<const Graph> hashed_remap_shared(std::uint64_t seed) const;
+
  private:
+  struct RemapMemo;
+
   VertexId num_vertices_ = 0;
   std::vector<Edge> edges_;
+  // Lazily created, shared across copies; never affects graph equality
+  // or semantics (the graph itself stays immutable).
+  mutable std::shared_ptr<RemapMemo> remap_memo_;
 };
 
 // Compressed sparse row view (by source vertex), built on demand.

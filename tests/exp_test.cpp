@@ -368,6 +368,164 @@ TEST(CacheEviction, SweepUnderTightCachesStaysDeterministic) {
   EXPECT_EQ(serial, sweep_output(spec, 2, exp::ResultSink::Format::kJsonl));
 }
 
+// Eight configs that differ only in memory-accounting knobs: same SRAM
+// size and PU count (same P), same balance seed, same frontier mode, so
+// every (algorithm, graph) pair shares one functional outcome.
+std::vector<HyveConfig> memory_only_configs() {
+  std::vector<HyveConfig> configs;
+  const auto add = [&](const char* label, MemTech edge_tech, bool gating,
+                       bool sharing, std::uint32_t edge_bytes) {
+    HyveConfig cfg = HyveConfig::hyve_opt();
+    cfg.label = label;
+    cfg.edge_memory_tech = edge_tech;
+    cfg.power_gating = gating;  // validate(): ReRAM edge memory only
+    cfg.data_sharing = sharing;
+    cfg.edge_bytes = edge_bytes;
+    configs.push_back(cfg);
+  };
+  add("reram+pg+ds", MemTech::kReram, true, true, 8);
+  add("reram+pg", MemTech::kReram, true, false, 8);
+  add("reram+ds", MemTech::kReram, false, true, 8);
+  add("reram", MemTech::kReram, false, false, 8);
+  add("dram+ds", MemTech::kDram, false, true, 8);
+  add("dram", MemTech::kDram, false, false, 8);
+  add("reram+pg+ds+w", MemTech::kReram, true, true, 12);
+  add("dram+ds+w", MemTech::kDram, false, true, 12);
+  return configs;
+}
+
+TEST(FunctionalCache, MemoizesAcrossMemoryConfigsWithIdenticalOutput) {
+  exp::SweepSpec spec;
+  spec.configs = memory_only_configs();
+  spec.algorithms = {Algorithm::kBfs, Algorithm::kPageRank};
+  spec.graphs = {"g1"};
+  ASSERT_GE(spec.configs.size(), 8u);
+
+  const auto run = [&](int jobs, bool with_cache, double* hit_rate) {
+    exp::GraphCache graphs;
+    add_test_graphs(graphs);
+    exp::PartitionCache partitions;
+    exp::FunctionalCache functional;
+    exp::SweepEngine engine(graphs, partitions,
+                            with_cache ? &functional : nullptr);
+    std::ostringstream os;
+    exp::ResultSink sink(os, exp::ResultSink::Format::kJsonl);
+    exp::SweepOptions options;
+    options.jobs = jobs;
+    engine.run(spec, options, &sink);
+    if (hit_rate != nullptr) *hit_rate = functional.hit_rate();
+    if (with_cache) {
+      // One outcome per (algorithm, graph): 2 misses, 14 hits here.
+      EXPECT_EQ(functional.misses(),
+                spec.algorithms.size() * spec.graphs.size());
+      EXPECT_GT(functional.resident_bytes(), 0u);
+    }
+    return os.str();
+  };
+
+  double hit_rate_serial = 0;
+  double hit_rate_parallel = 0;
+  const std::string uncached = run(1, false, nullptr);
+  const std::string cached_serial = run(1, true, &hit_rate_serial);
+  const std::string cached_parallel = run(8, true, &hit_rate_parallel);
+  EXPECT_FALSE(uncached.empty());
+  // Byte-identical with the cache on or off, serial or parallel: the
+  // memoised functional outcome feeds the same accounting walk.
+  EXPECT_EQ(uncached, cached_serial);
+  EXPECT_EQ(uncached, cached_parallel);
+  // The acceptance bar: a repeated-config sweep hits at least 75%.
+  EXPECT_GE(hit_rate_serial, 0.75);
+  EXPECT_GE(hit_rate_parallel, 0.75);
+}
+
+TEST(FunctionalCache, FrontierAndDenseOutcomesGetDistinctEntries) {
+  exp::GraphCache graphs;
+  add_test_graphs(graphs);
+  exp::PartitionCache partitions;
+  exp::FunctionalCache functional;
+
+  HyveConfig dense = HyveConfig::hyve_opt();
+  HyveConfig frontier = HyveConfig::hyve_opt();
+  frontier.frontier_block_skipping = true;
+  frontier.label = "frontier";
+  exp::run_cached(graphs, partitions, dense, Algorithm::kBfs, "g1",
+                  nullptr, 1, &functional);
+  exp::run_cached(graphs, partitions, frontier, Algorithm::kBfs, "g1",
+                  nullptr, 1, &functional);
+  EXPECT_EQ(functional.misses(), 2u);
+  EXPECT_EQ(functional.hits(), 0u);
+  // Replays are hits, and reports stay equal to direct runs.
+  const RunReport cached = exp::run_cached(graphs, partitions, frontier,
+                                           Algorithm::kBfs, "g1", nullptr,
+                                           1, &functional);
+  EXPECT_EQ(functional.hits(), 1u);
+  const RunReport direct =
+      HyveMachine(frontier).run(graphs.base("g1"), Algorithm::kBfs);
+  EXPECT_EQ(report_to_json(cached), report_to_json(direct));
+}
+
+TEST(FunctionalCache, EvictsLruToByteBudgetAndRebuilds) {
+  exp::GraphCache graphs;
+  add_test_graphs(graphs);
+  exp::PartitionCache partitions;
+  exp::FunctionalCache functional;
+  functional.set_byte_budget(1);  // smaller than any one outcome
+  EXPECT_EQ(functional.byte_budget(), 1u);
+
+  const HyveConfig cfg = HyveConfig::hyve_opt();
+  exp::run_cached(graphs, partitions, cfg, Algorithm::kBfs, "g1", nullptr,
+                  1, &functional);
+  EXPECT_EQ(functional.misses(), 1u);
+  // The just-built entry is never evicted on its own behalf.
+  EXPECT_EQ(functional.evictions(), 0u);
+  EXPECT_GT(functional.resident_bytes(), 0u);
+
+  // A second outcome evicts the first; re-running the first rebuilds it
+  // (a miss, not a hit) with an identical report.
+  exp::run_cached(graphs, partitions, cfg, Algorithm::kPageRank, "g1",
+                  nullptr, 1, &functional);
+  EXPECT_EQ(functional.evictions(), 1u);
+  const RunReport rebuilt = exp::run_cached(graphs, partitions, cfg,
+                                            Algorithm::kBfs, "g1", nullptr,
+                                            1, &functional);
+  EXPECT_EQ(functional.misses(), 3u);
+  EXPECT_EQ(functional.hits(), 0u);
+  const RunReport direct =
+      HyveMachine(cfg).run(graphs.base("g1"), Algorithm::kBfs);
+  EXPECT_EQ(report_to_json(rebuilt), report_to_json(direct));
+}
+
+TEST(FunctionalCache, ConcurrentAcquireUnderTightBudget) {
+  // Sweep-engine TSan coverage: workers churn outcomes through a budget
+  // that can hold roughly one entry, so acquisition, eviction and
+  // rebuild race. Every handed-out outcome must stay complete and
+  // usable even when the cache drops it concurrently.
+  exp::FunctionalCache cache;
+  cache.set_byte_budget(1);
+  const Graph g = generate_rmat(2000, 8000, {}, 7);
+  const Partitioning part(g, 8);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 8; ++t)
+    pool.emplace_back([&] {
+      for (int i = 0; i < 16; ++i) {
+        const exp::FunctionalKey key{"g", i % 4 == 0 ? "BFS" : "CC",
+                                     8, false};
+        const auto outcome = cache.acquire(key, [&] {
+          const HyveMachine machine(HyveConfig::hyve_opt());
+          const auto program = make_program(
+              i % 4 == 0 ? Algorithm::kBfs : Algorithm::kCc);
+          return machine.run_functional_phase(g, part, *program);
+        });
+        EXPECT_EQ(outcome->num_intervals, 8u);
+        EXPECT_GT(outcome->result.iterations, 0u);
+        EXPECT_GT(outcome->approx_bytes(), 0u);
+      }
+    });
+  for (std::thread& t : pool) t.join();
+  EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_GE(cache.misses(), 2u);
+}
+
 TEST(ParseHelpers, ConfigLabelRoundTrip) {
   for (const HyveConfig& cfg : fig16_accelerator_configs()) {
     const auto by_label = parse_config_label(cfg.label);

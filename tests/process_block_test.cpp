@@ -1,0 +1,239 @@
+// Pins VertexProgram::process_block to the per-edge semantics: for every
+// shipped program the batched kernel must produce the same destination
+// writes, the same changed-vertex sets and the same final outputs as the
+// process_edge() loop it replaces. These tests are the contract that
+// lets run_functional/run_frontier drive per-block spans.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algos/bfs.hpp"
+#include "algos/cc.hpp"
+#include "algos/frontier.hpp"
+#include "algos/gas.hpp"
+#include "algos/pagerank.hpp"
+#include "algos/runner.hpp"
+#include "algos/spmv.hpp"
+#include "algos/sssp.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+
+namespace hyve {
+namespace {
+
+Graph rmat_graph() { return generate_rmat(20000, 120000, {}, 888); }
+
+// The pre-batching functional loop: one virtual call per edge, exactly
+// what run_functional did before process_block existed.
+FunctionalResult reference_run_functional(const Graph& graph,
+                                          VertexProgram& program,
+                                          const Partitioning* schedule) {
+  program.init(graph);
+  FunctionalResult result;
+  bool more = true;
+  while (more && result.iterations < program.max_iterations()) {
+    if (schedule != nullptr) {
+      const std::uint32_t p = schedule->num_intervals();
+      for (std::uint32_t y = 0; y < p; ++y)
+        for (std::uint32_t x = 0; x < p; ++x)
+          for (const Edge& e : schedule->block(x, y))
+            result.destination_writes += program.process_edge(e) ? 1 : 0;
+    } else {
+      for (const Edge& e : graph.edges())
+        result.destination_writes += program.process_edge(e) ? 1 : 0;
+    }
+    result.edges_traversed += graph.num_edges();
+    ++result.iterations;
+    more = program.end_iteration(result.iterations);
+  }
+  return result;
+}
+
+// Drives two instances of the same program in lockstep over the same
+// block schedule — one through process_edge, one through process_block —
+// comparing write counts and changed-vertex sets per block and the
+// convergence decision per iteration.
+void expect_blockwise_equivalence(const Graph& graph, VertexProgram& by_edge,
+                                  VertexProgram& by_block, std::uint32_t p) {
+  const Partitioning part(graph, p);
+  by_edge.init(graph);
+  by_block.init(graph);
+  bool more = true;
+  std::uint32_t iter = 0;
+  while (more && iter < by_edge.max_iterations()) {
+    for (std::uint32_t y = 0; y < p; ++y) {
+      for (std::uint32_t x = 0; x < p; ++x) {
+        std::vector<char> ref_changed(graph.num_vertices(), 0);
+        std::vector<char> blk_changed(graph.num_vertices(), 0);
+        std::uint64_t ref_writes = 0;
+        for (const Edge& e : part.block(x, y)) {
+          if (by_edge.process_edge(e)) {
+            ++ref_writes;
+            ref_changed[e.dst] = 1;
+          }
+        }
+        const std::uint64_t blk_writes =
+            by_block.process_block(part.block(x, y), &blk_changed);
+        ASSERT_EQ(ref_writes, blk_writes)
+            << "block (" << x << ", " << y << ") iteration " << iter;
+        ASSERT_EQ(ref_changed, blk_changed)
+            << "block (" << x << ", " << y << ") iteration " << iter;
+      }
+    }
+    ++iter;
+    more = by_edge.end_iteration(iter);
+    ASSERT_EQ(more, by_block.end_iteration(iter)) << "iteration " << iter;
+  }
+}
+
+template <typename Program, typename Output>
+void expect_equivalence_on(const Graph& graph, Program a, Program b,
+                           Program c, Program d, Output output) {
+  // Block-by-block, on the paper's schedule granularity.
+  expect_blockwise_equivalence(graph, a, b, 8);
+  EXPECT_EQ(output(a), output(b));
+  // Whole-run: the shipped (block-driven) run_functional vs the
+  // reference per-edge loop, counts and outputs.
+  const Partitioning part(graph, 8);
+  const FunctionalResult ref = reference_run_functional(graph, c, &part);
+  const FunctionalResult blk = run_functional(graph, d, &part);
+  EXPECT_EQ(ref.iterations, blk.iterations);
+  EXPECT_EQ(ref.edges_traversed, blk.edges_traversed);
+  EXPECT_EQ(ref.destination_writes, blk.destination_writes);
+  EXPECT_EQ(output(c), output(d));
+}
+
+TEST(ProcessBlock, BfsMatchesPerEdge) {
+  for (const Graph& g : {paper_example_graph(), rmat_graph()})
+    expect_equivalence_on(g, BfsProgram(0), BfsProgram(0), BfsProgram(0),
+                          BfsProgram(0),
+                          [](const BfsProgram& p) { return p.distances(); });
+}
+
+TEST(ProcessBlock, CcMatchesPerEdge) {
+  for (const Graph& g : {paper_example_graph(), rmat_graph()})
+    expect_equivalence_on(g, CcProgram(), CcProgram(), CcProgram(),
+                          CcProgram(),
+                          [](const CcProgram& p) { return p.labels(); });
+}
+
+TEST(ProcessBlock, PageRankMatchesPerEdge) {
+  for (const Graph& g : {paper_example_graph(), rmat_graph()})
+    expect_equivalence_on(g, PageRankProgram(5), PageRankProgram(5),
+                          PageRankProgram(5), PageRankProgram(5),
+                          [](const PageRankProgram& p) { return p.ranks(); });
+}
+
+TEST(ProcessBlock, SsspMatchesPerEdge) {
+  for (const Graph& g : {paper_example_graph(), rmat_graph()})
+    expect_equivalence_on(g, SsspProgram(0), SsspProgram(0), SsspProgram(0),
+                          SsspProgram(0),
+                          [](const SsspProgram& p) { return p.distances(); });
+}
+
+TEST(ProcessBlock, SpmvMatchesPerEdge) {
+  for (const Graph& g : {paper_example_graph(), rmat_graph()})
+    expect_equivalence_on(g, SpmvProgram(), SpmvProgram(), SpmvProgram(),
+                          SpmvProgram(),
+                          [](const SpmvProgram& p) { return p.result(); });
+}
+
+TEST(ProcessBlock, GasProgramMatchesPerEdge) {
+  // GasProgram has no bespoke kernel body per algorithm — its override
+  // loops the scatter callable — but the contract must hold all the same.
+  for (const Graph& g : {paper_example_graph(), rmat_graph()})
+    expect_equivalence_on(
+        g, make_reachability_program(0), make_reachability_program(0),
+        make_reachability_program(0), make_reachability_program(0),
+        [](const GasProgram<std::uint32_t>& p) { return p.values(); });
+}
+
+TEST(ProcessBlock, DefaultImplementationDelegatesToProcessEdge) {
+  // A program that does NOT override process_block must get the base
+  // class's per-edge loop, including changed tracking.
+  class CountingProgram final : public VertexProgram {
+   public:
+    std::string name() const override { return "count"; }
+    std::uint32_t vertex_value_bytes() const override { return 4; }
+    std::uint32_t max_iterations() const override { return 1; }
+    void init(const Graph& graph) override {
+      seen_.assign(graph.num_vertices(), 0);
+    }
+    bool process_edge(const Edge& e) override {
+      // "Changes" a destination the first time an edge reaches it.
+      return ++seen_[e.dst] == 1;
+    }
+    bool end_iteration(std::uint32_t) override { return false; }
+
+   private:
+    std::vector<std::uint32_t> seen_;
+  };
+
+  const Graph g = paper_example_graph();
+  CountingProgram prog;
+  prog.init(g);
+  std::vector<char> changed(g.num_vertices(), 0);
+  const std::uint64_t writes = prog.process_block(g.edges(), &changed);
+
+  CountingProgram ref;
+  ref.init(g);
+  std::vector<char> ref_changed(g.num_vertices(), 0);
+  std::uint64_t ref_writes = 0;
+  for (const Edge& e : g.edges()) {
+    if (ref.process_edge(e)) {
+      ++ref_writes;
+      ref_changed[e.dst] = 1;
+    }
+  }
+  EXPECT_EQ(writes, ref_writes);
+  EXPECT_EQ(changed, ref_changed);
+}
+
+TEST(ProcessBlock, FrontierRunMatchesPerEdgeReference) {
+  // run_frontier now drives process_block with the shared changed
+  // vector; fixpoints must still match the dense per-edge reference.
+  const Graph g = rmat_graph();
+  const Partitioning part(g, 16);
+  BfsProgram dense(0);
+  reference_run_functional(g, dense, &part);
+  BfsProgram skipped(0);
+  const FrontierTrace trace = run_frontier(g, skipped, part);
+  EXPECT_EQ(dense.distances(), skipped.distances());
+  EXPECT_EQ(trace.num_intervals, 16u);
+  EXPECT_EQ(trace.iterations(), trace.result.iterations);
+}
+
+TEST(FrontierTrace, SparseAccessorsMatchDenseExpansion) {
+  const Graph g = rmat_graph();
+  const Partitioning part(g, 16);
+  BfsProgram bfs(0);
+  const FrontierTrace trace = run_frontier(g, bfs, part);
+  ASSERT_GT(trace.iterations(), 1u);
+  std::vector<std::uint64_t> dense;
+  std::vector<char> active;
+  for (std::uint32_t iter = 0; iter < trace.iterations(); ++iter) {
+    trace.expand_iteration(iter, dense);
+    trace.source_activity(iter, active);
+    std::uint64_t total = 0;
+    std::uint64_t blocks = 0;
+    for (std::uint32_t x = 0; x < 16; ++x) {
+      bool row = false;
+      for (std::uint32_t y = 0; y < 16; ++y) {
+        const std::uint64_t e = trace.block_edges(iter, x, y);
+        EXPECT_EQ(e, dense[static_cast<std::uint64_t>(x) * 16 + y]);
+        total += e;
+        blocks += e > 0 ? 1 : 0;
+        row = row || e > 0;
+      }
+      EXPECT_EQ(active[x] != 0, row) << "row " << x << " iteration " << iter;
+    }
+    EXPECT_EQ(total, trace.edges_in_iteration(iter));
+    EXPECT_EQ(blocks, trace.active_blocks_in_iteration(iter));
+    // Sparse storage holds non-empty blocks only.
+    EXPECT_EQ(trace.iteration_blocks[iter].size(), blocks);
+  }
+  EXPECT_GT(trace.approx_bytes(), sizeof(FrontierTrace));
+}
+
+}  // namespace
+}  // namespace hyve

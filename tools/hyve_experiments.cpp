@@ -10,8 +10,10 @@
 //   hyve_experiments --algos bfs,pr --configs opt,sd
 //   hyve_experiments --frontier           # add the block-skipping variant
 //   hyve_experiments --format csv         # spreadsheet-friendly table
+//   hyve_experiments --functional-cache   # memoise functional phases
 //
-// Output is deterministic and order-stable for any --jobs value.
+// Output is deterministic and order-stable for any --jobs value, and
+// byte-identical with the functional cache on or off.
 #include <iostream>
 #include <optional>
 #include <string>
@@ -32,6 +34,8 @@ int main(int argc, char** argv) {
   options.jobs = 1;  // historical default: serial
   auto format = exp::ResultSink::Format::kJsonl;
   bool metrics = false;
+  bool functional_cache = false;
+  bool cache_stats = false;
   std::string trace_path;
 
   cli::ArgParser parser("hyve_experiments",
@@ -79,6 +83,13 @@ int main(int argc, char** argv) {
                   if (!f) parser.fail("unknown format " + v);
                   format = *f;
                 });
+  parser.flag("--functional-cache",
+              "memoise functional phases across cells that share a graph "
+              "image, algorithm, P and frontier mode (identical output)",
+              &functional_cache);
+  parser.flag("--cache-stats",
+              "print graph/partition/functional cache statistics to stderr",
+              &cache_stats);
   parser.flag("--metrics",
               "dump the metrics registry to stderr as sorted key=value "
               "lines",
@@ -104,11 +115,24 @@ int main(int argc, char** argv) {
 
     exp::GraphCache graphs;
     exp::PartitionCache partitions;
-    exp::SweepEngine engine(graphs, partitions);
+    exp::FunctionalCache functional;
+    exp::SweepEngine engine(graphs, partitions,
+                            functional_cache ? &functional : nullptr);
     exp::ResultSink sink(std::cout, format);
     engine.run(spec, options, &sink);
 
     if (trace) trace->write_file(trace_path);
+    if (cache_stats) {
+      std::cerr << "graph cache: loads=" << graphs.loads()
+                << " evictions=" << graphs.evictions() << "\n"
+                << "partition cache: builds=" << partitions.builds()
+                << " evictions=" << partitions.evictions() << "\n";
+      if (functional_cache)
+        std::cerr << "functional cache: hits=" << functional.hits()
+                  << " misses=" << functional.misses()
+                  << " evictions=" << functional.evictions()
+                  << " hit_rate=" << functional.hit_rate() << "\n";
+    }
     if (metrics) obs::registry().dump(std::cerr);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
