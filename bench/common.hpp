@@ -68,6 +68,14 @@ inline exp::FunctionalCache*& functional_cache_if_enabled() {
   return enabled;
 }
 
+// The --partitioner strategy, applied to every cell that flows through
+// run_dataset/run_grid. Stays the default interval-block split unless
+// the flag was given, so existing bench output is untouched.
+inline PartitionerSpec& partitioner_spec() {
+  static PartitionerSpec spec;
+  return spec;
+}
+
 // Collector behind --json: every report that flows through run_dataset /
 // run_grid is captured here and serialised by Options::finish(). Off by
 // default so benches without --json pay one branch per cell.
@@ -93,6 +101,7 @@ inline void record_report(const std::string& graph_key,
 // The shared bench command line (every bench_* binary accepts these):
 //   --jobs N              sweep worker threads (0 = hardware concurrency)
 //   --datasets YT,WK,...  restrict the dataset axis of dataset benches
+//   --partitioner SPEC    partitioning strategy for every cell
 //   --smoke               deterministic stand-ins for wall-clock timings
 //   --graph-cache-mb N    byte budget for the shared graph cache
 //   --partition-cache N   entry cap for the shared partition cache
@@ -148,6 +157,12 @@ struct Options {
                   << " resident="
                   << reg.gauge("exp.partition_cache.resident").value()
                   << "\n";
+        for (const auto& [strategy, stats] :
+             partition_cache().strategy_stats())
+          std::cerr << "partition cache[" << strategy
+                    << "]: hits=" << stats.hits
+                    << " builds=" << stats.builds
+                    << " evictions=" << stats.evictions << "\n";
         if (functional_cache)
           std::cerr << "functional cache: hits="
                     << reg.counter("exp.functional_cache.hits").value()
@@ -239,6 +254,13 @@ inline Options parse_args(int argc, char** argv, const std::string& prog,
                   if (opts.datasets.empty())
                     parser.fail("--datasets needs at least one dataset");
                 });
+  parser.option("--partitioner", "interval|hep:tau=T|splitmerge:chunks=C",
+                "partitioning strategy for every cell (default interval)",
+                [&](const std::string& v) {
+                  const auto p = parse_partitioner(v);
+                  if (!p) parser.fail("unknown partitioner " + v);
+                  partitioner_spec() = *p;
+                });
   parser.flag("--smoke",
               "deterministic stand-ins for wall-clock measurements "
               "(bench-smoke CI; numbers are not measurements)",
@@ -317,8 +339,11 @@ inline Options parse_args(int argc, char** argv, const std::string& prog,
 // the report is identical (tested in exp_test).
 inline RunReport run_dataset(const HyveConfig& cfg, DatasetId id,
                              Algorithm algo) {
-  RunReport report = exp::run_cached(graph_cache(), partition_cache(), cfg,
-                                     algo, dataset_name(id),
+  HyveConfig cell_cfg = cfg;
+  if (!partitioner_spec().is_default())
+    cell_cfg.set_partitioner(partitioner_spec());
+  RunReport report = exp::run_cached(graph_cache(), partition_cache(),
+                                     cell_cfg, algo, dataset_name(id),
                                      /*trace=*/nullptr, /*trace_pid=*/1,
                                      functional_cache_if_enabled());
   record_report(dataset_name(id), report);
@@ -361,12 +386,18 @@ class GridResults {
 
 // Declarative grid → engine → indexed results, on the shared caches.
 inline GridResults run_grid(const exp::SweepSpec& spec, const Options& opts) {
+  exp::SweepSpec grid_spec = spec;
+  // --partitioner overrides the grid's strategy axis unless the bench
+  // set one deliberately.
+  if (!partitioner_spec().is_default() && grid_spec.partitioners.size() == 1 &&
+      grid_spec.partitioners.front().is_default())
+    grid_spec.partitioners = {partitioner_spec()};
   exp::SweepEngine engine(graph_cache(), partition_cache(),
                           functional_cache_if_enabled());
   exp::SweepOptions options;
   options.jobs = opts.jobs;
   options.trace = opts.trace.get();
-  std::vector<exp::SweepResult> results = engine.run(spec, options);
+  std::vector<exp::SweepResult> results = engine.run(grid_spec, options);
   for (const exp::SweepResult& result : results)
     record_report(result.cell.graph_key, result.report);
   return GridResults(spec, std::move(results));

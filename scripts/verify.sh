@@ -72,6 +72,33 @@ cmp "$obs_dir/bench_fc.json" "$obs_dir/bench_nofc.json" ||
   { echo "functional-cache: bench --json differs with cache on" >&2; exit 1; }
 echo "functional-cache: OK"
 
+# partitioner-smoke: sweeping every partitioning strategy must stay
+# order-stable (byte-identical --jobs 1 vs 8), every strategy must show
+# up in the records with its own label annotation and per-strategy
+# cache counters, and a bench run must accept --partitioner.
+./build/tools/hyve_experiments --datasets YT --algos bfs,pr --jobs 1 \
+  --partitioner interval,hep:tau=2,splitmerge:chunks=8 --cache-stats \
+  > "$obs_dir/part_j1.jsonl" 2>"$obs_dir/part_stats.txt"
+./build/tools/hyve_experiments --datasets YT --algos bfs,pr --jobs 8 \
+  --partitioner interval,hep:tau=2,splitmerge:chunks=8 \
+  > "$obs_dir/part_j8.jsonl"
+cmp "$obs_dir/part_j1.jsonl" "$obs_dir/part_j8.jsonl" ||
+  { echo "partitioner-smoke: --jobs 1 and --jobs 8 outputs differ" >&2
+    exit 1; }
+grep -q '~hep:tau=2' "$obs_dir/part_j1.jsonl" ||
+  { echo "partitioner-smoke: hep cells missing from output" >&2; exit 1; }
+grep -q '~splitmerge:chunks=8' "$obs_dir/part_j1.jsonl" ||
+  { echo "partitioner-smoke: splitmerge cells missing" >&2; exit 1; }
+grep -q '"partition":{"n_avg":' "$obs_dir/part_j1.jsonl" ||
+  { echo "partitioner-smoke: partition stats missing" >&2; exit 1; }
+grep -q 'partition cache\[hep:tau=2\]:' "$obs_dir/part_stats.txt" ||
+  { echo "partitioner-smoke: per-strategy cache stats missing" >&2; exit 1; }
+./build/bench/bench_fig13 --smoke --jobs 2 --partitioner hep:tau=2 \
+  --json "$obs_dir/bench_hep.json" >/dev/null 2>&1
+./build/tools/hyve_report --check "$obs_dir/bench_hep.json" >/dev/null ||
+  { echo "partitioner-smoke: hep bench report rejected" >&2; exit 1; }
+echo "partitioner-smoke: OK"
+
 cmake -B build-tsan -S . -DHYVE_SANITIZE=thread
 cmake --build build-tsan -j
 ctest --test-dir build-tsan -L sweep-engine --output-on-failure

@@ -17,6 +17,16 @@ void HyveConfig::validate() const {
   HYVE_CHECK_MSG(!frontier_block_skipping || has_onchip_vertex_memory(),
                  "block skipping piggybacks on the interval scheduler and "
                  "needs the on-chip vertex level");
+  partitioner.validate();
+}
+
+void HyveConfig::set_partitioner(const PartitionerSpec& spec) {
+  spec.validate();
+  // Strip any previous annotation before re-annotating.
+  const std::size_t tilde = label.find('~');
+  if (tilde != std::string::npos) label.erase(tilde);
+  partitioner = spec;
+  if (!spec.is_default()) label += "~" + spec.to_string();
 }
 
 HyveConfig HyveConfig::hyve_opt() {
@@ -71,6 +81,18 @@ std::vector<HyveConfig> fig16_accelerator_configs() {
 }
 
 std::optional<HyveConfig> parse_config_label(const std::string& name) {
+  // A "~<partitioner>" suffix (set_partitioner's annotation) composes
+  // with any variant name: "opt~hep:tau=2", "acc+HyVE-opt~splitmerge:chunks=8".
+  const std::size_t tilde = name.find('~');
+  if (tilde != std::string::npos) {
+    auto base = parse_config_label(name.substr(0, tilde));
+    if (!base) return std::nullopt;
+    const auto spec = parse_partitioner(name.substr(tilde + 1));
+    if (!spec) return std::nullopt;
+    base->set_partitioner(*spec);
+    return base;
+  }
+
   struct Variant {
     const char* short_name;
     HyveConfig (*make)();

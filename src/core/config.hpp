@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/partitioner.hpp"
 #include "memmodel/dram.hpp"
 #include "memmodel/memtech.hpp"
 #include "memmodel/reram.hpp"
@@ -48,6 +49,12 @@ struct HyveConfig {
   bool hash_balance = true;
   std::uint64_t hash_balance_seed = 0x48795645;
 
+  // Vertex→interval partitioning strategy (graph/partitioner.hpp). The
+  // default interval-block split is the paper's equal-width scheme;
+  // set_partitioner() switches strategy and annotates the label so
+  // reports and caches distinguish strategies.
+  PartitionerSpec partitioner;
+
   // Extension beyond the paper's dense model: skip blocks whose source
   // interval saw no change in the previous iteration (exact for the
   // monotone-relaxation algorithms; PageRank degenerates to full passes).
@@ -62,6 +69,11 @@ struct HyveConfig {
   DramConfig dram;    // applied wherever a level uses DRAM
 
   bool has_onchip_vertex_memory() const { return sram_bytes_per_pu > 0; }
+
+  // Switches the partitioning strategy and keeps the label in sync:
+  // a non-default strategy appends "~<spec>" (e.g. "acc+HyVE-opt~hep:tau=2")
+  // so sweep dedup keys and report rows stay distinct per strategy.
+  void set_partitioner(const PartitionerSpec& spec);
 
   // Throws InvariantError on inconsistent combinations.
   void validate() const;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "memmodel/techparams.hpp"
+#include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "sim/pipeline.hpp"
 #include "util/check.hpp"
@@ -106,6 +107,7 @@ RunReport HyveMachine::run(const Graph& graph, VertexProgram& program,
                            std::uint32_t trace_pid) const {
   const std::uint32_t p =
       choose_num_intervals(graph, program.vertex_value_bytes());
+  const auto partitioner = make_partitioner(config_.partitioner);
   if (config_.hash_balance) {
     // Simulate the hash-balanced layout (§4.3): block populations even
     // out across PUs, which the per-step synchronisation rewards. The
@@ -113,11 +115,11 @@ RunReport HyveMachine::run(const Graph& graph, VertexProgram& program,
     // over memory configs, back-to-back algorithms) pay for it once.
     const std::shared_ptr<const Graph> balanced =
         graph.hashed_remap_shared(config_.hash_balance_seed);
-    return run_with_schedule(*balanced, Partitioning(*balanced, p), program,
-                             trace, trace_pid);
+    return run_with_schedule(*balanced, partitioner->partition(*balanced, p),
+                             program, trace, trace_pid);
   }
-  return run_with_schedule(graph, Partitioning(graph, p), program, trace,
-                           trace_pid);
+  return run_with_schedule(graph, partitioner->partition(graph, p), program,
+                           trace, trace_pid);
 }
 
 RunReport HyveMachine::run_with_schedule(const Graph& graph,
@@ -581,6 +583,31 @@ RunReport HyveMachine::account(const Graph& graph, VertexProgram& program,
   report.num_intervals = schedule.num_intervals();
   report.iterations = functional.iterations;
   report.edges_traversed = functional.edges_traversed;
+  report.partitioner = config_.partitioner.to_string();
+  report.partition = compute_partition_stats(schedule, config_.num_pus);
+  if (obs::enabled()) {
+    // Integer-scaled so histogram rollups (count/sum/min/max) stay
+    // order-independent across worker interleavings.
+    static obs::Histogram& n_avg =
+        obs::registry().histogram("sim.partition.n_avg_milli");
+    static obs::Histogram& replication =
+        obs::registry().histogram("sim.partition.replication_milli");
+    static obs::Histogram& balance =
+        obs::registry().histogram("sim.partition.balance_milli");
+    static obs::Histogram& remote =
+        obs::registry().histogram("sim.partition.remote_edges_permille");
+    static obs::Histogram& wake =
+        obs::registry().histogram("sim.partition.bank_wake_permille");
+    n_avg.observe(static_cast<std::uint64_t>(1000.0 * report.partition.n_avg));
+    replication.observe(static_cast<std::uint64_t>(
+        1000.0 * report.partition.replication_factor));
+    balance.observe(static_cast<std::uint64_t>(
+        1000.0 * report.partition.interval_balance));
+    remote.observe(static_cast<std::uint64_t>(
+        1000.0 * report.partition.remote_edge_fraction));
+    wake.observe(static_cast<std::uint64_t>(
+        1000.0 * report.partition.bank_wake_fraction));
+  }
 
   if (sink.on())
     sink.name_tracks(config_.label + " / " + program.name(),

@@ -21,6 +21,7 @@
 #include "algos/runner.hpp"
 #include "core/config.hpp"
 #include "graph/graph.hpp"
+#include "graph/partitioner.hpp"
 #include "memmodel/dram.hpp"
 #include "memmodel/reram.hpp"
 #include "memmodel/sram.hpp"
@@ -39,6 +40,11 @@ struct RunReport {
   std::uint32_t num_intervals = 0;  // P
   std::uint32_t iterations = 0;
   std::uint64_t edges_traversed = 0;
+  // Strategy the schedule was built with (PartitionerSpec::to_string
+  // form) and the schedule-quality metrics the paper ties to it:
+  // Table 1 N_avg, replication, balance, Fig. 14 sharing, Fig. 15 wake.
+  std::string partitioner = "interval";
+  PartitionStats partition;
   double exec_time_ns = 0;
   double streaming_time_ns = 0;  // edge memory actively streaming
   AccessStats stats;

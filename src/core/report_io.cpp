@@ -51,6 +51,19 @@ void write_report_json(std::ostream& os, const RunReport& r) {
   os << ",\"num_intervals\":" << r.num_intervals;
   os << ",\"iterations\":" << r.iterations;
   os << ",\"edges_traversed\":" << r.edges_traversed;
+  os << ",\"partitioner\":";
+  write_escaped(os, r.partitioner);
+  os << ",\"partition\":{\"n_avg\":";
+  write_number(os, r.partition.n_avg);
+  os << ",\"replication_factor\":";
+  write_number(os, r.partition.replication_factor);
+  os << ",\"interval_balance\":";
+  write_number(os, r.partition.interval_balance);
+  os << ",\"remote_edge_fraction\":";
+  write_number(os, r.partition.remote_edge_fraction);
+  os << ",\"bank_wake_fraction\":";
+  write_number(os, r.partition.bank_wake_fraction);
+  os << '}';
   os << ",\"exec_time_ns\":";
   write_number(os, r.exec_time_ns);
   os << ",\"streaming_time_ns\":";
@@ -425,6 +438,17 @@ RunReport run_report_from_fields(
   r.exec_time_ns = f.num("exec_time_ns");
   r.streaming_time_ns = f.num("streaming_time_ns");
 
+  // Partitioner fields postdate the original schema; absent fields
+  // (pre-partitioner files) keep the defaults (interval strategy, zeros).
+  if (f.has("partitioner")) r.partitioner = f.str("partitioner");
+  if (f.has("partition.n_avg")) {
+    r.partition.n_avg = f.num("partition.n_avg");
+    r.partition.replication_factor = f.num("partition.replication_factor");
+    r.partition.interval_balance = f.num("partition.interval_balance");
+    r.partition.remote_edge_fraction = f.num("partition.remote_edge_fraction");
+    r.partition.bank_wake_fraction = f.num("partition.bank_wake_fraction");
+  }
+
   for (std::size_t i = 0;
        i < static_cast<std::size_t>(EnergyComponent::kCount); ++i) {
     const auto c = static_cast<EnergyComponent>(i);
@@ -508,7 +532,17 @@ bool reports_equivalent(const RunReport& a, const RunReport& b,
                         double rel_tol) {
   if (a.config_label != b.config_label || a.algorithm != b.algorithm ||
       a.num_intervals != b.num_intervals || a.iterations != b.iterations ||
-      a.edges_traversed != b.edges_traversed)
+      a.edges_traversed != b.edges_traversed || a.partitioner != b.partitioner)
+    return false;
+  if (!close(a.partition.n_avg, b.partition.n_avg, rel_tol) ||
+      !close(a.partition.replication_factor, b.partition.replication_factor,
+             rel_tol) ||
+      !close(a.partition.interval_balance, b.partition.interval_balance,
+             rel_tol) ||
+      !close(a.partition.remote_edge_fraction,
+             b.partition.remote_edge_fraction, rel_tol) ||
+      !close(a.partition.bank_wake_fraction, b.partition.bank_wake_fraction,
+             rel_tol))
     return false;
   if (!close(a.exec_time_ns, b.exec_time_ns, rel_tol) ||
       !close(a.streaming_time_ns, b.streaming_time_ns, rel_tol))

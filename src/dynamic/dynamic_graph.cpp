@@ -18,8 +18,7 @@ DynamicGraphStore::DynamicGraphStore(const Graph& initial,
   for (VertexId v = 0; v < num_vertices_; ++v) vertex_valid_[v] = true;
 
   grid_ = options_.num_intervals;
-  interval_width_ =
-      std::max<VertexId>(1, (vertex_capacity_ + grid_ - 1) / grid_);
+  vmap_ = VertexMap::uniform(vertex_capacity_, grid_);
 
   if (!options_.hashed_block_directory)
     dense_blocks_.assign(static_cast<std::size_t>(grid_) * grid_, {});
@@ -47,8 +46,8 @@ DynamicGraphStore::DynamicGraphStore(const Graph& initial,
 }
 
 std::uint64_t DynamicGraphStore::block_key(VertexId src, VertexId dst) const {
-  return static_cast<std::uint64_t>(src / interval_width_) * grid_ +
-         dst / interval_width_;
+  return static_cast<std::uint64_t>(vmap_.interval_of(src)) * grid_ +
+         vmap_.interval_of(dst);
 }
 
 DynamicGraphStore::Block& DynamicGraphStore::block_for(VertexId src,

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/partition.hpp"
 
 namespace hyve {
 
@@ -88,7 +89,9 @@ class DynamicGraphStore {
   VertexId num_vertices_ = 0;
   VertexId vertex_capacity_ = 0;  // reserved vertex slots
   std::uint64_t num_edges_ = 0;
-  VertexId interval_width_ = 1;
+  // Uniform map over vertex_capacity_ (the slack grid may have more
+  // intervals than live vertices; trailing intervals sit empty).
+  VertexMap vmap_;
   std::uint32_t grid_ = 1;  // intervals per axis
   std::vector<Block> dense_blocks_;                      // HyVE layout
   std::unordered_map<std::uint64_t, Block> hashed_blocks_;  // GraphR layout

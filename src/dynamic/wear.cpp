@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "graph/partition.hpp"
 #include "util/check.hpp"
 
 namespace hyve {
@@ -36,15 +37,15 @@ WearReport analyze_wear(const Graph& initial,
   report.stream_requests = requests.size();
   report.writes_per_bank.assign(params.banks, 0);
 
-  const VertexId width = std::max<VertexId>(
-      1, (initial.num_vertices() + params.num_intervals - 1) /
-             params.num_intervals);
+  const VertexMap vmap =
+      VertexMap::uniform(initial.num_vertices(), params.num_intervals);
   // Blocks are striped across banks in layout order (§3.4 sequential
   // placement over the bank address space).
   auto bank_of = [&](VertexId src, VertexId dst) {
     const std::uint64_t block =
-        static_cast<std::uint64_t>(src / width) * params.num_intervals +
-        dst / width;
+        static_cast<std::uint64_t>(vmap.interval_of(src)) *
+            params.num_intervals +
+        vmap.interval_of(dst);
     return static_cast<std::uint32_t>(block % params.banks);
   };
 

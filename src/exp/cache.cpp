@@ -17,11 +17,11 @@ std::size_t graph_bytes(const Graph& g) {
 // Registry mirrors of the per-instance atomics (loads()/builds()/...):
 // the instance counters stay authoritative for tests; these feed the
 // process-wide `--metrics` dump.
-void count(const char* name, std::uint64_t delta = 1) {
+void count(const std::string& name, std::uint64_t delta = 1) {
   if (obs::enabled()) obs::registry().counter(name).add(delta);
 }
 
-void gauge(const char* name, std::int64_t value) {
+void gauge(const std::string& name, std::int64_t value) {
   if (obs::enabled()) obs::registry().gauge(name).set(value);
 }
 
@@ -191,13 +191,17 @@ std::size_t default_graph_cache_budget(bool smoke) {
 }
 
 std::shared_ptr<const Partitioning> PartitionCache::acquire(
-    const std::string& key, const Graph& graph,
-    std::uint32_t num_intervals) {
+    const std::string& key, const Graph& graph, std::uint32_t num_intervals,
+    const PartitionerSpec& spec) {
+  const std::string strategy = spec.to_string();
   Entry* entry;
   {
     const std::scoped_lock lock(mu_);
-    auto& slot = entries_[{key, num_intervals}];
-    if (!slot) slot = std::make_unique<Entry>();
+    auto& slot = entries_[{key, strategy, num_intervals}];
+    if (!slot) {
+      slot = std::make_unique<Entry>();
+      slot->strategy = strategy;
+    }
     entry = slot.get();
     if (entry->partitioning) {
       entry->last_use = ++tick_;
@@ -207,7 +211,9 @@ std::shared_ptr<const Partitioning> PartitionCache::acquire(
               p->num_edges() == graph.num_edges(),
           "partition cache key \"" << key
                                    << "\" reused for a different graph");
+      ++strategy_stats_[strategy].hits;
       count("exp.partition_cache.hits");
+      count("exp.partition_cache.hits." + strategy);
       return p;
     }
   }
@@ -216,14 +222,19 @@ std::shared_ptr<const Partitioning> PartitionCache::acquire(
     const std::scoped_lock lock(mu_);
     if (entry->partitioning) {
       entry->last_use = ++tick_;
+      ++strategy_stats_[strategy].hits;
       count("exp.partition_cache.hits");
+      count("exp.partition_cache.hits." + strategy);
       return entry->partitioning;
     }
   }
-  auto built = std::make_shared<const Partitioning>(graph, num_intervals);
+  auto built = std::make_shared<const Partitioning>(
+      make_partitioner(spec)->partition(graph, num_intervals));
   ++builds_;
   count("exp.partition_cache.builds");
+  count("exp.partition_cache.builds." + strategy);
   const std::scoped_lock lock(mu_);
+  ++strategy_stats_[strategy].builds;
   entry->partitioning = built;
   entry->last_use = ++tick_;
   ++resident_;
@@ -244,8 +255,16 @@ void PartitionCache::evict_to_cap_locked(const Entry* keep) {
     victim->partitioning.reset();
     --resident_;
     ++evictions_;
+    ++strategy_stats_[victim->strategy].evictions;
     count("exp.partition_cache.evictions");
+    count("exp.partition_cache.evictions." + victim->strategy);
   }
+}
+
+std::map<std::string, PartitionCache::StrategyStats>
+PartitionCache::strategy_stats() const {
+  const std::scoped_lock lock(mu_);
+  return strategy_stats_;
 }
 
 void PartitionCache::set_max_entries(std::size_t n) {

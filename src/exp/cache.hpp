@@ -27,12 +27,14 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <tuple>
 #include <utility>
 
 #include "core/machine.hpp"
 #include "graph/datasets.hpp"
 #include "graph/graph.hpp"
 #include "graph/partition.hpp"
+#include "graph/partitioner.hpp"
 
 namespace hyve::exp {
 
@@ -126,22 +128,33 @@ class GraphCache {
 // CI output never depends on the host's memory pressure.
 std::size_t default_graph_cache_budget(bool smoke);
 
-// Interval-block partitionings keyed by (graph key, P). The caller
+// Partitionings keyed by (graph key, partitioner strategy, P), so two
+// strategies over the same graph can never collide. The caller
 // guarantees `key` uniquely identifies the graph's edge layout — use
 // GraphCache keys (and GraphCache::balanced_key for remapped images).
 class PartitionCache {
  public:
-  // The memoised partitioning, built on first use. The shared_ptr stays
+  // Per-strategy counter snapshot (keyed by PartitionerSpec::to_string),
+  // so cache effectiveness is attributable per partitioner.
+  struct StrategyStats {
+    std::size_t hits = 0;
+    std::size_t builds = 0;
+    std::size_t evictions = 0;
+  };
+
+  // The memoised partitioning of `graph` under `spec` (default: the
+  // interval-block strategy), built on first use. The shared_ptr stays
   // valid across a concurrent eviction.
-  std::shared_ptr<const Partitioning> acquire(const std::string& key,
-                                              const Graph& graph,
-                                              std::uint32_t num_intervals);
+  std::shared_ptr<const Partitioning> acquire(
+      const std::string& key, const Graph& graph, std::uint32_t num_intervals,
+      const PartitionerSpec& spec = {});
 
   // Reference-returning convenience for callers that set no entry cap
   // (the reference is valid only while the entry stays resident).
   const Partitioning& get(const std::string& key, const Graph& graph,
-                          std::uint32_t num_intervals) {
-    return *acquire(key, graph, num_intervals);
+                          std::uint32_t num_intervals,
+                          const PartitionerSpec& spec = {}) {
+    return *acquire(key, graph, num_intervals, spec);
   }
 
   // LRU cap on resident partitionings (0 = unbounded, the default).
@@ -156,19 +169,24 @@ class PartitionCache {
   std::size_t builds() const { return builds_.load(); }
   // Number of partitionings evicted to satisfy the entry cap.
   std::size_t evictions() const { return evictions_.load(); }
+  // Hit/build/eviction counts broken down by partitioner strategy.
+  std::map<std::string, StrategyStats> strategy_stats() const;
 
  private:
   struct Entry {
     std::mutex build_mu;  // serialises (re)builds of this entry
     std::shared_ptr<const Partitioning> partitioning;
+    std::string strategy;  // for eviction attribution
     std::uint64_t last_use = 0;
   };
 
   void evict_to_cap_locked(const Entry* keep);
 
   mutable std::mutex mu_;  // guards the map and LRU state, not builds
-  std::map<std::pair<std::string, std::uint32_t>, std::unique_ptr<Entry>>
+  std::map<std::tuple<std::string, std::string, std::uint32_t>,
+           std::unique_ptr<Entry>>
       entries_;
+  std::map<std::string, StrategyStats> strategy_stats_;  // under mu_
   std::uint64_t tick_ = 0;
   std::size_t max_entries_ = 0;
   std::size_t resident_ = 0;
@@ -179,14 +197,17 @@ class PartitionCache {
 // Key of a memoised functional outcome. Two sweep cells share an
 // outcome exactly when their functional inputs agree: the graph image
 // (a GraphCache key; hash-balanced images fold the seed in via
-// GraphCache::balanced_key), the algorithm, the interval count P, and
-// the frontier mode. Memory technologies, power gating, data sharing
-// and edge width never appear — they only affect accounting, so a sweep
+// GraphCache::balanced_key), the algorithm, the partitioner strategy
+// (block iteration order steers in-pass propagation, so iteration
+// counts differ across strategies), the interval count P, and the
+// frontier mode. Memory technologies, power gating, data sharing and
+// edge width never appear — they only affect accounting, so a sweep
 // over memory configs hits this cache on every cell after the first.
 struct FunctionalKey {
   std::string graph_key;
   std::string algorithm;
-  std::uint32_t num_intervals = 0;  // P
+  std::string partitioner = "interval";  // PartitionerSpec::to_string
+  std::uint32_t num_intervals = 0;       // P
   bool frontier = false;
 
   friend bool operator==(const FunctionalKey&,

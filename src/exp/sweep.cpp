@@ -30,15 +30,19 @@ SweepSpec SweepSpec::full_grid() {
 }
 
 std::vector<SweepCell> expand(const SweepSpec& spec) {
-  HYVE_CHECK_MSG(!spec.configs.empty() && !spec.algorithms.empty() &&
-                     !spec.graphs.empty(),
+  HYVE_CHECK_MSG(!spec.configs.empty() && !spec.partitioners.empty() &&
+                     !spec.algorithms.empty() && !spec.graphs.empty(),
                  "sweep spec has an empty axis");
   std::vector<SweepCell> cells;
   cells.reserve(spec.size());
   for (const HyveConfig& config : spec.configs)
-    for (const Algorithm algorithm : spec.algorithms)
-      for (const std::string& graph : spec.graphs)
-        cells.push_back({cells.size(), config, algorithm, graph});
+    for (const PartitionerSpec& partitioner : spec.partitioners) {
+      HyveConfig cell_config = config;
+      cell_config.set_partitioner(partitioner);
+      for (const Algorithm algorithm : spec.algorithms)
+        for (const std::string& graph : spec.graphs)
+          cells.push_back({cells.size(), cell_config, algorithm, graph});
+    }
   return cells;
 }
 
@@ -60,14 +64,17 @@ RunReport run_cached(GraphCache& graphs, PartitionCache& partitions,
   const std::uint32_t p =
       machine.choose_num_intervals(*graph, program->vertex_value_bytes());
   const std::shared_ptr<const Partitioning> schedule =
-      partitions.acquire(schedule_key, *graph, p);
+      partitions.acquire(schedule_key, *graph, p, config.partitioner);
   if (functional == nullptr)
     return machine.run_with_schedule(*graph, *schedule, *program, trace,
                                      trace_pid);
   // schedule_key already identifies the graph image (balance seed
-  // included); P and the frontier mode pin the rest of the functional
-  // inputs, so memory-tech-only config changes share one entry.
-  const FunctionalKey key{schedule_key, program->name(), p,
+  // included); the partitioner, P and the frontier mode pin the rest of
+  // the functional inputs, so memory-tech-only config changes share one
+  // entry while different strategies (whose block order steers in-pass
+  // propagation) never collide.
+  const FunctionalKey key{schedule_key, program->name(),
+                          config.partitioner.to_string(), p,
                           config.frontier_block_skipping};
   const std::shared_ptr<const FunctionalOutcome> outcome =
       functional->acquire(key, [&] {

@@ -27,10 +27,17 @@ class Trace;
 
 namespace hyve::exp {
 
-// Declarative grid. Expansion order is row-major with configs outermost
-// and graphs innermost — the order the serial tools always used.
+// Declarative grid. Expansion order is row-major with configs
+// outermost, then partitioners, then algorithms, with graphs innermost
+// — the order the serial tools always used, partitioners slotted next
+// to the config axis they modify.
 struct SweepSpec {
   std::vector<HyveConfig> configs;
+  // Partitioning strategies crossed with every config; each cell's
+  // config carries the strategy via HyveConfig::set_partitioner (which
+  // also annotates the label, keeping report rows distinct). The
+  // default single-element axis leaves configs untouched.
+  std::vector<PartitionerSpec> partitioners = {PartitionerSpec{}};
   std::vector<Algorithm> algorithms;
   std::vector<std::string> graphs;  // GraphCache keys
 
@@ -39,7 +46,8 @@ struct SweepSpec {
   static SweepSpec full_grid();
 
   std::size_t size() const {
-    return configs.size() * algorithms.size() * graphs.size();
+    return configs.size() * partitioners.size() * algorithms.size() *
+           graphs.size();
   }
 };
 

@@ -1,19 +1,86 @@
 #include "graph/partition.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.hpp"
 
 namespace hyve {
 
-Partitioning::Partitioning(const Graph& g, std::uint32_t num_intervals)
-    : num_vertices_(g.num_vertices()), num_intervals_(num_intervals) {
-  HYVE_CHECK(num_intervals_ >= 1);
-  HYVE_CHECK_MSG(num_intervals_ <= num_vertices_ || num_vertices_ == 0,
-                 "more intervals (" << num_intervals_ << ") than vertices ("
-                                    << num_vertices_ << ")");
-  interval_width_ = (num_vertices_ + num_intervals_ - 1) / num_intervals_;
-  if (interval_width_ == 0) interval_width_ = 1;
+VertexMap VertexMap::uniform(VertexId num_vertices,
+                             std::uint32_t num_intervals) {
+  HYVE_CHECK(num_intervals >= 1);
+  VertexMap map(num_vertices, num_intervals);
+  map.width_ =
+      std::max<VertexId>(1, (num_vertices + num_intervals - 1) / num_intervals);
+  map.populations_.assign(num_intervals, 0);
+  map.begins_.assign(num_intervals + std::size_t{1}, num_vertices);
+  for (std::uint32_t i = 0; i < num_intervals; ++i) {
+    const auto begin = static_cast<VertexId>(std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(i) * map.width_, num_vertices));
+    const auto end = static_cast<VertexId>(std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(i + 1) * map.width_, num_vertices));
+    map.begins_[i] = begin;
+    map.populations_[i] = end - begin;
+  }
+  map.contiguous_ = true;
+  return map;
+}
+
+VertexMap VertexMap::from_assignment(std::vector<std::uint32_t> assignment,
+                                     std::uint32_t num_intervals) {
+  HYVE_CHECK(num_intervals >= 1);
+  VertexMap map(static_cast<VertexId>(assignment.size()), num_intervals);
+  map.assignment_ = std::move(assignment);
+  map.populations_.assign(num_intervals, 0);
+  for (const std::uint32_t i : map.assignment_) {
+    HYVE_CHECK_MSG(i < num_intervals,
+                   "vertex assigned to interval " << i << " but the map has "
+                                                  << num_intervals);
+    ++map.populations_[i];
+  }
+  // Contiguity check: the assignment sequence must be non-decreasing and
+  // visit intervals in order for begin/end ranges to be meaningful.
+  map.contiguous_ = std::is_sorted(map.assignment_.begin(),
+                                   map.assignment_.end());
+  if (map.contiguous_) {
+    map.begins_.assign(num_intervals + std::size_t{1}, 0);
+    for (std::uint32_t i = 0; i < num_intervals; ++i)
+      map.begins_[i + 1] = map.begins_[i] + map.populations_[i];
+  }
+  return map;
+}
+
+VertexId VertexMap::population(std::uint32_t i) const {
+  HYVE_CHECK(i < num_intervals_);
+  return populations_[i];
+}
+
+VertexId VertexMap::max_population() const {
+  VertexId max = 0;
+  for (const VertexId p : populations_) max = std::max(max, p);
+  return max;
+}
+
+VertexId VertexMap::interval_begin(std::uint32_t i) const {
+  HYVE_CHECK_MSG(contiguous_,
+                 "interval_begin() on a non-contiguous vertex map");
+  HYVE_CHECK(i < num_intervals_);
+  return begins_[i];
+}
+
+VertexId VertexMap::interval_end(std::uint32_t i) const {
+  HYVE_CHECK_MSG(contiguous_, "interval_end() on a non-contiguous vertex map");
+  HYVE_CHECK(i < num_intervals_);
+  return begins_[i] + populations_[i];
+}
+
+Partitioning::Partitioning(const Graph& g, VertexMap map)
+    : map_(std::move(map)) {
+  HYVE_CHECK_MSG(map_.num_vertices() == g.num_vertices(),
+                 "vertex map covers " << map_.num_vertices()
+                                      << " vertices but the graph has "
+                                      << g.num_vertices());
 
   // Counting sort of edges by block index.
   const std::uint64_t blocks = num_blocks();
@@ -28,16 +95,31 @@ Partitioning::Partitioning(const Graph& g, std::uint32_t num_intervals)
     edges_[cursor[block_index(interval_of(e.src), interval_of(e.dst))]++] = e;
 }
 
+namespace {
+
+VertexMap checked_uniform_map(const Graph& g, std::uint32_t num_intervals) {
+  HYVE_CHECK(num_intervals >= 1);
+  HYVE_CHECK_MSG(num_intervals <= g.num_vertices() || g.num_vertices() == 0,
+                 "more intervals (" << num_intervals << ") than vertices ("
+                                    << g.num_vertices() << ")");
+  return VertexMap::uniform(g.num_vertices(), num_intervals);
+}
+
+}  // namespace
+
+Partitioning::Partitioning(const Graph& g, std::uint32_t num_intervals)
+    : Partitioning(g, checked_uniform_map(g, num_intervals)) {}
+
 std::span<const Edge> Partitioning::block(std::uint32_t x,
                                           std::uint32_t y) const {
-  HYVE_CHECK(x < num_intervals_ && y < num_intervals_);
+  HYVE_CHECK(x < num_intervals() && y < num_intervals());
   const std::uint64_t b = block_index(x, y);
   return {edges_.data() + offsets_[b], edges_.data() + offsets_[b + 1]};
 }
 
 std::uint64_t Partitioning::block_edge_count(std::uint32_t x,
                                              std::uint32_t y) const {
-  HYVE_CHECK(x < num_intervals_ && y < num_intervals_);
+  HYVE_CHECK(x < num_intervals() && y < num_intervals());
   const std::uint64_t b = block_index(x, y);
   return offsets_[b + 1] - offsets_[b];
 }

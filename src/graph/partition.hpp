@@ -1,10 +1,17 @@
 // Interval-block partitioning (paper §2.1, Fig. 1).
 //
-// Vertices are split by index into P equal intervals I_0..I_{P-1}; edges
-// are split into P^2 blocks where B[x][y] holds the edges whose source
-// lies in I_x and destination in I_y. HyVE streams edges block by block so
-// vertex accesses stay inside the two intervals currently resident in
-// on-chip SRAM.
+// Vertices are split into P intervals I_0..I_{P-1}; edges are split into
+// P^2 blocks where B[x][y] holds the edges whose source lies in I_x and
+// destination in I_y. HyVE streams edges block by block so vertex
+// accesses stay inside the two intervals currently resident in on-chip
+// SRAM.
+//
+// The vertex→interval assignment is an explicit VertexMap, not the
+// historical implicit `v / interval_width` contract: the interval-block
+// strategy still produces equal-width index ranges, but degree-aware and
+// streaming strategies (graph/partitioner.hpp) assign vertices freely, so
+// every consumer must go through interval_of()/interval_population()
+// instead of doing width arithmetic of its own.
 #pragma once
 
 #include <cstdint>
@@ -15,33 +22,92 @@
 
 namespace hyve {
 
+// Vertex→interval assignment. Two representations share one interface:
+//   * uniform — the classic equal-width split, O(1) storage, contiguous
+//     index ranges (interval_begin/end are meaningful);
+//   * explicit — one interval id per vertex, produced by the pluggable
+//     strategies; intervals are populations, not ranges.
+// Populations always sum to the vertex count and every assignment is a
+// valid interval id (checked at construction).
+class VertexMap {
+ public:
+  // Equal-width split of [0, num_vertices) into num_intervals ranges
+  // (the last may be short; trailing intervals may be empty when
+  // num_intervals > num_vertices, which the dynamic store's slack grid
+  // relies on).
+  static VertexMap uniform(VertexId num_vertices, std::uint32_t num_intervals);
+
+  // Explicit per-vertex assignment; assignment[v] is the interval of v.
+  static VertexMap from_assignment(std::vector<std::uint32_t> assignment,
+                                   std::uint32_t num_intervals);
+
+  VertexMap() : VertexMap(uniform(0, 1)) {}
+
+  VertexId num_vertices() const { return num_vertices_; }
+  std::uint32_t num_intervals() const { return num_intervals_; }
+
+  std::uint32_t interval_of(VertexId v) const {
+    return assignment_.empty() ? static_cast<std::uint32_t>(v / width_)
+                               : assignment_[v];
+  }
+
+  // Number of vertices assigned to interval i.
+  VertexId population(std::uint32_t i) const;
+  // Largest interval population (0 for an empty graph).
+  VertexId max_population() const;
+
+  // Whether every interval is a contiguous index range in ascending
+  // order (always true for uniform maps; an explicit map may happen to
+  // be contiguous too). Only then do interval_begin/end make sense.
+  bool is_contiguous() const { return contiguous_; }
+  VertexId interval_begin(std::uint32_t i) const;
+  VertexId interval_end(std::uint32_t i) const;
+
+ private:
+  VertexMap(VertexId num_vertices, std::uint32_t num_intervals)
+      : num_vertices_(num_vertices), num_intervals_(num_intervals) {}
+
+  VertexId num_vertices_ = 0;
+  std::uint32_t num_intervals_ = 1;
+  VertexId width_ = 1;  // uniform maps only
+  std::vector<std::uint32_t> assignment_;  // empty for uniform maps
+  std::vector<VertexId> populations_;      // P entries
+  std::vector<VertexId> begins_;           // P+1 entries when contiguous
+  bool contiguous_ = true;
+};
+
 class Partitioning {
  public:
-  // Groups g's edges into P*P blocks with a counting sort. P >= 1.
+  // Groups g's edges into P*P blocks with a counting sort over `map`
+  // (which must cover exactly g's vertices).
+  Partitioning(const Graph& g, VertexMap map);
+
+  // Convenience: the paper's equal-width interval-block split. P >= 1
+  // and P <= V (unless V == 0).
   Partitioning(const Graph& g, std::uint32_t num_intervals);
 
-  std::uint32_t num_intervals() const { return num_intervals_; }
-  VertexId num_vertices() const { return num_vertices_; }
+  std::uint32_t num_intervals() const { return map_.num_intervals(); }
+  VertexId num_vertices() const { return map_.num_vertices(); }
   std::uint64_t num_edges() const { return edges_.size(); }
   std::uint64_t num_blocks() const {
-    return static_cast<std::uint64_t>(num_intervals_) * num_intervals_;
+    return static_cast<std::uint64_t>(num_intervals()) * num_intervals();
   }
 
-  // Interval geometry. Intervals are index ranges of equal width (the last
-  // one may be short).
-  VertexId interval_width() const { return interval_width_; }
-  std::uint32_t interval_of(VertexId v) const { return v / interval_width_; }
-  VertexId interval_begin(std::uint32_t i) const {
-    return static_cast<VertexId>(
-        std::min<std::uint64_t>(static_cast<std::uint64_t>(i) * interval_width_,
-                                num_vertices_));
-  }
-  VertexId interval_end(std::uint32_t i) const {
-    return interval_begin(i + 1);
-  }
+  // The vertex→interval assignment this partitioning was built over.
+  const VertexMap& vertex_map() const { return map_; }
+
+  std::uint32_t interval_of(VertexId v) const { return map_.interval_of(v); }
   // Number of vertices in interval i.
   VertexId interval_population(std::uint32_t i) const {
-    return interval_end(i) - interval_begin(i);
+    return map_.population(i);
+  }
+  // Contiguous-range accessors; valid only when the map is contiguous
+  // (the interval-block strategy — checked).
+  VertexId interval_begin(std::uint32_t i) const {
+    return map_.interval_begin(i);
+  }
+  VertexId interval_end(std::uint32_t i) const {
+    return map_.interval_end(i);
   }
 
   // Edges of block B[x][y] (source interval x, destination interval y).
@@ -56,12 +122,10 @@ class Partitioning {
 
  private:
   std::uint64_t block_index(std::uint32_t x, std::uint32_t y) const {
-    return static_cast<std::uint64_t>(x) * num_intervals_ + y;
+    return static_cast<std::uint64_t>(x) * num_intervals() + y;
   }
 
-  VertexId num_vertices_ = 0;
-  std::uint32_t num_intervals_ = 1;
-  VertexId interval_width_ = 1;
+  VertexMap map_;
   std::vector<Edge> edges_;
   std::vector<std::uint64_t> offsets_;  // P*P + 1 prefix sums into edges_
 };

@@ -509,7 +509,7 @@ TEST(FunctionalCache, ConcurrentAcquireUnderTightBudget) {
     pool.emplace_back([&] {
       for (int i = 0; i < 16; ++i) {
         const exp::FunctionalKey key{"g", i % 4 == 0 ? "BFS" : "CC",
-                                     8, false};
+                                     "interval", 8, false};
         const auto outcome = cache.acquire(key, [&] {
           const HyveMachine machine(HyveConfig::hyve_opt());
           const auto program = make_program(

@@ -15,7 +15,7 @@ TEST(Partitioning, Fig1ExampleAllocatesBlocksCorrectly) {
   // I2, respectively".
   const Graph g = paper_example_graph();
   const Partitioning part(g, 4);
-  EXPECT_EQ(part.interval_width(), 2u);
+  EXPECT_EQ(part.interval_end(0) - part.interval_begin(0), 2u);
   const auto b12 = part.block(1, 2);
   ASSERT_EQ(b12.size(), 2u);  // edges 2->4 and 3->4
   EXPECT_NE(std::find(b12.begin(), b12.end(), Edge{2, 4}), b12.end());
@@ -66,7 +66,8 @@ TEST(Partitioning, PreservesEdgeMultiset) {
 TEST(Partitioning, IntervalGeometry) {
   const Graph g(10, {});
   const Partitioning part(g, 3);
-  EXPECT_EQ(part.interval_width(), 4u);  // ceil(10/3)
+  EXPECT_TRUE(part.vertex_map().is_contiguous());
+  EXPECT_EQ(part.interval_end(0) - part.interval_begin(0), 4u);  // ceil(10/3)
   EXPECT_EQ(part.interval_begin(0), 0u);
   EXPECT_EQ(part.interval_end(0), 4u);
   EXPECT_EQ(part.interval_begin(2), 8u);
@@ -120,8 +121,12 @@ TEST_P(PartitionSweep, BlockMembershipInvariant) {
   for (std::uint32_t x = 0; x < p; ++x)
     for (std::uint32_t y = 0; y < p; ++y) {
       for (const Edge& e : part.block(x, y)) {
-        EXPECT_EQ(e.src / part.interval_width(), x);
-        EXPECT_EQ(e.dst / part.interval_width(), y);
+        EXPECT_EQ(part.interval_of(e.src), x);
+        EXPECT_EQ(part.interval_of(e.dst), y);
+        EXPECT_GE(e.src, part.interval_begin(x));
+        EXPECT_LT(e.src, part.interval_end(x));
+        EXPECT_GE(e.dst, part.interval_begin(y));
+        EXPECT_LT(e.dst, part.interval_end(y));
       }
       total += part.block_edge_count(x, y);
     }

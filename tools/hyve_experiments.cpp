@@ -8,6 +8,7 @@
 //   hyve_experiments --jobs 8             # 8 worker threads, same output
 //   hyve_experiments --datasets YT,WK     # subset
 //   hyve_experiments --algos bfs,pr --configs opt,sd
+//   hyve_experiments --partitioner interval,hep,splitmerge
 //   hyve_experiments --frontier           # add the block-skipping variant
 //   hyve_experiments --format csv         # spreadsheet-friendly table
 //   hyve_experiments --functional-cache   # memoise functional phases
@@ -70,6 +71,17 @@ int main(int argc, char** argv) {
                     spec.configs.push_back(*cfg);
                   }
                 });
+  parser.option(
+      "--partitioner", "interval,hep:tau=2,splitmerge:chunks=8",
+      "partitioning strategies crossed with every config (default interval)",
+      [&](const std::string& v) {
+        spec.partitioners.clear();
+        for (const std::string& name : cli::split_csv(v)) {
+          const auto p = parse_partitioner(name);
+          if (!p) parser.fail("unknown partitioner " + name);
+          spec.partitioners.push_back(*p);
+        }
+      });
   parser.flag("--frontier", "add the block-skipping variant", &add_frontier);
   parser.option("--jobs", "N",
                 "worker threads (0 = hardware concurrency; default 1)",
@@ -127,6 +139,10 @@ int main(int argc, char** argv) {
                 << " evictions=" << graphs.evictions() << "\n"
                 << "partition cache: builds=" << partitions.builds()
                 << " evictions=" << partitions.evictions() << "\n";
+      for (const auto& [strategy, stats] : partitions.strategy_stats())
+        std::cerr << "partition cache[" << strategy
+                  << "]: hits=" << stats.hits << " builds=" << stats.builds
+                  << " evictions=" << stats.evictions << "\n";
       if (functional_cache)
         std::cerr << "functional cache: hits=" << functional.hits()
                   << " misses=" << functional.misses()

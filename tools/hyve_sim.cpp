@@ -32,6 +32,8 @@ int main(int argc, char** argv) {
   std::string graph_label = "?";
   Algorithm algo = Algorithm::kPageRank;
   HyveConfig config = HyveConfig::hyve_opt();
+  // Applied after parsing so it composes with --config in any order.
+  std::optional<PartitionerSpec> partitioner;
   bool compare = false;
   bool area = false;
   bool csv = false;
@@ -86,6 +88,13 @@ int main(int argc, char** argv) {
                           ? base.sram_bytes_per_pu
                           : config.sram_bytes_per_pu;
                 });
+  parser.option("--partitioner", "interval|hep:tau=T|splitmerge:chunks=C",
+                "partitioning strategy (default interval)",
+                [&](const std::string& v) {
+                  const auto p = parse_partitioner(v);
+                  if (!p) parser.fail("unknown partitioner " + v);
+                  partitioner = *p;
+                });
   parser.option("--sram-mb", "N", "per-PU SRAM capacity (default 2)",
                 [&](const std::string& v) {
                   config.sram_bytes_per_pu = units::MiB(
@@ -123,6 +132,8 @@ int main(int argc, char** argv) {
 
     if (!graph)
       parser.fail("no input graph (--dataset/--graph/--rmat)");
+
+    if (partitioner) config.set_partitioner(*partitioner);
 
     if (metrics) obs::set_enabled(true);
     std::optional<obs::Trace> trace;
