@@ -104,6 +104,7 @@ inline void record_report(const std::string& graph_key,
 //   --partitioner SPEC    partitioning strategy for every cell
 //   --smoke               deterministic stand-ins for wall-clock timings
 //   --graph-cache-mb N    byte budget for the shared graph cache
+//   --ooc-window-mb N     decode-window budget per blocked graph reader
 //   --partition-cache N   entry cap for the shared partition cache
 //   --functional-cache    memoise functional phases across cells
 //   --functional-cache-mb N  byte budget for the functional cache
@@ -273,6 +274,14 @@ inline Options parse_args(int argc, char** argv, const std::string& prog,
                   graph_cache().set_byte_budget(
                       units::MiB(static_cast<std::uint64_t>(cli::parse_int(
                           parser, "--graph-cache-mb", v, 0, 1 << 20))));
+                });
+  parser.option("--ooc-window-mb", "N",
+                "decoded-block window budget per out-of-core blocked graph "
+                "reader in MiB (0 = unbounded; default 0)",
+                [&](const std::string& v) {
+                  graph_cache().set_ooc_window_budget(
+                      units::MiB(static_cast<std::uint64_t>(cli::parse_int(
+                          parser, "--ooc-window-mb", v, 0, 1 << 20))));
                 });
   parser.option("--partition-cache", "N",
                 "partition cache entry cap (0 = unbounded; default 0)",

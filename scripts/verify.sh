@@ -3,8 +3,10 @@
 # observability smoke run (--metrics/--trace on a tiny graph), a
 # bench-json smoke run (--json + hyve_report --check/--compare, byte-
 # diffed across --jobs), a functional-cache smoke run (cache on/off
-# byte-diff of stdout and --json), then the sweep-engine concurrency
-# tests under ThreadSanitizer.
+# byte-diff of stdout and --json), an out-of-core smoke run (blocked
+# graph streamed under --ooc-window-mb, byte-diffed against the
+# in-memory run), then the sweep-engine concurrency tests under
+# ThreadSanitizer.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -98,6 +100,34 @@ grep -q 'partition cache\[hep:tau=2\]:' "$obs_dir/part_stats.txt" ||
 ./build/tools/hyve_report --check "$obs_dir/bench_hep.json" >/dev/null ||
   { echo "partitioner-smoke: hep bench report rejected" >&2; exit 1; }
 echo "partitioner-smoke: OK"
+
+# ooc-smoke: a blocked graph bigger than the decode window must stream
+# through hyve_sim with the same stdout as the in-memory (unbounded)
+# run, the chunked generator path must round-trip through convert, and
+# the reported peak window residency must respect --ooc-window-mb.
+./build/tools/hyve_graphgen rmat 40000 240000 "$obs_dir/ooc.hgb" >/dev/null
+./build/tools/hyve_sim --graph "$obs_dir/ooc.hgb" --algo pr --csv \
+  > "$obs_dir/ooc_mem.csv" 2>/dev/null
+./build/tools/hyve_sim --graph "$obs_dir/ooc.hgb" --graph-format blocked \
+  --ooc-window-mb 1 --algo pr --csv --metrics \
+  > "$obs_dir/ooc_win.csv" 2>"$obs_dir/ooc_metrics.txt"
+cmp "$obs_dir/ooc_mem.csv" "$obs_dir/ooc_win.csv" ||
+  { echo "ooc-smoke: windowed run differs from in-memory run" >&2; exit 1; }
+grep -q 'sim\.ooc\.blocks_mapped=' "$obs_dir/ooc_metrics.txt" ||
+  { echo "ooc-smoke: window counters missing" >&2; exit 1; }
+peak=$(sed -n 's/^sim\.ooc\.window_peak_bytes=//p' "$obs_dir/ooc_metrics.txt")
+[ -n "$peak" ] && [ "$peak" -le 1048576 ] ||
+  { echo "ooc-smoke: peak window $peak exceeds 1 MiB budget" >&2; exit 1; }
+./build/tools/hyve_graphgen convert "$obs_dir/ooc.hgb" "$obs_dir/ooc.bin" \
+  >/dev/null
+./build/tools/hyve_sim --graph "$obs_dir/ooc.bin" --algo pr --csv \
+  > "$obs_dir/ooc_bin.csv" 2>/dev/null
+# Drop the graph-path column (the only legitimate difference).
+cut -d, -f2- "$obs_dir/ooc_mem.csv" > "$obs_dir/ooc_mem.cut"
+cut -d, -f2- "$obs_dir/ooc_bin.csv" > "$obs_dir/ooc_bin.cut"
+cmp "$obs_dir/ooc_mem.cut" "$obs_dir/ooc_bin.cut" ||
+  { echo "ooc-smoke: blocked->bin convert changed the graph" >&2; exit 1; }
+echo "ooc-smoke: OK"
 
 cmake -B build-tsan -S . -DHYVE_SANITIZE=thread
 cmake --build build-tsan -j

@@ -115,7 +115,7 @@ std::shared_ptr<const Graph> GraphCache::materialise(Entry& entry) {
 }
 
 void GraphCache::evict_to_budget_locked(const Entry* keep) {
-  while (resident_bytes_ > budget_bytes_) {
+  while (resident_bytes_ + blocked_window_bytes_locked() > budget_bytes_) {
     Entry* victim = nullptr;
     for (const auto& [key, entry] : base_)
       if (entry->graph && entry->evictable && entry.get() != keep &&
@@ -125,13 +125,79 @@ void GraphCache::evict_to_budget_locked(const Entry* keep) {
       if (entry->graph && entry->evictable && entry.get() != keep &&
           (victim == nullptr || entry->last_use < victim->last_use))
         victim = entry.get();
-    if (victim == nullptr) return;  // everything left is pinned or in use
+    if (victim == nullptr) break;  // everything left is pinned or in use
     victim->graph.reset();
     resident_bytes_ -= victim->bytes;
     victim->bytes = 0;
     ++evictions_;
     count("exp.graph_cache.evictions");
   }
+  // Still over with no evictable graph left: drop blocked decode
+  // windows, least recently acquired first (their blocks refault from
+  // the mapped file on next use).
+  while (resident_bytes_ + blocked_window_bytes_locked() > budget_bytes_) {
+    BlockedEntry* victim = nullptr;
+    for (auto& [key, entry] : blocked_)
+      if (entry.reader && entry.reader->window_resident_bytes() > 0 &&
+          (victim == nullptr || entry.last_use < victim->last_use))
+        victim = &entry;
+    if (victim == nullptr) return;
+    victim->reader->release_window();
+    ++evictions_;
+    count("exp.graph_cache.evictions");
+  }
+}
+
+std::size_t GraphCache::blocked_window_bytes_locked() const {
+  std::size_t bytes = 0;
+  for (const auto& [key, entry] : blocked_)
+    if (entry.reader) bytes += entry.reader->window_resident_bytes();
+  return bytes;
+}
+
+void GraphCache::add_blocked(const std::string& key,
+                             const std::string& path) {
+  {
+    const std::scoped_lock lock(mu_);
+    const bool inserted = blocked_.emplace(key, BlockedEntry{path, nullptr, 0})
+                              .second;
+    HYVE_CHECK_MSG(inserted, "blocked graph key already registered: " << key);
+  }
+  // The materialised view registers like any generated graph: evictable,
+  // rebuilt from the file (through the bounded window) after eviction.
+  add_impl(
+      key,
+      [this, key] {
+        return std::make_shared<const Graph>(materialize(*acquire_blocked(key)));
+      },
+      /*evictable=*/true);
+}
+
+std::shared_ptr<BlockedGraphReader> GraphCache::acquire_blocked(
+    const std::string& key) {
+  const std::scoped_lock lock(mu_);
+  const auto it = blocked_.find(key);
+  HYVE_CHECK_MSG(it != blocked_.end(), "unknown blocked graph key: " << key);
+  BlockedEntry& entry = it->second;
+  if (!entry.reader) {
+    BlockedReaderOptions options;
+    options.window_bytes = ooc_window_budget_;
+    entry.reader = std::make_shared<BlockedGraphReader>(entry.path, options);
+  }
+  entry.last_use = ++tick_;
+  return entry.reader;
+}
+
+void GraphCache::set_ooc_window_budget(std::size_t bytes) {
+  const std::scoped_lock lock(mu_);
+  ooc_window_budget_ = bytes;
+  for (auto& [key, entry] : blocked_)
+    if (entry.reader) entry.reader->set_window_budget(bytes);
+}
+
+std::size_t GraphCache::ooc_window_budget() const {
+  const std::scoped_lock lock(mu_);
+  return ooc_window_budget_;
 }
 
 std::shared_ptr<const Graph> GraphCache::acquire(const std::string& key) {
@@ -175,7 +241,7 @@ std::size_t GraphCache::byte_budget() const {
 
 std::size_t GraphCache::resident_bytes() const {
   const std::scoped_lock lock(mu_);
-  return resident_bytes_;
+  return resident_bytes_ + blocked_window_bytes_locked();
 }
 
 std::size_t default_graph_cache_budget(bool smoke) {

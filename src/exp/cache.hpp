@@ -31,6 +31,7 @@
 #include <utility>
 
 #include "core/machine.hpp"
+#include "graph/blocked_reader.hpp"
 #include "graph/datasets.hpp"
 #include "graph/graph.hpp"
 #include "graph/partition.hpp"
@@ -53,6 +54,22 @@ class GraphCache {
   // Registers an already-built graph. The cache pins it (it owns the only
   // copy and cannot rebuild it), so it is exempt from eviction.
   void add(const std::string& key, Graph graph);
+
+  // Registers a HyVEgrf2 blocked file (graph/blocked_reader.hpp).
+  // acquire() materialises it through the streaming window (evictable
+  // and rebuildable from disk like any generated graph);
+  // acquire_blocked() hands out the reader itself for consumers that can
+  // stream. Reader windows are opened with the ooc window budget and
+  // their residency counts against the cache's byte budget — block
+  // windows are cached bytes like any other.
+  void add_blocked(const std::string& key, const std::string& path);
+  std::shared_ptr<BlockedGraphReader> acquire_blocked(const std::string& key);
+
+  // Decoded-window byte budget applied to each blocked reader this
+  // cache opens (0 = unbounded, the default). Applies to already-open
+  // readers immediately.
+  void set_ooc_window_budget(std::size_t bytes);
+  std::size_t ooc_window_budget() const;
 
   bool contains(const std::string& key) const;
 
@@ -84,7 +101,8 @@ class GraphCache {
   // evicted least-recently-used first until the budget holds.
   void set_byte_budget(std::size_t bytes);
   std::size_t byte_budget() const;
-  // Bytes of owned graphs currently resident.
+  // Bytes of owned graphs plus blocked-reader decode windows currently
+  // resident.
   std::size_t resident_bytes() const;
 
   // Number of graphs materialised so far (builds including rebuilds
@@ -110,13 +128,24 @@ class GraphCache {
   std::shared_ptr<const Graph> materialise(Entry& entry);
   void evict_to_budget_locked(const Entry* keep);
 
+  struct BlockedEntry {
+    std::string path;
+    std::shared_ptr<BlockedGraphReader> reader;  // opened lazily
+    std::uint64_t last_use = 0;
+  };
+
+  // Sum of open blocked readers' decoded-window bytes (under mu_).
+  std::size_t blocked_window_bytes_locked() const;
+
   mutable std::mutex mu_;  // guards the maps and LRU state, not builds
   std::map<std::string, std::unique_ptr<Entry>> base_;
   std::map<std::pair<std::string, std::uint64_t>, std::unique_ptr<Entry>>
       balanced_;
+  std::map<std::string, BlockedEntry> blocked_;
   std::uint64_t tick_ = 0;  // LRU clock (under mu_)
   std::size_t budget_bytes_ = 0;
   std::size_t resident_bytes_ = 0;
+  std::size_t ooc_window_budget_ = 0;
   std::atomic<std::size_t> loads_{0};
   std::atomic<std::size_t> evictions_{0};
 };

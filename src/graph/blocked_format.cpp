@@ -1,0 +1,200 @@
+#include "graph/blocked_format.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "graph/io.hpp"
+#include "util/check.hpp"
+
+namespace hyve::blocked {
+
+const std::uint8_t* get_varint(const std::uint8_t* p, const std::uint8_t* end,
+                               std::uint64_t* out) {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (p == end) return nullptr;
+    const std::uint8_t byte = *p++;
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = v;
+      return p;
+    }
+  }
+  return nullptr;  // > 10 bytes: malformed
+}
+
+void encode_block(std::span<const Edge> edges,
+                  std::vector<std::uint8_t>& out) {
+  VertexId prev_src = 0;
+  VertexId prev_dst = 0;
+  for (const Edge& e : edges) {
+    const std::int64_t dsrc =
+        static_cast<std::int64_t>(e.src) - static_cast<std::int64_t>(prev_src);
+    put_varint(out, zigzag(dsrc));
+    if (dsrc == 0) {
+      // Same source as the previous edge (the common case in sorted
+      // runs): the destination delta is small too.
+      put_varint(out, zigzag(static_cast<std::int64_t>(e.dst) -
+                             static_cast<std::int64_t>(prev_dst)));
+    } else {
+      put_varint(out, e.dst);
+    }
+    prev_src = e.src;
+    prev_dst = e.dst;
+  }
+}
+
+void decode_block(const std::uint8_t* payload, std::size_t payload_bytes,
+                  std::uint32_t edge_count, std::vector<Edge>& edges) {
+  const std::uint8_t* p = payload;
+  const std::uint8_t* const end = payload + payload_bytes;
+  VertexId prev_src = 0;
+  VertexId prev_dst = 0;
+  for (std::uint32_t i = 0; i < edge_count; ++i) {
+    std::uint64_t raw = 0;
+    p = get_varint(p, end, &raw);
+    if (p == nullptr) throw FileError("truncated edge-block payload");
+    const std::int64_t dsrc = unzigzag(raw);
+    const std::int64_t src = static_cast<std::int64_t>(prev_src) + dsrc;
+    p = get_varint(p, end, &raw);
+    if (p == nullptr) throw FileError("truncated edge-block payload");
+    std::int64_t dst;
+    if (dsrc == 0) {
+      dst = static_cast<std::int64_t>(prev_dst) + unzigzag(raw);
+    } else {
+      dst = static_cast<std::int64_t>(raw);
+    }
+    if (src < 0 || src > std::numeric_limits<VertexId>::max() || dst < 0 ||
+        dst > std::numeric_limits<VertexId>::max())
+      throw FileError("edge-block delta decodes outside the id space");
+    prev_src = static_cast<VertexId>(src);
+    prev_dst = static_cast<VertexId>(dst);
+    edges.push_back({prev_src, prev_dst});
+  }
+  if (p != end)
+    throw FileError("edge-block payload has trailing bytes");
+}
+
+BlockedWriter::BlockedWriter(const std::string& path, VertexId num_vertices,
+                             const WriteOptions& options)
+    : path_(path),
+      out_(path, std::ios::binary | std::ios::trunc),
+      num_vertices_(num_vertices),
+      options_(options) {
+  HYVE_CHECK(options_.block_edges > 0);
+  HYVE_CHECK(options_.block_align > 0);
+  if (!out_) throw FileError("cannot open " + path + " for writing");
+  pending_.reserve(options_.block_edges);
+  FileHeader header;
+  header.block_align = options_.block_align;
+  header.num_vertices = num_vertices_;
+  out_.write(reinterpret_cast<const char*>(&header), sizeof header);
+}
+
+BlockedWriter::~BlockedWriter() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructors must not throw; callers that care about write errors
+    // call finish() directly.
+  }
+}
+
+void BlockedWriter::append(std::span<const Edge> edges) {
+  HYVE_CHECK_MSG(!finished_, "append() after finish()");
+  for (const Edge& e : edges) {
+    HYVE_CHECK_MSG(e.src < num_vertices_ && e.dst < num_vertices_,
+                   "edge " << e.src << "->" << e.dst
+                           << " out of range for V=" << num_vertices_);
+    pending_.push_back(e);
+    if (pending_.size() >= options_.block_edges) flush_block();
+  }
+}
+
+void BlockedWriter::flush_block() {
+  if (pending_.empty()) return;
+  // Pad to the next sector boundary so every block starts aligned.
+  std::uint64_t offset = static_cast<std::uint64_t>(out_.tellp());
+  const std::uint64_t align = options_.block_align;
+  if (offset % align != 0) {
+    static const char zeros[512] = {};
+    std::uint64_t pad = align - offset % align;
+    while (pad > 0) {
+      const std::uint64_t n = std::min<std::uint64_t>(pad, sizeof zeros);
+      out_.write(zeros, static_cast<std::streamsize>(n));
+      pad -= n;
+    }
+    offset = static_cast<std::uint64_t>(out_.tellp());
+  }
+
+  payload_.clear();
+  encode_block(pending_, payload_);
+
+  BlockHeader header;
+  header.edge_count = static_cast<std::uint32_t>(pending_.size());
+  header.payload_bytes = static_cast<std::uint32_t>(payload_.size());
+  header.payload_checksum = fnv1a(payload_.data(), payload_.size());
+  header.min_src = pending_.front().src;
+  header.max_src = pending_.front().src;
+  for (const Edge& e : pending_) {
+    header.min_src = std::min(header.min_src, e.src);
+    header.max_src = std::max(header.max_src, e.src);
+  }
+  out_.write(reinterpret_cast<const char*>(&header), sizeof header);
+  out_.write(reinterpret_cast<const char*>(payload_.data()),
+             static_cast<std::streamsize>(payload_.size()));
+
+  index_.push_back({offset, header.edge_count, header.payload_bytes,
+                    header.min_src, header.max_src});
+  edges_written_ += pending_.size();
+  pending_.clear();
+}
+
+void BlockedWriter::finish() {
+  if (finished_) return;
+  flush_block();
+  finished_ = true;
+
+  const auto index_offset = static_cast<std::uint64_t>(out_.tellp());
+  const std::uint32_t index_magic = kIndexMagic;
+  const auto num_blocks = static_cast<std::uint32_t>(index_.size());
+  out_.write(reinterpret_cast<const char*>(&index_magic), sizeof index_magic);
+  out_.write(reinterpret_cast<const char*>(&num_blocks), sizeof num_blocks);
+  out_.write(reinterpret_cast<const char*>(index_.data()),
+             static_cast<std::streamsize>(index_.size() *
+                                          sizeof(BlockIndexEntry)));
+  const std::uint32_t index_checksum =
+      fnv1a(index_.data(), index_.size() * sizeof(BlockIndexEntry));
+  out_.write(reinterpret_cast<const char*>(&index_checksum),
+             sizeof index_checksum);
+  const std::uint32_t pad = 0;  // keeps the trailer 8-byte aligned
+  out_.write(reinterpret_cast<const char*>(&pad), sizeof pad);
+  const std::uint64_t trailer_magic = kMagic;
+  out_.write(reinterpret_cast<const char*>(&index_offset),
+             sizeof index_offset);
+  out_.write(reinterpret_cast<const char*>(&trailer_magic),
+             sizeof trailer_magic);
+
+  // Patch the header now that the totals are known.
+  FileHeader header;
+  header.block_align = options_.block_align;
+  header.num_vertices = num_vertices_;
+  header.num_edges = edges_written_;
+  header.num_blocks = index_.size();
+  header.index_offset = index_offset;
+  out_.seekp(0);
+  out_.write(reinterpret_cast<const char*>(&header), sizeof header);
+  out_.flush();
+  if (!out_) throw FileError("write failed: " + path_);
+  out_.close();
+}
+
+void write_blocked(const Graph& g, const std::string& path,
+                   const WriteOptions& options) {
+  BlockedWriter writer(path, g.num_vertices(), options);
+  writer.append(g.edges());
+  writer.finish();
+}
+
+}  // namespace hyve::blocked

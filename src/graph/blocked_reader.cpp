@@ -1,0 +1,297 @@
+#include "graph/blocked_reader.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/io.hpp"
+#include "obs/registry.hpp"
+#include "util/check.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HYVE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace hyve {
+
+using blocked::BlockHeader;
+using blocked::BlockIndexEntry;
+using blocked::FileHeader;
+
+// Holds either an mmap'ed view of the whole file or just the fd-less
+// pread fallback (an open ifstream).
+struct BlockedGraphReader::Mapping {
+  const std::uint8_t* data = nullptr;  // null in the fallback
+  std::size_t size = 0;
+  mutable std::ifstream stream;  // fallback reads (under the reader's mu_)
+
+  ~Mapping() {
+#if HYVE_HAVE_MMAP
+    if (data != nullptr)
+      ::munmap(const_cast<std::uint8_t*>(data), size);
+#endif
+  }
+};
+
+namespace {
+
+void count_metric(const char* name, std::uint64_t delta) {
+  if (obs::enabled()) obs::registry().counter(name).add(delta);
+}
+
+void gauge_metric(const char* name, std::int64_t value) {
+  if (obs::enabled()) obs::registry().gauge(name).set(value);
+}
+
+}  // namespace
+
+BlockedGraphReader::BlockedGraphReader(const std::string& path,
+                                       const BlockedReaderOptions& options)
+    : path_(path), window_budget_(options.window_bytes) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) throw FileError("cannot open " + path + ": " + ec.message());
+  file_size_ = size;
+  if (file_size_ < blocked::kFileHeaderBytes + blocked::kFileTrailerBytes)
+    throw FileError("blocked graph file too small: " + path);
+
+  mapping_ = std::make_unique<Mapping>();
+#if HYVE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    void* map = ::mmap(nullptr, file_size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (map != MAP_FAILED) {
+      mapping_->data = static_cast<const std::uint8_t*>(map);
+      mapping_->size = file_size_;
+    }
+  }
+#endif
+  if (mapping_->data == nullptr) {
+    mapping_->stream.open(path, std::ios::binary);
+    if (!mapping_->stream) throw FileError("cannot open " + path);
+  }
+
+  std::vector<std::uint8_t> scratch;
+  const std::uint8_t* head =
+      read_at(0, blocked::kFileHeaderBytes, scratch);
+  std::memcpy(&header_, head, sizeof header_);
+  if (header_.magic != blocked::kMagic)
+    throw FileError("bad blocked graph magic: " + path);
+  if (header_.version != blocked::kVersion)
+    throw FileError("unsupported blocked graph version " +
+                    std::to_string(header_.version) + ": " + path);
+  if (header_.block_align == 0)
+    throw FileError("bad blocked graph alignment: " + path);
+
+  // The trailer re-states the index offset; both untrusted copies must
+  // agree and point inside the file before anything is sized from them.
+  const std::uint8_t* trailer = read_at(
+      file_size_ - blocked::kFileTrailerBytes, blocked::kFileTrailerBytes,
+      scratch);
+  std::uint64_t trailer_index_offset = 0;
+  std::uint64_t trailer_magic = 0;
+  std::memcpy(&trailer_index_offset, trailer, 8);
+  std::memcpy(&trailer_magic, trailer + 8, 8);
+  if (trailer_magic != blocked::kMagic)
+    throw FileError("bad blocked graph trailer: " + path);
+  if (trailer_index_offset != header_.index_offset)
+    throw FileError("blocked graph header/trailer disagree: " + path);
+
+  // Index bounds: magic + count + entries + checksum + pad + trailer
+  // must fit exactly between index_offset and end of file.
+  const std::uint64_t index_offset = header_.index_offset;
+  if (index_offset < blocked::kFileHeaderBytes ||
+      index_offset + 8 > file_size_)
+    throw FileError("blocked graph index out of bounds: " + path);
+  const std::uint8_t* index_head = read_at(index_offset, 8, scratch);
+  std::uint32_t index_magic = 0;
+  std::uint32_t num_blocks = 0;
+  std::memcpy(&index_magic, index_head, 4);
+  std::memcpy(&num_blocks, index_head + 4, 4);
+  if (index_magic != blocked::kIndexMagic)
+    throw FileError("bad blocked graph index magic: " + path);
+  if (num_blocks != header_.num_blocks)
+    throw FileError("blocked graph block count mismatch: " + path);
+  const std::uint64_t index_bytes =
+      std::uint64_t{num_blocks} * sizeof(BlockIndexEntry);
+  const std::uint64_t expected_end = index_offset + 8 + index_bytes + 4 + 4 +
+                                     blocked::kFileTrailerBytes;
+  if (expected_end != file_size_)
+    throw FileError("blocked graph index size mismatch: " + path);
+
+  index_.resize(num_blocks);
+  if (num_blocks > 0) {
+    const std::uint8_t* entries =
+        read_at(index_offset + 8, index_bytes, scratch);
+    std::memcpy(index_.data(), entries, index_bytes);
+    const std::uint8_t* checksum_bytes =
+        read_at(index_offset + 8 + index_bytes, 4, scratch);
+    std::uint32_t expected_checksum = 0;
+    std::memcpy(&expected_checksum, checksum_bytes, 4);
+    if (blocked::fnv1a(index_.data(), index_bytes) != expected_checksum)
+      throw FileError("blocked graph index checksum mismatch: " + path);
+  }
+
+  // Per-block sanity: offsets and payloads inside the data region, edge
+  // counts summing to the header's total.
+  std::uint64_t total_edges = 0;
+  for (const BlockIndexEntry& entry : index_) {
+    if (entry.offset < blocked::kFileHeaderBytes ||
+        entry.offset + blocked::kBlockHeaderBytes > index_offset ||
+        entry.payload_bytes >
+            index_offset - entry.offset - blocked::kBlockHeaderBytes)
+      throw FileError("blocked graph block out of bounds: " + path);
+    if (entry.edge_count == 0)
+      throw FileError("blocked graph has an empty block: " + path);
+    total_edges += entry.edge_count;
+  }
+  if (total_edges != header_.num_edges)
+    throw FileError("blocked graph edge count mismatch: " + path);
+}
+
+BlockedGraphReader::~BlockedGraphReader() = default;
+
+const std::uint8_t* BlockedGraphReader::read_at(
+    std::uint64_t offset, std::size_t size,
+    std::vector<std::uint8_t>& scratch) const {
+  HYVE_CHECK(offset + size <= file_size_);
+  if (mapping_->data != nullptr) return mapping_->data + offset;
+  scratch.resize(size);
+  mapping_->stream.clear();
+  mapping_->stream.seekg(static_cast<std::streamoff>(offset));
+  mapping_->stream.read(reinterpret_cast<char*>(scratch.data()),
+                        static_cast<std::streamsize>(size));
+  if (!mapping_->stream) throw FileError("read failed: " + path_);
+  return scratch.data();
+}
+
+std::shared_ptr<const std::vector<Edge>> BlockedGraphReader::fault_block_locked(
+    std::uint64_t b) const {
+  const BlockIndexEntry& entry = index_[b];
+  const std::uint8_t* head = read_at(
+      entry.offset, blocked::kBlockHeaderBytes + entry.payload_bytes,
+      scratch_);
+  BlockHeader header;
+  std::memcpy(&header, head, sizeof header);
+  if (header.magic != blocked::kBlockMagic ||
+      header.edge_count != entry.edge_count ||
+      header.payload_bytes != entry.payload_bytes)
+    throw FileError("blocked graph block header mismatch: " + path_);
+  const std::uint8_t* payload = head + blocked::kBlockHeaderBytes;
+  if (blocked::fnv1a(payload, entry.payload_bytes) != header.payload_checksum)
+    throw FileError("blocked graph block checksum mismatch: " + path_);
+
+  auto edges = std::make_shared<std::vector<Edge>>();
+  edges->reserve(entry.edge_count);
+  blocked::decode_block(payload, entry.payload_bytes, entry.edge_count,
+                        *edges);
+  for (const Edge& e : *edges)
+    if (e.src >= header_.num_vertices || e.dst >= header_.num_vertices)
+      throw FileError("edge " + std::to_string(e.src) + "->" +
+                      std::to_string(e.dst) + " out of range for V=" +
+                      std::to_string(header_.num_vertices) + ": " + path_);
+
+  ++blocks_faulted_;
+  count_metric("sim.ooc.blocks_mapped", 1);
+  count_metric("sim.ooc.bytes_faulted", entry.payload_bytes);
+  return edges;
+}
+
+void BlockedGraphReader::evict_to_budget_locked(std::uint64_t keep) const {
+  if (window_budget_ == 0) return;
+  while (window_bytes_ > window_budget_ && !lru_.empty()) {
+    // Victim: least recently used block other than the one being served.
+    auto victim_it = lru_.end();
+    for (auto it = lru_.end(); it != lru_.begin();) {
+      --it;
+      if (*it != keep) {
+        victim_it = it;
+        break;
+      }
+    }
+    if (victim_it == lru_.end()) return;  // only `keep` is resident
+    const auto node = window_.find(*victim_it);
+    window_bytes_ -= node->second.bytes;
+    lru_.erase(victim_it);
+    window_.erase(node);
+    ++window_evictions_;
+    count_metric("sim.ooc.window_evictions", 1);
+  }
+}
+
+void BlockedGraphReader::note_window_locked() const {
+  window_peak_bytes_ = std::max(window_peak_bytes_, window_bytes_);
+  gauge_metric("sim.ooc.window_bytes",
+               static_cast<std::int64_t>(window_bytes_));
+  gauge_metric("sim.ooc.window_peak_bytes",
+               static_cast<std::int64_t>(window_peak_bytes_));
+}
+
+std::shared_ptr<const std::vector<Edge>> BlockedGraphReader::block(
+    std::uint64_t b) const {
+  HYVE_CHECK_MSG(b < index_.size(),
+                 "block " << b << " out of range (" << index_.size() << ")");
+  const std::scoped_lock lock(mu_);
+  const auto it = window_.find(b);
+  if (it != window_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.edges;
+  }
+  std::shared_ptr<const std::vector<Edge>> edges = fault_block_locked(b);
+  CachedBlock cached;
+  cached.edges = edges;
+  cached.bytes = edges->size() * sizeof(Edge);
+  lru_.push_front(b);
+  cached.lru_it = lru_.begin();
+  window_bytes_ += cached.bytes;
+  window_.emplace(b, std::move(cached));
+  evict_to_budget_locked(b);
+  note_window_locked();
+  return edges;
+}
+
+void BlockedGraphReader::for_each_chunk(
+    const std::function<void(std::span<const Edge>)>& fn) const {
+  for (std::uint64_t b = 0; b < index_.size(); ++b) {
+    const std::shared_ptr<const std::vector<Edge>> edges = block(b);
+    fn(std::span<const Edge>(*edges));
+  }
+}
+
+std::size_t BlockedGraphReader::window_resident_bytes() const {
+  const std::scoped_lock lock(mu_);
+  return window_bytes_;
+}
+
+std::size_t BlockedGraphReader::window_peak_bytes() const {
+  const std::scoped_lock lock(mu_);
+  return window_peak_bytes_;
+}
+
+void BlockedGraphReader::set_window_budget(std::size_t bytes) {
+  const std::scoped_lock lock(mu_);
+  window_budget_ = bytes;
+  evict_to_budget_locked(index_.size());  // no block to protect
+  note_window_locked();
+}
+
+std::size_t BlockedGraphReader::window_budget() const {
+  const std::scoped_lock lock(mu_);
+  return window_budget_;
+}
+
+void BlockedGraphReader::release_window() {
+  const std::scoped_lock lock(mu_);
+  window_.clear();
+  lru_.clear();
+  window_bytes_ = 0;
+  note_window_locked();
+}
+
+}  // namespace hyve

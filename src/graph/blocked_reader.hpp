@@ -1,0 +1,115 @@
+// Streaming reader for HyVEgrf2 blocked graph files.
+//
+// The file is mapped read-only (mmap on POSIX, buffered pread
+// otherwise) and only the index footer is resident permanently
+// (~24 bytes per block). Decoded blocks stream through a bounded
+// window: an LRU cache of decompressed edge vectors whose total byte
+// size never exceeds the window budget (except when a single block is
+// itself larger — the window always admits the block being served).
+// That bound is what lets a ~12 GiB full-scale edge file feed the
+// pipeline from a few MiB of resident decode buffers.
+//
+// Window traffic is observable through the metrics registry:
+//   sim.ooc.blocks_mapped      blocks decoded (faults, incl. re-decodes)
+//   sim.ooc.bytes_faulted      compressed payload bytes read for those
+//   sim.ooc.window_evictions   decoded blocks dropped to hold the budget
+//   sim.ooc.window_bytes       current decoded-window residency (gauge)
+//   sim.ooc.window_peak_bytes  high-water residency over the run (gauge)
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/blocked_format.hpp"
+#include "graph/graph_source.hpp"
+
+namespace hyve {
+
+struct BlockedReaderOptions {
+  // Decoded-window byte budget (0 = unbounded). Counted in decoded
+  // Edge bytes, the memory eviction can actually free.
+  std::size_t window_bytes = 0;
+};
+
+class BlockedGraphReader final : public GraphSource {
+ public:
+  explicit BlockedGraphReader(const std::string& path,
+                              const BlockedReaderOptions& options = {});
+  ~BlockedGraphReader() override;
+
+  BlockedGraphReader(const BlockedGraphReader&) = delete;
+  BlockedGraphReader& operator=(const BlockedGraphReader&) = delete;
+
+  // GraphSource: chunks are the on-disk blocks, visited in file order
+  // through the window (so a sequential scan faults each block once).
+  VertexId num_vertices() const override { return header_.num_vertices; }
+  std::uint64_t num_edges() const override { return header_.num_edges; }
+  std::uint64_t num_chunks() const override { return index_.size(); }
+  void for_each_chunk(
+      const std::function<void(std::span<const Edge>)>& fn) const override;
+
+  std::uint64_t num_blocks() const { return index_.size(); }
+  const std::vector<blocked::BlockIndexEntry>& index() const {
+    return index_;
+  }
+  const std::string& path() const { return path_; }
+
+  // The decoded edges of block `b`, faulted through the window. The
+  // returned pointer stays valid after an eviction (the window only
+  // drops its own reference). Thread-safe.
+  std::shared_ptr<const std::vector<Edge>> block(std::uint64_t b) const;
+
+  // Current / peak decoded-window residency and whole-life counters.
+  std::size_t window_resident_bytes() const;
+  std::size_t window_peak_bytes() const;
+  std::uint64_t blocks_faulted() const { return blocks_faulted_; }
+  std::uint64_t window_evictions() const { return window_evictions_; }
+
+  // Adjusts the budget (shrinking evicts immediately).
+  void set_window_budget(std::size_t bytes);
+  std::size_t window_budget() const;
+  // Drops every decoded block (the mapping and index stay).
+  void release_window();
+
+ private:
+  struct Mapping;  // platform-specific file view
+
+  // Reads [offset, offset+size) of the file; the returned pointer is
+  // valid until the reader is destroyed (mmap) or the next read_at on
+  // the same scratch buffer (pread fallback).
+  const std::uint8_t* read_at(std::uint64_t offset, std::size_t size,
+                              std::vector<std::uint8_t>& scratch) const;
+
+  std::shared_ptr<const std::vector<Edge>> fault_block_locked(
+      std::uint64_t b) const;
+  void evict_to_budget_locked(std::uint64_t keep) const;
+  void note_window_locked() const;
+
+  std::string path_;
+  blocked::FileHeader header_;
+  std::vector<blocked::BlockIndexEntry> index_;
+  std::unique_ptr<Mapping> mapping_;
+  std::uint64_t file_size_ = 0;
+
+  mutable std::mutex mu_;  // guards the window state below
+  struct CachedBlock {
+    std::shared_ptr<const std::vector<Edge>> edges;
+    std::size_t bytes = 0;
+    std::list<std::uint64_t>::iterator lru_it;
+  };
+  mutable std::unordered_map<std::uint64_t, CachedBlock> window_;
+  mutable std::list<std::uint64_t> lru_;  // most recent at front
+  mutable std::size_t window_bytes_ = 0;
+  mutable std::size_t window_peak_bytes_ = 0;
+  mutable std::size_t window_budget_ = 0;
+  mutable std::uint64_t blocks_faulted_ = 0;
+  mutable std::uint64_t window_evictions_ = 0;
+  mutable std::vector<std::uint8_t> scratch_;  // pread fallback buffer
+};
+
+}  // namespace hyve

@@ -1,7 +1,9 @@
 #include "graph/datasets.hpp"
 
 #include <array>
+#include <bit>
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
@@ -41,9 +43,38 @@ std::filesystem::path cache_dir() {
   return std::filesystem::temp_directory_path() / "hyve-datasets-v1";
 }
 
+// Hash of every spec field that shapes the generated graph. Folded into
+// the cache filename so editing a spec (sizes, skew, seed) can never
+// silently resurrect a stale cached graph under the old name.
+std::uint64_t spec_hash(const DatasetSpec& spec) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a 64
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  };
+  for (const char* c = spec.name; *c != '\0'; ++c)
+    mix(static_cast<std::uint64_t>(*c));
+  mix(spec.vertices);
+  mix(spec.edges);
+  mix(std::bit_cast<std::uint64_t>(spec.rmat.a));
+  mix(std::bit_cast<std::uint64_t>(spec.rmat.b));
+  mix(std::bit_cast<std::uint64_t>(spec.rmat.c));
+  mix(std::bit_cast<std::uint64_t>(spec.rmat.d));
+  mix(spec.rmat.allow_self_loops ? 1 : 0);
+  mix(spec.rmat.deduplicate ? 1 : 0);
+  mix(spec.seed);
+  return h;
+}
+
 Graph generate_or_load(const DatasetSpec& spec) {
   const auto dir = cache_dir();
-  const auto file = dir / (std::string(spec.name) + ".bin");
+  char hash_hex[17];
+  std::snprintf(hash_hex, sizeof hash_hex, "%016llx",
+                static_cast<unsigned long long>(spec_hash(spec)));
+  const auto file =
+      dir / (std::string(spec.name) + "-" + hash_hex + ".bin");
   std::error_code ec;
   if (std::filesystem::exists(file, ec)) {
     try {

@@ -1,0 +1,23 @@
+#include "graph/graph_source.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace hyve {
+
+void InMemoryGraphSource::for_each_chunk(
+    const std::function<void(std::span<const Edge>)>& fn) const {
+  if (graph_->num_edges() == 0) return;
+  fn(std::span<const Edge>(graph_->edges()));
+}
+
+Graph materialize(const GraphSource& source) {
+  std::vector<Edge> edges;
+  edges.reserve(source.num_edges());
+  source.for_each_chunk([&](std::span<const Edge> chunk) {
+    edges.insert(edges.end(), chunk.begin(), chunk.end());
+  });
+  return Graph(source.num_vertices(), std::move(edges));
+}
+
+}  // namespace hyve

@@ -1,0 +1,59 @@
+// Uniform access to a graph's edges in block-sized chunks.
+//
+// HyVE consumers are edge-centric: the partitioner, the machine's
+// functional phase and the stats pass all reduce to "visit every edge
+// once, in a stable order". GraphSource captures exactly that contract,
+// so an in-memory Graph and an out-of-core blocked file (graph/
+// blocked_reader.hpp) are interchangeable wherever a full edge vector
+// is not required. Chunk boundaries are an implementation detail of the
+// source (one chunk for an in-memory graph, one on-disk block for a
+// blocked file); only the concatenated edge order is part of the
+// contract.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "graph/graph.hpp"
+
+namespace hyve {
+
+class GraphSource {
+ public:
+  virtual ~GraphSource() = default;
+
+  virtual VertexId num_vertices() const = 0;
+  virtual std::uint64_t num_edges() const = 0;
+  // Number of chunks for_each_chunk() will visit (>= 1 unless empty).
+  virtual std::uint64_t num_chunks() const = 0;
+
+  // Visits every edge chunk in order. The span is valid only for the
+  // duration of the callback — streaming sources reuse the backing
+  // buffer for the next chunk.
+  virtual void for_each_chunk(
+      const std::function<void(std::span<const Edge>)>& fn) const = 0;
+};
+
+// A Graph viewed as a single-chunk source (non-owning).
+class InMemoryGraphSource final : public GraphSource {
+ public:
+  explicit InMemoryGraphSource(const Graph& graph) : graph_(&graph) {}
+
+  VertexId num_vertices() const override { return graph_->num_vertices(); }
+  std::uint64_t num_edges() const override { return graph_->num_edges(); }
+  std::uint64_t num_chunks() const override {
+    return graph_->num_edges() == 0 ? 0 : 1;
+  }
+  void for_each_chunk(
+      const std::function<void(std::span<const Edge>)>& fn) const override;
+
+ private:
+  const Graph* graph_;
+};
+
+// Streams the source once into a full in-memory Graph. Peak transient
+// memory is the edge vector plus one chunk.
+Graph materialize(const GraphSource& source);
+
+}  // namespace hyve

@@ -76,23 +76,32 @@ VertexId VertexMap::interval_end(std::uint32_t i) const {
 }
 
 Partitioning::Partitioning(const Graph& g, VertexMap map)
+    : Partitioning(InMemoryGraphSource(g), std::move(map)) {}
+
+Partitioning::Partitioning(const GraphSource& source, VertexMap map)
     : map_(std::move(map)) {
-  HYVE_CHECK_MSG(map_.num_vertices() == g.num_vertices(),
+  HYVE_CHECK_MSG(map_.num_vertices() == source.num_vertices(),
                  "vertex map covers " << map_.num_vertices()
                                       << " vertices but the graph has "
-                                      << g.num_vertices());
+                                      << source.num_vertices());
 
-  // Counting sort of edges by block index.
+  // Counting sort of edges by block index: one streamed pass to count,
+  // one to place. Only the grouped output vector is ever resident.
   const std::uint64_t blocks = num_blocks();
   offsets_.assign(blocks + 1, 0);
-  for (const Edge& e : g.edges())
-    ++offsets_[block_index(interval_of(e.src), interval_of(e.dst)) + 1];
+  source.for_each_chunk([&](std::span<const Edge> chunk) {
+    for (const Edge& e : chunk)
+      ++offsets_[block_index(interval_of(e.src), interval_of(e.dst)) + 1];
+  });
   for (std::uint64_t b = 0; b < blocks; ++b) offsets_[b + 1] += offsets_[b];
 
-  edges_.resize(g.num_edges());
+  edges_.resize(source.num_edges());
   std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
-  for (const Edge& e : g.edges())
-    edges_[cursor[block_index(interval_of(e.src), interval_of(e.dst))]++] = e;
+  source.for_each_chunk([&](std::span<const Edge> chunk) {
+    for (const Edge& e : chunk)
+      edges_[cursor[block_index(interval_of(e.src), interval_of(e.dst))]++] =
+          e;
+  });
 }
 
 namespace {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/graph_source.hpp"
 
 namespace hyve {
 
@@ -81,6 +82,13 @@ class Partitioning {
   // Groups g's edges into P*P blocks with a counting sort over `map`
   // (which must cover exactly g's vertices).
   Partitioning(const Graph& g, VertexMap map);
+
+  // Streaming equivalent: two passes over the source's edge chunks (one
+  // to count, one to place), so an out-of-core graph is partitioned
+  // without ever holding its unpartitioned edge vector. The grouped
+  // layout is identical to the Graph overload's (the counting sort is
+  // stable in chunk order).
+  Partitioning(const GraphSource& source, VertexMap map);
 
   // Convenience: the paper's equal-width interval-block split. P >= 1
   // and P <= V (unless V == 0).

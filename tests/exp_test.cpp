@@ -6,12 +6,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "core/report_io.hpp"
 #include "exp/sweep.hpp"
+#include "graph/blocked_format.hpp"
 #include "graph/generators.hpp"
 #include "util/check.hpp"
 
@@ -342,6 +344,43 @@ TEST(CacheEviction, GraphCachePinnedAndDatasetEntriesAreExempt) {
   cache.acquire("YT");
   EXPECT_EQ(cache.acquire("pinned").get(), pinned_before);
   EXPECT_GE(cache.evictions(), evictions);
+}
+
+TEST(CacheEviction, GraphCacheServesBlockedFilesThroughWindow) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("hyve-exp-blocked-" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string file = (dir / "g.hgb").string();
+  const Graph g = generate_rmat(1000, 20000, {}, 21);
+  blocked::WriteOptions options;
+  options.block_edges = 1024;
+  blocked::write_blocked(g, file, options);
+
+  exp::GraphCache cache;
+  cache.set_ooc_window_budget(16 * 1024);
+  cache.add_blocked("ooc", file);
+
+  // The reader streams with the configured window bound.
+  const auto reader = cache.acquire_blocked("ooc");
+  EXPECT_EQ(reader->window_budget(), 16u * 1024u);
+  EXPECT_GT(reader->num_blocks(), 4u);
+
+  // acquire() materialises the same edges the in-memory graph holds,
+  // and the decode window never exceeds its budget doing so.
+  const auto materialised = cache.acquire("ooc");
+  EXPECT_EQ(materialised->edges(), g.edges());
+  EXPECT_LE(reader->window_peak_bytes(), 16u * 1024u);
+
+  // Window residency is part of the cache's resident bytes; a tiny
+  // byte budget forces the materialised copy out and then drains the
+  // window too, after which the entry is still rebuildable.
+  EXPECT_GE(cache.resident_bytes(), reader->window_resident_bytes());
+  cache.set_byte_budget(1);
+  EXPECT_EQ(reader->window_resident_bytes(), 0u);
+  EXPECT_EQ(cache.acquire("ooc")->edges(), g.edges());
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
 }
 
 TEST(CacheEviction, SweepUnderTightCachesStaysDeterministic) {

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <string>
 
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -99,6 +101,103 @@ TEST_F(IoTest, BinaryTruncatedThrows) {
   std::filesystem::resize_file(path("t.bin"),
                                std::filesystem::file_size(path("t.bin")) / 2);
   EXPECT_THROW(load_graph_binary(path("t.bin")), std::runtime_error);
+}
+
+// --- corruption suite: untrusted headers and payloads fail loudly ---
+
+// Patches `size` bytes at `offset` in an existing file.
+void patch_file(const std::string& path, std::uint64_t offset,
+                const void* data, std::size_t size) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.is_open());
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+  ASSERT_TRUE(f.good());
+}
+
+// Binary header layout: magic u64 @0, version u32 @8, V u32 @12, E u64 @16.
+constexpr std::uint64_t kEdgeCountOffset = 16;
+constexpr std::uint64_t kHeaderBytes = 24;
+
+TEST_F(IoTest, BinaryOversizedEdgeCountThrows) {
+  // A corrupt multi-billion edge count must be rejected against the file
+  // size before any allocation happens — not discovered via bad_alloc.
+  const Graph g = generate_rmat(100, 400, {}, 4);
+  save_graph_binary(g, path("o.bin"));
+  const std::uint64_t huge = std::uint64_t{1} << 40;
+  patch_file(path("o.bin"), kEdgeCountOffset, &huge, sizeof huge);
+  EXPECT_THROW(load_graph_binary(path("o.bin")), FileError);
+}
+
+TEST_F(IoTest, BinaryBitFlippedHeaderThrows) {
+  const Graph g = generate_rmat(100, 400, {}, 5);
+  save_graph_binary(g, path("f.bin"));
+  // Flip one bit of the magic; the loader must not fall through to the
+  // edge array.
+  std::ifstream in(path("f.bin"), std::ios::binary);
+  char byte = 0;
+  in.read(&byte, 1);
+  in.close();
+  byte = static_cast<char>(byte ^ 0x01);
+  patch_file(path("f.bin"), 0, &byte, 1);
+  EXPECT_THROW(load_graph_binary(path("f.bin")), FileError);
+}
+
+TEST_F(IoTest, BinaryTrailingBytesThrow) {
+  const Graph g = generate_rmat(100, 400, {}, 6);
+  save_graph_binary(g, path("x.bin"));
+  std::ofstream app(path("x.bin"), std::ios::binary | std::ios::app);
+  app << "junk";
+  app.close();
+  EXPECT_THROW(load_graph_binary(path("x.bin")), FileError);
+}
+
+TEST_F(IoTest, BinaryOutOfRangeEndpointThrows) {
+  // Hand-built file: V=5 but an edge targets vertex 9. Every endpoint
+  // must be validated before the Graph is constructed.
+  std::ofstream out(path("r.bin"), std::ios::binary);
+  const std::uint64_t magic = 0x48795645'67726630ULL;  // "HyVEgrf0"
+  const std::uint32_t version = 1;
+  const std::uint32_t v = 5;
+  const std::uint64_t e = 1;
+  const std::uint32_t edge[2] = {9, 0};  // src out of range
+  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  out.write(reinterpret_cast<const char*>(&version), sizeof version);
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+  out.write(reinterpret_cast<const char*>(&e), sizeof e);
+  out.write(reinterpret_cast<const char*>(edge), sizeof edge);
+  out.close();
+  ASSERT_EQ(std::filesystem::file_size(path("r.bin")), kHeaderBytes + 8);
+  EXPECT_THROW(load_graph_binary(path("r.bin")), FileError);
+}
+
+TEST_F(IoTest, TextHugeIdThrowsNamingLine) {
+  std::ofstream out(path("big.txt"));
+  out << "0 1\n0 4294967295\n";  // id == 2^32 - 1 cannot fit max(id)+1
+  out.close();
+  try {
+    load_edge_list_text(path("big.txt"));
+    FAIL() << "expected FileError";
+  } catch (const FileError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(IoTest, TextHugeDeclaredNodeCountThrows) {
+  std::ofstream out(path("bign.txt"));
+  out << "# Nodes: 5000000000 Edges: 1\n0 1\n";
+  out.close();
+  EXPECT_THROW(load_edge_list_text(path("bign.txt")), FileError);
+}
+
+TEST_F(IoTest, AutoDispatchesByContent) {
+  const Graph g = generate_rmat(300, 1200, {}, 7);
+  // Extensions deliberately lie: auto dispatch sniffs the magic bytes.
+  save_graph_binary(g, path("a.graph"));
+  save_edge_list_text(g, path("b.graph"));
+  EXPECT_EQ(load_graph_auto(path("a.graph")).edges(), g.edges());
+  EXPECT_EQ(load_graph_auto(path("b.graph")).edges(), g.edges());
 }
 
 }  // namespace
