@@ -15,6 +15,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <functional>
@@ -24,6 +25,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <type_traits>
 #include <utility>
@@ -34,6 +36,7 @@
 #include "exp/cache.hpp"
 #include "exp/sweep.hpp"
 #include "graph/datasets.hpp"
+#include "obs/host_profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -110,9 +113,11 @@ inline void record_report(const std::string& graph_key,
 //   --functional-cache-mb N  byte budget for the functional cache
 //   --cache-stats         print cache counters to stderr after the run
 //   --metrics             dump the full metrics registry to stderr
+//   --host-profile        wall-clock spans, memory sampling and stage
+//                         rates (host.* metrics; extra trace track)
 //   --trace PATH          write a Chrome trace-event JSON of the run
 //   --json PATH           write a versioned bench report JSON of the run
-//                         (validate/diff with hyve_report)
+//                         (validate/diff/record with hyve_report)
 struct Options {
   int jobs = 1;
   bool smoke = false;
@@ -120,16 +125,25 @@ struct Options {
   bool functional_cache = false;
   bool cache_stats = false;
   bool metrics = false;
+  bool host_profile = false;          // --host-profile was given
   std::string trace_path;
   std::shared_ptr<obs::Trace> trace;  // set when --trace was given
   std::string json_path;              // set when --json was given
   std::string bench_name;             // the binary's prog name
+  int resolved_jobs = 1;              // jobs with 0 resolved to the machine
+  // Process wall-clock epoch for the report's host section, pinned at
+  // parse_args time (≈ process start).
+  std::chrono::steady_clock::time_point started =
+      std::chrono::steady_clock::now();
 
   // Emits the requested telemetry. Everything goes to stderr (or the
   // --trace file) so stdout keeps the byte-identical --jobs guarantee
   // (wall times and eviction order depend on worker scheduling). Call at
   // the end of main().
   void finish() const {
+    // Stop before the trace/report writes so host.wall_us, the rate
+    // gauges, and the final memory sample land in both.
+    if (host_profile) obs::host_profiler().stop();
     if (cache_stats || metrics) {
       obs::Registry& reg = obs::registry();
       // The instantaneous occupancy gauges are refreshed here so the
@@ -216,6 +230,17 @@ struct Options {
                                }),
                    doc.runs.end());
     for (const BenchRun& run : doc.runs) doc.ledger_rollup += run.report.ledger;
+    // The host section is the one wall-clock corner of the report —
+    // always filled, so any --json run is recordable into the perf
+    // history without extra flags. Deterministic byte-diffs strip the
+    // single "host":{...} object (scripts/verify.sh does).
+    doc.host.present = true;
+    doc.host.wall_ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+    doc.host.max_rss_kb = obs::read_host_memory().peak_rss_kb;
+    doc.host.jobs = resolved_jobs;
     std::istringstream dump(obs::registry().dump_string());
     std::string line;
     while (std::getline(dump, line)) {
@@ -307,6 +332,11 @@ inline Options parse_args(int argc, char** argv, const std::string& prog,
               &opts.cache_stats);
   parser.flag("--metrics", "dump the metrics registry to stderr",
               &opts.metrics);
+  parser.flag("--host-profile",
+              "profile the host process: wall-clock spans, RSS sampling "
+              "and stage rates as host.* metrics (and a wall-clock trace "
+              "track with --trace)",
+              &opts.host_profile);
   parser.option("--trace", "PATH",
                 "write a Chrome trace-event JSON (chrome://tracing, "
                 "Perfetto) of the sweep to PATH",
@@ -321,10 +351,20 @@ inline Options parse_args(int argc, char** argv, const std::string& prog,
   // in the hot paths unless one of these flags asks for it. Enabling
   // happens before any cell runs, so registry counters match the
   // caches' own whole-run counters.
-  if (opts.cache_stats || opts.metrics || !opts.json_path.empty())
+  if (opts.cache_stats || opts.metrics || !opts.json_path.empty() ||
+      opts.host_profile)
     obs::set_enabled(true);
-  if (!opts.trace_path.empty()) opts.trace = std::make_shared<obs::Trace>();
+  if (!opts.trace_path.empty()) {
+    opts.trace = std::make_shared<obs::Trace>();
+    add_attribution_metadata(*opts.trace, argc, argv);
+  }
   if (!opts.json_path.empty()) json_collector().enabled = true;
+  opts.resolved_jobs =
+      opts.jobs == 0
+          ? static_cast<int>(
+                std::max(1u, std::thread::hardware_concurrency()))
+          : opts.jobs;
+  if (opts.host_profile) obs::host_profiler().start(opts.trace.get());
   if (opts.functional_cache)
     functional_cache_if_enabled() = &functional_cache();
   // Without --graph-cache-mb the budget is sized from the machine

@@ -41,7 +41,12 @@ echo "obs-smoke: OK"
   >/dev/null 2>&1
 ./build/tools/hyve_report --check "$obs_dir/bench_j1.json" >/dev/null ||
   { echo "bench-json: --check rejected a fresh report" >&2; exit 1; }
-cmp "$obs_dir/bench_j1.json" "$obs_dir/bench_j8.json" ||
+# The single "host":{...} object is the report's only wall-clock
+# content; strip it and the rest must be byte-identical across --jobs.
+strip_host() { sed 's/,"host":{[^}]*}//' "$1"; }
+strip_host "$obs_dir/bench_j1.json" > "$obs_dir/bench_j1.nohost"
+strip_host "$obs_dir/bench_j8.json" > "$obs_dir/bench_j8.nohost"
+cmp "$obs_dir/bench_j1.nohost" "$obs_dir/bench_j8.nohost" ||
   { echo "bench-json: --jobs 1 and --jobs 8 reports differ" >&2; exit 1; }
 ./build/tools/hyve_report --compare "$obs_dir/bench_j1.json" \
   "$obs_dir/bench_j8.json" >/dev/null ||
@@ -70,7 +75,9 @@ grep -q 'functional cache: hits=' "$obs_dir/exp_stats.txt" ||
   --json "$obs_dir/bench_nofc.json" > "$obs_dir/bench_nofc.out" 2>/dev/null
 cmp "$obs_dir/bench_fc.out" "$obs_dir/bench_nofc.out" ||
   { echo "functional-cache: bench stdout differs with cache on" >&2; exit 1; }
-cmp "$obs_dir/bench_fc.json" "$obs_dir/bench_nofc.json" ||
+strip_host "$obs_dir/bench_fc.json" > "$obs_dir/bench_fc.nohost"
+strip_host "$obs_dir/bench_nofc.json" > "$obs_dir/bench_nofc.nohost"
+cmp "$obs_dir/bench_fc.nohost" "$obs_dir/bench_nofc.nohost" ||
   { echo "functional-cache: bench --json differs with cache on" >&2; exit 1; }
 echo "functional-cache: OK"
 
@@ -128,6 +135,43 @@ cut -d, -f2- "$obs_dir/ooc_bin.csv" > "$obs_dir/ooc_bin.cut"
 cmp "$obs_dir/ooc_mem.cut" "$obs_dir/ooc_bin.cut" ||
   { echo "ooc-smoke: blocked->bin convert changed the graph" >&2; exit 1; }
 echo "ooc-smoke: OK"
+
+# perf-history: record two smoke reports into a throwaway ledger, the
+# trend must pass; a sed-injected wall-clock regression appended as a
+# third record must flip the trend's exit code. Then the dashboard:
+# hyve_dash output must be byte-identical for reports produced with
+# different --jobs (the host object is excluded by default).
+hist_dir="$obs_dir/history"
+./build/bench/bench_fig10 --smoke --jobs 1 --host-profile \
+  --json "$obs_dir/perf_a.json" >/dev/null 2>&1
+./build/bench/bench_fig10 --smoke --jobs 1 \
+  --json "$obs_dir/perf_b.json" >/dev/null 2>&1
+./build/tools/hyve_report --record "$obs_dir/perf_a.json" \
+  --history "$hist_dir" >/dev/null ||
+  { echo "perf-history: --record rejected a fresh report" >&2; exit 1; }
+./build/tools/hyve_report --record "$obs_dir/perf_b.json" \
+  --history "$hist_dir" >/dev/null
+./build/tools/hyve_report --trend "$hist_dir" >/dev/null ||
+  { echo "perf-history: clean ledger flagged as regressed" >&2; exit 1; }
+tail -n 1 "$hist_dir/bench_fig10.jsonl" |
+  sed 's/"wall_ms":[0-9.eE+-]*/"wall_ms":9.9e9/' \
+  >> "$hist_dir/bench_fig10.jsonl"
+if ./build/tools/hyve_report --trend "$hist_dir" >/dev/null; then
+  echo "perf-history: injected wall-clock regression not flagged" >&2
+  exit 1
+fi
+./build/bench/bench_fig10 --smoke --jobs 8 \
+  --json "$obs_dir/perf_j8.json" >/dev/null 2>&1
+./build/tools/hyve_dash "$obs_dir/perf_b.json" \
+  --out "$obs_dir/dash_j1.html" >/dev/null 2>&1 ||
+  { echo "perf-history: hyve_dash failed" >&2; exit 1; }
+./build/tools/hyve_dash "$obs_dir/perf_j8.json" \
+  --out "$obs_dir/dash_j8.html" >/dev/null 2>&1
+cmp "$obs_dir/dash_j1.html" "$obs_dir/dash_j8.html" ||
+  { echo "perf-history: dashboard differs across --jobs" >&2; exit 1; }
+grep -q '<html>' "$obs_dir/dash_j1.html" ||
+  { echo "perf-history: dashboard is not HTML" >&2; exit 1; }
+echo "perf-history: OK"
 
 cmake -B build-tsan -S . -DHYVE_SANITIZE=thread
 cmake --build build-tsan -j

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "core/report_io.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace hyve {
@@ -137,6 +138,26 @@ std::string build_git_rev() {
 #endif
 }
 
+std::string build_type() {
+#ifdef HYVE_BUILD_TYPE
+  return HYVE_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+void add_attribution_metadata(obs::Trace& trace, int argc,
+                              const char* const* argv) {
+  std::string cmdline;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0) cmdline += ' ';
+    cmdline += argv[i];
+  }
+  trace.metadata("run_attribution", {{"build_type", build_type()},
+                                     {"cmdline", cmdline},
+                                     {"git_rev", build_git_rev()}});
+}
+
 std::string bench_report_to_json(const BenchReportDoc& doc) {
   // Refuse to serialise anything the checker would reject.
   for (const BenchRun& run : doc.runs) {
@@ -152,6 +173,14 @@ std::string bench_report_to_json(const BenchReportDoc& doc) {
   os << ",\"git_rev\":";
   write_escaped(os, doc.git_rev);
   os << ",\"smoke\":" << (doc.smoke ? "true" : "false");
+  if (doc.host.present) {
+    // The one wall-clock-dependent object; a single "host":{...} group
+    // of numeric fields so byte-diff scripts can strip it wholesale.
+    os << ",\"host\":{\"jobs\":" << doc.host.jobs
+       << ",\"max_rss_kb\":" << doc.host.max_rss_kb
+       << ",\"wall_ms\":" << std::setprecision(12) << doc.host.wall_ms
+       << '}';
+  }
   os << ",\"datasets\":[";
   for (std::size_t i = 0; i < doc.datasets.size(); ++i) {
     if (i > 0) os << ',';
@@ -217,6 +246,16 @@ BenchReportDoc bench_report_from_json(const std::string& json) {
     throw std::runtime_error("bench report: smoke is \"" + smoke +
                              "\", expected true or false");
   doc.smoke = smoke == "true";
+
+  if (fields.count("host.jobs") != 0) {
+    doc.host.present = true;
+    doc.host.jobs = static_cast<int>(get_num(fields, "host.jobs"));
+    doc.host.max_rss_kb =
+        static_cast<std::uint64_t>(get_num(fields, "host.max_rss_kb"));
+    doc.host.wall_ms = get_num(fields, "host.wall_ms");
+    if (doc.host.wall_ms < 0 || doc.host.jobs < 0)
+      throw std::runtime_error("bench report: negative host measurement");
+  }
 
   for (std::size_t i = 0;; ++i) {
     const auto it = fields.find("datasets." + std::to_string(i));
@@ -338,8 +377,10 @@ std::string format_bench_compare(const BenchCompareResult& result,
   }
   for (const std::string& key : result.added) os << key << " added\n";
   for (const std::string& key : result.removed) os << key << " removed\n";
-  os << result.cells_compared << " cells compared, " << result.regressions
-     << " regression(s) beyond " << threshold_pct << "%\n";
+  os << result.cells_compared << " cells compared, " << result.added.size()
+     << " added, " << result.removed.size() << " removed, "
+     << result.regressions << " regression(s) beyond " << threshold_pct
+     << "%\n";
   return os.str();
 }
 

@@ -23,16 +23,36 @@
 
 namespace hyve {
 
+namespace obs {
+class Trace;
+}  // namespace obs
+
 inline constexpr int kBenchReportSchemaVersion = 1;
 inline constexpr const char* kBenchReportSchemaName = "hyve-bench-report";
 
 // The git revision the binary was configured from ("unknown" outside a
 // checkout).
 std::string build_git_rev();
+// The CMake build type the binary was configured with ("unknown" when
+// not recorded).
+std::string build_type();
 
 struct BenchRun {
   std::string graph_key;  // GraphCache key, usually the dataset name
   RunReport report;
+};
+
+// Host-side measurements of the producing process. This is the ONLY
+// wall-clock-dependent corner of a bench report, kept to three numeric
+// fields so deterministic byte-diffs can strip the single
+// "host":{...} object and compare the rest (scripts/verify.sh does).
+// Strings about the machine (hostname, cpu model) deliberately live in
+// the perf-history record, not here.
+struct BenchHostInfo {
+  bool present = false;        // host object emitted / found on parse
+  double wall_ms = 0;          // bench wall time, parse to report write
+  std::uint64_t max_rss_kb = 0;  // VmHWM at report time (0 if unreadable)
+  int jobs = 0;                // resolved worker count the bench ran with
 };
 
 struct BenchReportDoc {
@@ -49,6 +69,9 @@ struct BenchReportDoc {
   // counts), never exp.* (wall clock, scheduling). Values are the dump's
   // raw numeric tokens.
   std::map<std::string, std::string> metrics;
+  // Wall-clock/RSS of the producing run; optional for hand-built docs,
+  // always filled by the bench harness.
+  BenchHostInfo host;
 };
 
 // Serialises the document (single line). Validates every run's ledger
@@ -97,5 +120,12 @@ BenchCompareResult compare_bench_reports(const BenchReportDoc& old_doc,
 // summary line.
 std::string format_bench_compare(const BenchCompareResult& result,
                                  double threshold_pct);
+
+// Attaches a "run_attribution" metadata event to the trace: git_rev,
+// build_type, and the full command line joined with spaces. Sorts with
+// the other metadata events at the top of the written file, so a trace
+// always says which binary, flags, and build produced it.
+void add_attribution_metadata(obs::Trace& trace, int argc,
+                              const char* const* argv);
 
 }  // namespace hyve

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "memmodel/techparams.hpp"
+#include "obs/host_profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "sim/pipeline.hpp"
@@ -151,6 +152,7 @@ std::size_t FunctionalOutcome::approx_bytes() const {
 FunctionalOutcome HyveMachine::run_functional_phase(
     const Graph& graph, const Partitioning& schedule,
     VertexProgram& program) const {
+  const obs::HostSpan host_span("machine.functional");
   HYVE_CHECK_MSG(schedule.num_vertices() == graph.num_vertices(),
                  "schedule built for a different graph");
   const std::uint32_t p =
@@ -175,6 +177,7 @@ RunReport HyveMachine::run_with_functional(const Graph& graph,
                                            const FunctionalOutcome& functional,
                                            obs::Trace* trace,
                                            std::uint32_t trace_pid) const {
+  const obs::HostSpan host_span("machine.run");
   HYVE_CHECK_MSG(schedule.num_vertices() == graph.num_vertices(),
                  "schedule built for a different graph");
   const std::uint32_t p =

@@ -1,0 +1,120 @@
+// Cross-commit perf trajectory: an append-only ledger of bench runs.
+//
+// A bench report (core/bench_json.hpp) is one run at one commit. The
+// perf history is the trajectory: `hyve_report --record` folds each
+// report into one PerfRecord — headline numbers plus provenance (git
+// rev, host fingerprint, jobs, timestamp) — appended as one JSON line
+// to <dir>/<bench>.jsonl. Records are tiny and self-identifying, so
+// the ledger survives schema-stable across commits and machines, and
+// `--trend` / `--compare-to-baseline` can flag regressions without the
+// original reports.
+//
+// Comparability: wall-clock numbers only mean something against the
+// same machine and worker count, so trend analysis compares the latest
+// record only against prior records with the same (hostname, jobs,
+// smoke) signature and says so when none match.
+//
+// Named baselines are single-record files under <dir>/baselines/,
+// pinned snapshots for "never regress past the v1.2 numbers" checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hyve {
+
+struct BenchReportDoc;
+
+inline constexpr int kPerfHistorySchemaVersion = 1;
+inline constexpr const char* kPerfHistorySchemaName = "hyve-perf-history";
+
+// One bench run summarised for the trajectory ledger.
+struct PerfRecord {
+  std::string bench;        // producing binary, e.g. "bench_fig10"
+  std::string git_rev;      // commit of the producing binary
+  std::string recorded_at;  // ISO-8601 UTC at --record time
+  std::string hostname;     // measuring machine (fingerprint)
+  std::string cpu_model;    // "" when /proc/cpuinfo is unreadable
+  std::uint64_t cpus = 0;   // hardware threads on the machine
+  std::int64_t jobs = 0;    // resolved worker count of the run
+  bool smoke = false;       // smoke-sized run, not a measurement
+  std::uint64_t cells = 0;  // simulated cells in the report
+  // Headline numbers. wall_ms/max_rss_kb are host-side (lower is
+  // better); energy_pj/exec_time_ns are simulated totals, carried for
+  // context and compared only across identical grids.
+  double wall_ms = 0;
+  std::uint64_t max_rss_kb = 0;
+  double energy_pj = 0;
+  double exec_time_ns = 0;
+};
+
+// The ledger-relevant summary of a parsed report. Provenance fields the
+// report does not carry (recorded_at, host fingerprint) stay empty for
+// the caller to fill.
+PerfRecord perf_record_from_report(const BenchReportDoc& doc);
+
+// Single-line JSON with sorted keys; parse validates schema and types
+// and throws std::runtime_error naming the problem.
+std::string perf_record_to_json(const PerfRecord& record);
+PerfRecord perf_record_from_json(const std::string& json);
+
+// The ledger file for a bench under the history directory.
+std::string perf_history_path(const std::string& dir,
+                              const std::string& bench);
+
+// Appends one record line to <dir>/<bench>.jsonl, creating the
+// directory when missing. Round-trips the record first, so a line the
+// parser would reject never reaches the ledger.
+void append_perf_record(const std::string& dir, const PerfRecord& record);
+
+// All records of one ledger file in append order. Throws on unreadable
+// files or any malformed line (the ledger is append-only and proofed on
+// write, so a bad line means outside interference worth failing on).
+std::vector<PerfRecord> load_perf_history(const std::string& path);
+
+// Every ledger under the history directory, sorted by bench name.
+std::vector<std::string> list_perf_histories(const std::string& dir);
+
+// Named baseline snapshots: single-record files under <dir>/baselines/.
+void save_perf_baseline(const std::string& dir, const std::string& name,
+                        const PerfRecord& record);
+PerfRecord load_perf_baseline(const std::string& dir,
+                              const std::string& name);
+
+// One headline metric of the latest record vs its reference value.
+struct PerfTrendLine {
+  std::string metric;      // "wall_ms", "max_rss_kb", ...
+  double reference = 0;    // median of comparable priors, or baseline
+  double latest = 0;
+  double delta_pct = 0;    // (latest - reference) / reference * 100
+  bool regressed = false;  // beyond threshold in the worse direction
+};
+
+struct PerfTrendResult {
+  std::string bench;
+  std::size_t records = 0;     // ledger length
+  std::size_t comparable = 0;  // priors matching the latest's signature
+  std::vector<PerfTrendLine> lines;
+  std::size_t regressions = 0;
+  std::string note;  // why nothing was compared, when comparable == 0
+};
+
+// Latest record vs the median of prior records with the same
+// (hostname, jobs, smoke) signature. wall_ms and max_rss_kb regress
+// when they grow more than threshold_pct percent; energy_pj and
+// exec_time_ns are additionally compared when the cell count matches
+// (different grids are incomparable).
+PerfTrendResult trend_perf_history(const std::vector<PerfRecord>& records,
+                                   double threshold_pct);
+
+// Latest record vs one pinned baseline record, same metric rules.
+PerfTrendResult compare_to_baseline(const PerfRecord& baseline,
+                                    const PerfRecord& latest,
+                                    double threshold_pct);
+
+// Human-readable rendering, one line per metric plus a summary line.
+std::string format_perf_trend(const PerfTrendResult& result,
+                              double threshold_pct);
+
+}  // namespace hyve

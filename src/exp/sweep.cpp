@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "core/report_io.hpp"
+#include "obs/host_profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -210,11 +211,20 @@ std::vector<SweepResult> SweepEngine::run(const SweepSpec& spec,
           .set(in_flight.fetch_add(1, std::memory_order_relaxed) + 1);
     // pid 0 would collide with the default single-run pid of 1 for the
     // first cell only; cell index + 1 keeps every cell distinct anyway.
-    RunReport report = run_cached(graphs_, partitions_, cells[i].config,
-                                  cells[i].algorithm, cells[i].graph_key,
-                                  options.trace,
-                                  static_cast<std::uint32_t>(i) + 1,
-                                  functional_);
+    std::optional<RunReport> cell_report;
+    {
+      const obs::HostSpan host_span("sweep.cell");
+      cell_report = run_cached(graphs_, partitions_, cells[i].config,
+                               cells[i].algorithm, cells[i].graph_key,
+                               options.trace,
+                               static_cast<std::uint32_t>(i) + 1,
+                               functional_);
+    }
+    RunReport report = std::move(*cell_report);
+    if (obs::host_profiler().enabled()) {
+      obs::host_profiler().count("cells", 1);
+      obs::host_profiler().count("edges", report.edges_traversed);
+    }
     if (obs::enabled()) {
       static obs::Counter& cells_done =
           obs::registry().counter("exp.sweep.cells");

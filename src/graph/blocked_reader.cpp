@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "graph/io.hpp"
+#include "obs/host_profiler.hpp"
 #include "obs/registry.hpp"
 #include "util/check.hpp"
 
@@ -173,6 +174,8 @@ const std::uint8_t* BlockedGraphReader::read_at(
 
 std::shared_ptr<const std::vector<Edge>> BlockedGraphReader::fault_block_locked(
     std::uint64_t b) const {
+  const obs::HostSpan host_span("ooc.fault");
+  obs::host_profiler().count("ooc_blocks", 1);
   const BlockIndexEntry& entry = index_[b];
   const std::uint8_t* head = read_at(
       entry.offset, blocked::kBlockHeaderBytes + entry.payload_bytes,

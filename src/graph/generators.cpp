@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "graph/io.hpp"
+#include "obs/host_profiler.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -49,6 +50,7 @@ Edge rmat_edge(VertexId scale_pow2, const RmatParams& p, Rng& rng) {
 
 Graph generate_rmat(VertexId num_vertices, std::uint64_t target_edges,
                     const RmatParams& params, std::uint64_t seed) {
+  const obs::HostSpan host_span("rmat.generate");
   HYVE_CHECK(num_vertices > 1);
   const double sum = params.a + params.b + params.c + params.d;
   HYVE_CHECK_MSG(std::abs(sum - 1.0) < 1e-9, "R-MAT probabilities sum to "
@@ -81,6 +83,7 @@ Graph generate_rmat(VertexId num_vertices, std::uint64_t target_edges,
   }
   if (params.deduplicate && edges.size() > target_edges)
     edges.resize(target_edges);
+  obs::host_profiler().count("rmat_edges", edges.size());
   return Graph(num_vertices, std::move(edges));
 }
 
@@ -184,6 +187,8 @@ void generate_rmat_blocked(const std::string& path, VertexId num_vertices,
                            std::uint64_t target_edges,
                            const RmatParams& params, std::uint64_t seed,
                            const RmatChunkOptions& options) {
+  const obs::HostSpan host_span("rmat.generate");
+  obs::host_profiler().count("rmat_edges", target_edges);
   HYVE_CHECK(num_vertices > 1);
   HYVE_CHECK(options.chunk_edges > 0);
   const double sum = params.a + params.b + params.c + params.d;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/host_profiler.hpp"
 #include "util/check.hpp"
 
 namespace hyve {
@@ -80,6 +81,7 @@ Partitioning::Partitioning(const Graph& g, VertexMap map)
 
 Partitioning::Partitioning(const GraphSource& source, VertexMap map)
     : map_(std::move(map)) {
+  const obs::HostSpan host_span("partition.build");
   HYVE_CHECK_MSG(map_.num_vertices() == source.num_vertices(),
                  "vertex map covers " << map_.num_vertices()
                                       << " vertices but the graph has "

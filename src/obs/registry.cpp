@@ -1,5 +1,8 @@
 #include "obs/registry.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
 #include <ostream>
 #include <sstream>
 
@@ -16,10 +19,27 @@ void set_enabled(bool on) {
   g_enabled.store(on, std::memory_order_relaxed);
 }
 
+std::size_t Histogram::bucket_index(std::uint64_t sample) {
+  if (sample < 16) return static_cast<std::size_t>(sample);
+  const int msb = 63 - std::countl_zero(sample);  // >= kFirstOctave
+  const auto sub = static_cast<std::size_t>(
+      (sample >> (msb - kFirstOctave)) & (kSubBuckets - 1));
+  return 16 +
+         static_cast<std::size_t>(msb - kFirstOctave) * kSubBuckets + sub;
+}
+
+std::uint64_t Histogram::bucket_lower_bound(std::size_t index) {
+  if (index < 16) return index;
+  const std::size_t octave = (index - 16) / kSubBuckets + kFirstOctave;
+  const std::uint64_t sub = (index - 16) % kSubBuckets;
+  return (std::uint64_t{1} << octave) + (sub << (octave - kFirstOctave));
+}
+
 void Histogram::observe(std::uint64_t sample) {
   if (!enabled()) return;
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(sample, std::memory_order_relaxed);
+  buckets_[bucket_index(sample)].fetch_add(1, std::memory_order_relaxed);
   std::uint64_t seen = min_.load(std::memory_order_relaxed);
   while (sample < seen &&
          !min_.compare_exchange_weak(seen, sample,
@@ -37,11 +57,30 @@ std::uint64_t Histogram::min() const {
   return v == kEmptyMin ? 0 : v;
 }
 
+std::uint64_t Histogram::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the q-quantile sample (1-based, ceil): the smallest rank
+  // covering a fraction q of the population.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) return bucket_lower_bound(b);
+  }
+  return max();  // count/bucket skew mid-update; max is the safe answer
+}
+
 void Histogram::reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
   min_.store(kEmptyMin, std::memory_order_relaxed);
   max_.store(0, std::memory_order_relaxed);
+  for (std::atomic<std::uint64_t>& bucket : buckets_)
+    bucket.store(0, std::memory_order_relaxed);
 }
 
 void Registry::claim(const std::string& name, Kind kind) {
@@ -97,6 +136,9 @@ void Registry::dump(std::ostream& os) const {
            << name << ".count=" << h.count() << '\n'
            << name << ".max=" << h.max() << '\n'
            << name << ".min=" << h.min() << '\n'
+           << name << ".p50=" << h.quantile(0.50) << '\n'
+           << name << ".p95=" << h.quantile(0.95) << '\n'
+           << name << ".p99=" << h.quantile(0.99) << '\n'
            << name << ".sum=" << h.sum() << '\n';
         break;
       }

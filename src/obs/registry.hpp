@@ -21,6 +21,7 @@
 // reflect whatever ran; the *key set and order* are what is stable.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
@@ -66,9 +67,13 @@ class Gauge {
   std::atomic<std::int64_t> value_{0};
 };
 
-// Count / sum / min / max over integer samples (e.g. microseconds,
-// edge counts). No buckets: the simulator's consumers want totals and
-// extremes, and four atomics keep observe() cheap and TSan-clean.
+// Count / sum / min / max / quantiles over integer samples (e.g.
+// microseconds, edge counts). Samples land in log-linear buckets —
+// exact below 16, then 16 sub-buckets per power of two (≤ 6.25%
+// relative error) — so quantile() is a deterministic function of the
+// observed multiset: the same samples yield the same p50/p95/p99
+// regardless of observation order or thread count. observe() stays a
+// handful of relaxed atomic ops, TSan-clean.
 class Histogram {
  public:
   void observe(std::uint64_t sample);
@@ -81,14 +86,28 @@ class Histogram {
   std::uint64_t max() const {
     return max_.load(std::memory_order_relaxed);
   }
+  // Smallest bucket lower bound at or above which a fraction `q` of the
+  // samples falls (0 when empty). Exact for samples below 16, within one
+  // sub-bucket (6.25%) above. `q` is clamped to (0, 1].
+  std::uint64_t quantile(double q) const;
   void reset();
 
  private:
+  // Bucket layout: [0, 16) one bucket per value; from there each octave
+  // [2^k, 2^(k+1)) splits into 16 equal sub-buckets.
+  static constexpr int kSubBuckets = 16;
+  static constexpr int kFirstOctave = 4;  // 2^4 == first bucketed power
+  static constexpr std::size_t kNumBuckets =
+      16 + static_cast<std::size_t>(64 - kFirstOctave) * kSubBuckets;
+  static std::size_t bucket_index(std::uint64_t sample);
+  static std::uint64_t bucket_lower_bound(std::size_t index);
+
   static constexpr std::uint64_t kEmptyMin = ~std::uint64_t{0};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_{0};
   std::atomic<std::uint64_t> min_{kEmptyMin};
   std::atomic<std::uint64_t> max_{0};
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
 };
 
 class Registry {
@@ -101,7 +120,8 @@ class Registry {
   Histogram& histogram(const std::string& name);
 
   // Sorted "key=value" lines, one per instrument value; histograms
-  // expand to key.avg/key.count/key.max/key.min/key.sum (avg is 0 for
+  // expand to key.avg/key.count/key.max/key.min plus the key.p50/
+  // key.p95/key.p99 quantiles and key.sum (avg and quantiles are 0 for
   // an empty histogram).
   void dump(std::ostream& os) const;
   std::string dump_string() const;

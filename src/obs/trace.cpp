@@ -152,6 +152,25 @@ void Trace::process_name(std::uint32_t pid, std::string name) {
   append(std::move(e));
 }
 
+void Trace::metadata(
+    std::string name,
+    std::vector<std::pair<std::string, std::string>> args) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.ph = 'M';
+  std::ostringstream rendered;
+  bool first = true;
+  for (const auto& [key, value] : args) {
+    if (!first) rendered << ',';
+    first = false;
+    write_escaped(rendered, key);
+    rendered << ':';
+    write_escaped(rendered, value);
+  }
+  e.raw_args = rendered.str();
+  append(std::move(e));
+}
+
 std::size_t Trace::events() const {
   const std::scoped_lock lock(mu_);
   return events_.size();

@@ -56,6 +56,11 @@ class Trace {
   // Names a track in the viewer (metadata event).
   void thread_name(std::uint32_t pid, std::uint32_t tid, std::string name);
   void process_name(std::uint32_t pid, std::string name);
+  // A free-form metadata event with string args — run attribution (git
+  // rev, command line, build type). Sorted with the other 'M' events at
+  // the top of the file; args render in the given order.
+  void metadata(std::string name,
+                std::vector<std::pair<std::string, std::string>> args);
 
   std::size_t events() const;
 

@@ -134,6 +134,47 @@ TEST(BenchJson, CompareFlagsAnInjectedRegression) {
   EXPECT_EQ(compare_bench_reports(old_doc, old_doc, 0.0).regressions, 0u);
 }
 
+TEST(BenchJson, HostSectionRoundTripsAndStaysOptional) {
+  BenchReportDoc doc = sample_doc();
+  doc.host.present = true;
+  doc.host.wall_ms = 321.25;
+  doc.host.max_rss_kb = 65536;
+  doc.host.jobs = 8;
+  const std::string json = bench_report_to_json(doc);
+  EXPECT_NE(json.find("\"host\":{\"jobs\":8,\"max_rss_kb\":65536"),
+            std::string::npos);
+  const BenchReportDoc parsed = bench_report_from_json(json);
+  EXPECT_TRUE(parsed.host.present);
+  EXPECT_DOUBLE_EQ(parsed.host.wall_ms, 321.25);
+  EXPECT_EQ(parsed.host.max_rss_kb, 65536u);
+  EXPECT_EQ(parsed.host.jobs, 8);
+
+  // Hand-built documents without the section still round-trip, and the
+  // wall-clock object strips with one sed expression (scripts/verify.sh
+  // relies on this to byte-diff --jobs 1 vs 8 reports).
+  BenchReportDoc bare = sample_doc();
+  EXPECT_FALSE(bench_report_from_json(bench_report_to_json(bare))
+                   .host.present);
+  std::string stripped = json;
+  const auto at = stripped.find(",\"host\":{");
+  ASSERT_NE(at, std::string::npos);
+  stripped.erase(at, stripped.find('}', at) - at + 1);
+  EXPECT_EQ(stripped, bench_report_to_json(bare));
+}
+
+TEST(BenchJson, HostSectionRejectsNegativeNumbers) {
+  BenchReportDoc doc = sample_doc();
+  doc.host.present = true;
+  doc.host.wall_ms = 10.0;
+  doc.host.jobs = 2;
+  std::string json = bench_report_to_json(doc);
+  const std::string key = "\"wall_ms\":";
+  const auto at = json.find(key);
+  ASSERT_NE(at, std::string::npos);
+  json.insert(at + key.size(), "-");
+  EXPECT_THROW(bench_report_from_json(json), std::runtime_error);
+}
+
 TEST(BenchJson, CompareListsAddedAndRemovedCells) {
   BenchReportDoc old_doc = sample_doc();
   BenchReportDoc new_doc = old_doc;
@@ -181,6 +222,18 @@ TEST(BenchJson, HyveReportBinaryExitCodes) {
             0);
   // Usage errors are distinct from regressions.
   EXPECT_EQ(run_tool("--check " + old_path + " --compare " + old_path), 2);
+
+  // A shrunk run set fails the comparison even with no metric deltas:
+  // silently dropping cells must not read as "no regressions".
+  const std::string shrunk_path = dir + "hyve_report_shrunk.json";
+  BenchReportDoc shrunk = old_doc;
+  shrunk.runs.pop_back();
+  shrunk.ledger_rollup = EnergyLedger();
+  shrunk.ledger_rollup += shrunk.runs[0].report.ledger;
+  write_bench_report_file(shrunk_path, shrunk);
+  EXPECT_EQ(run_tool("--compare " + old_path + " " + shrunk_path), 1);
+  // A grown run set is fine (grids legitimately gain cells).
+  EXPECT_EQ(run_tool("--compare " + shrunk_path + " " + old_path), 0);
 }
 #endif
 

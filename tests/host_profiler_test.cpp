@@ -1,0 +1,160 @@
+// Tests for the host-side profiler: wall-clock spans, memory sampling,
+// stage rates — and the core contract that profiling the host NEVER
+// perturbs the simulated outputs (same bytes with --jobs 1 and 8).
+// Runs under the sweep-engine label so the TSan CI pass checks the
+// profiler racing the worker pool.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "core/machine.hpp"
+#include "exp/cache.hpp"
+#include "exp/sweep.hpp"
+#include "graph/generators.hpp"
+#include "obs/host_profiler.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace hyve {
+namespace {
+
+class EnabledScope {
+ public:
+  EnabledScope() : previous_(obs::enabled()) { obs::set_enabled(true); }
+  ~EnabledScope() { obs::set_enabled(previous_); }
+
+ private:
+  bool previous_;
+};
+
+// The profiler is process-global; every test stops it on exit so the
+// rest of the binary keeps the off-by-default contract.
+class ProfilerScope {
+ public:
+  explicit ProfilerScope(obs::Trace* trace = nullptr,
+                         obs::HostProfiler::Options options = {}) {
+    obs::host_profiler().start(trace, options);
+  }
+  ~ProfilerScope() { obs::host_profiler().stop(); }
+};
+
+Graph test_graph() {
+  return generate_rmat(/*num_vertices=*/2000, /*num_edges=*/10000, {},
+                       /*seed=*/1);
+}
+
+// One sweep: returns (trace bytes, result-sink bytes) — both simulated
+// and therefore expected byte-identical for any jobs value, profiled or
+// not.
+std::pair<std::string, std::string> sweep_outputs(int jobs) {
+  exp::GraphCache graphs;
+  exp::PartitionCache partitions;
+  graphs.add("rmat", [] { return test_graph(); });
+  exp::SweepSpec spec;
+  spec.configs = {HyveConfig::hyve_opt(), HyveConfig::hyve()};
+  spec.algorithms = {Algorithm::kPageRank, Algorithm::kBfs};
+  spec.graphs = {"rmat"};
+  obs::Trace trace;
+  exp::SweepOptions options;
+  options.jobs = jobs;
+  options.trace = &trace;
+  std::ostringstream sink_os;
+  exp::ResultSink sink(sink_os, exp::ResultSink::Format::kJsonl);
+  exp::SweepEngine(graphs, partitions).run(spec, options, &sink);
+  std::ostringstream trace_os;
+  trace.write(trace_os);
+  return {trace_os.str(), sink_os.str()};
+}
+
+TEST(HostProfiler, SimulatedOutputsAreIdenticalAcrossJobsWhileProfiling) {
+  const EnabledScope on;
+  obs::registry().reset_values();
+  obs::HostProfiler::Options options;
+  options.sample_period = std::chrono::milliseconds(5);
+  const ProfilerScope profiling(nullptr, options);
+
+  const auto serial = sweep_outputs(1);
+  const auto threaded = sweep_outputs(8);
+  EXPECT_EQ(serial.first, threaded.first);    // trace bytes
+  EXPECT_EQ(serial.second, threaded.second);  // result records
+  ASSERT_FALSE(serial.second.empty());
+
+  // Host metrics collected alongside: 2 sweeps x 4 cells each.
+  EXPECT_EQ(obs::registry().counter("host.count.cells").value(), 8u);
+  EXPECT_GT(obs::registry().counter("host.count.edges").value(), 0u);
+  EXPECT_EQ(obs::registry().histogram("host.span.sweep.cell").count(), 8u);
+  EXPECT_GT(obs::registry().histogram("host.span.machine.run").count(), 0u);
+}
+
+TEST(HostProfiler, StopRecordsWallClockAndStageRates) {
+  const EnabledScope on;
+  obs::registry().reset_values();
+  {
+    const ProfilerScope profiling;
+    obs::host_profiler().count("edges", 1000);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(obs::registry().gauge("host.wall_us").value(), 0);
+  EXPECT_GE(obs::registry().gauge("host.rate.edges_per_s").value(), 0);
+  // The final stop() sample always lands on procfs platforms, and peak
+  // RSS can never read below current RSS.
+  EXPECT_GE(obs::registry().counter("host.mem.samples").value(), 1u);
+  EXPECT_GE(obs::registry().gauge("host.mem.peak_rss_kb").value(),
+            obs::registry().gauge("host.mem.rss_kb").value());
+}
+
+TEST(HostProfiler, NowNsIsMonotoneWhileEnabledAndZeroWhenOff) {
+  EXPECT_EQ(obs::host_profiler().now_ns(), 0.0);
+  const EnabledScope on;
+  const ProfilerScope profiling;
+  const double t1 = obs::host_profiler().now_ns();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const double t2 = obs::host_profiler().now_ns();
+  EXPECT_GT(t2, t1);
+}
+
+TEST(HostProfiler, DisabledProfilerRecordsNothing) {
+  const EnabledScope on;  // registry enabled, profiler NOT started
+  ASSERT_FALSE(obs::host_profiler().enabled());
+  obs::registry().reset_values();
+  {
+    const obs::HostSpan span("idle");
+    obs::host_profiler().count("edges", 5);
+  }
+  EXPECT_EQ(obs::registry().histogram("host.span.idle").count(), 0u);
+  EXPECT_EQ(obs::registry().counter("host.count.edges").value(), 0u);
+}
+
+TEST(HostProfiler, TraceGetsWallClockTrackAndMemoryCounters) {
+  const EnabledScope on;
+  obs::Trace trace;
+  obs::HostProfiler::Options options;
+  options.sample_period = std::chrono::milliseconds(1);
+  {
+    const ProfilerScope profiling(&trace, options);
+    const obs::HostSpan span("unit.work");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::ostringstream os;
+  trace.write(os);
+  const std::string doc = os.str();
+  EXPECT_NE(doc.find("host (wall clock)"), std::string::npos);
+  EXPECT_NE(doc.find("\"pid\":1000000"), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"unit.work\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"host rss\""), std::string::npos);
+  EXPECT_NE(doc.find("\"rss_kb\":"), std::string::npos);
+}
+
+TEST(HostProfiler, StartIsIdempotentAndStopIsSafeWhenOff) {
+  obs::host_profiler().stop();  // no-op while off
+  const EnabledScope on;
+  const ProfilerScope profiling;
+  obs::host_profiler().start();  // second start ignored, no deadlock
+  EXPECT_TRUE(obs::host_profiler().enabled());
+}
+
+}  // namespace
+}  // namespace hyve

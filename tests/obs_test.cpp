@@ -102,9 +102,30 @@ TEST(Registry, DumpIsSortedKeyValueLines) {
             "a.first.count=2\n"
             "a.first.max=10\n"
             "a.first.min=4\n"
+            "a.first.p50=4\n"
+            "a.first.p95=10\n"
+            "a.first.p99=10\n"
             "a.first.sum=14\n"
             "m.middle=-7\n"
             "z.last=3\n");
+}
+
+TEST(Registry, HistogramQuantilesAreDeterministicBucketBounds) {
+  const EnabledScope on;
+  obs::Histogram h;
+  EXPECT_EQ(h.quantile(0.5), 0u);  // empty reads as 0
+  for (std::uint64_t v = 1; v <= 8; ++v) h.observe(v);
+  // Samples below 16 land in exact buckets: the quantile is the sample.
+  EXPECT_EQ(h.quantile(0.5), 4u);
+  EXPECT_EQ(h.quantile(0.99), 8u);
+
+  // Large samples quantise to log-linear bucket lower bounds, within
+  // one sub-bucket (6.25%) of the true value: 1000 -> octave 9,
+  // sub-bucket 15 -> 512 + 15*32 = 992.
+  obs::Histogram big;
+  big.observe(1000);
+  EXPECT_EQ(big.quantile(0.5), 992u);
+  EXPECT_EQ(big.quantile(0.99), 992u);
 }
 
 TEST(Registry, ResetValuesKeepsHandlesValid) {

@@ -1,0 +1,264 @@
+// Tests for the cross-commit perf-history ledger: record round-trips,
+// append-only files, trend analysis comparability rules, and named
+// baselines.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/bench_json.hpp"
+#include "core/perf_history.hpp"
+
+namespace hyve {
+namespace {
+
+PerfRecord sample_record() {
+  PerfRecord r;
+  r.bench = "bench_fig10";
+  r.git_rev = "abc1234";
+  r.recorded_at = "2026-08-08T12:00:00Z";
+  r.hostname = "ci-box";
+  r.cpu_model = "Paper CPU @ 3GHz";
+  r.cpus = 16;
+  r.jobs = 8;
+  r.smoke = true;
+  r.cells = 12;
+  r.wall_ms = 1234.5;
+  r.max_rss_kb = 98765;
+  r.energy_pj = 5.5e9;
+  r.exec_time_ns = 7.25e8;
+  return r;
+}
+
+class PerfHistoryDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("hyve_perf_history_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST(PerfRecordJson, RoundTripsEveryField) {
+  const PerfRecord r = sample_record();
+  const PerfRecord back = perf_record_from_json(perf_record_to_json(r));
+  EXPECT_EQ(back.bench, r.bench);
+  EXPECT_EQ(back.git_rev, r.git_rev);
+  EXPECT_EQ(back.recorded_at, r.recorded_at);
+  EXPECT_EQ(back.hostname, r.hostname);
+  EXPECT_EQ(back.cpu_model, r.cpu_model);
+  EXPECT_EQ(back.cpus, r.cpus);
+  EXPECT_EQ(back.jobs, r.jobs);
+  EXPECT_EQ(back.smoke, r.smoke);
+  EXPECT_EQ(back.cells, r.cells);
+  EXPECT_DOUBLE_EQ(back.wall_ms, r.wall_ms);
+  EXPECT_EQ(back.max_rss_kb, r.max_rss_kb);
+  EXPECT_DOUBLE_EQ(back.energy_pj, r.energy_pj);
+  EXPECT_DOUBLE_EQ(back.exec_time_ns, r.exec_time_ns);
+}
+
+TEST(PerfRecordJson, IsOneSelfIdentifyingLine) {
+  const std::string json = perf_record_to_json(sample_record());
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"hyve-perf-history\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+}
+
+TEST(PerfRecordJson, RejectsWrongSchemaAndMalformedNumbers) {
+  std::string json = perf_record_to_json(sample_record());
+  std::string wrong = json;
+  const auto at = wrong.find("hyve-perf-history");
+  ASSERT_NE(at, std::string::npos);
+  wrong.replace(at, 17, "some-other-schema");
+  EXPECT_THROW(perf_record_from_json(wrong), std::runtime_error);
+
+  std::string negative = json;
+  const auto wall = negative.find("\"wall_ms\":");
+  ASSERT_NE(wall, std::string::npos);
+  negative.insert(wall + 10, "-");
+  EXPECT_THROW(perf_record_from_json(negative), std::runtime_error);
+
+  EXPECT_THROW(perf_record_from_json("not json at all"),
+               std::runtime_error);
+}
+
+TEST(PerfRecordJson, SummarisesABenchReportDoc) {
+  BenchReportDoc doc;
+  doc.bench = "bench_fig10";
+  doc.git_rev = "deadbee";
+  doc.smoke = true;
+  doc.host.present = true;
+  doc.host.wall_ms = 42.5;
+  doc.host.max_rss_kb = 2048;
+  doc.host.jobs = 4;
+  const PerfRecord r = perf_record_from_report(doc);
+  EXPECT_EQ(r.bench, "bench_fig10");
+  EXPECT_EQ(r.git_rev, "deadbee");
+  EXPECT_TRUE(r.smoke);
+  EXPECT_EQ(r.cells, 0u);
+  EXPECT_DOUBLE_EQ(r.wall_ms, 42.5);
+  EXPECT_EQ(r.max_rss_kb, 2048u);
+  EXPECT_EQ(r.jobs, 4);
+}
+
+TEST_F(PerfHistoryDirTest, AppendCreatesLedgerAndLoadsInOrder) {
+  PerfRecord first = sample_record();
+  PerfRecord second = sample_record();
+  second.git_rev = "def5678";
+  second.wall_ms = 2000.0;
+  append_perf_record(dir_.string(), first);
+  append_perf_record(dir_.string(), second);
+
+  const std::string path = perf_history_path(dir_.string(), first.bench);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  const std::vector<PerfRecord> records = load_perf_history(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].git_rev, "abc1234");
+  EXPECT_EQ(records[1].git_rev, "def5678");
+  EXPECT_DOUBLE_EQ(records[1].wall_ms, 2000.0);
+
+  const std::vector<std::string> ledgers =
+      list_perf_histories(dir_.string());
+  ASSERT_EQ(ledgers.size(), 1u);
+  EXPECT_EQ(ledgers[0], path);
+}
+
+TEST_F(PerfHistoryDirTest, LoadRejectsTamperedLedgerLines) {
+  append_perf_record(dir_.string(), sample_record());
+  const std::string path =
+      perf_history_path(dir_.string(), sample_record().bench);
+  {
+    std::ofstream os(path, std::ios::app);
+    os << "{\"schema\":\"hyve-perf-history\",\"broken\":true}\n";
+  }
+  EXPECT_THROW(load_perf_history(path), std::runtime_error);
+}
+
+TEST_F(PerfHistoryDirTest, RejectsBenchNamesThatEscapeTheDirectory) {
+  PerfRecord r = sample_record();
+  r.bench = "../evil";
+  EXPECT_THROW(append_perf_record(dir_.string(), r), std::runtime_error);
+  EXPECT_THROW(perf_history_path(dir_.string(), "a/b"),
+               std::runtime_error);
+}
+
+TEST_F(PerfHistoryDirTest, BaselinesSaveAndLoadByName) {
+  const PerfRecord r = sample_record();
+  save_perf_baseline(dir_.string(), "v1", r);
+  const PerfRecord back = load_perf_baseline(dir_.string(), "v1");
+  EXPECT_EQ(back.git_rev, r.git_rev);
+  EXPECT_DOUBLE_EQ(back.wall_ms, r.wall_ms);
+  EXPECT_THROW(load_perf_baseline(dir_.string(), "missing"),
+               std::runtime_error);
+  EXPECT_THROW(save_perf_baseline(dir_.string(), "../oops", r),
+               std::runtime_error);
+}
+
+// ---------- Trend analysis ----------
+
+TEST(PerfTrend, SingleRecordHasNothingToCompare) {
+  const PerfTrendResult result =
+      trend_perf_history({sample_record()}, /*threshold_pct=*/10.0);
+  EXPECT_EQ(result.comparable, 0u);
+  EXPECT_EQ(result.regressions, 0u);
+  EXPECT_FALSE(result.note.empty());
+}
+
+TEST(PerfTrend, FlagsWallClockRegressionBeyondThreshold) {
+  std::vector<PerfRecord> records;
+  for (int i = 0; i < 3; ++i) {
+    PerfRecord r = sample_record();
+    r.wall_ms = 1000.0;
+    records.push_back(r);
+  }
+  PerfRecord latest = sample_record();
+  latest.wall_ms = 1500.0;  // +50% over the 1000ms median
+  records.push_back(latest);
+
+  const PerfTrendResult result =
+      trend_perf_history(records, /*threshold_pct=*/10.0);
+  EXPECT_EQ(result.comparable, 3u);
+  EXPECT_GE(result.regressions, 1u);
+  bool wall_line = false;
+  for (const PerfTrendLine& line : result.lines)
+    if (line.metric == "wall_ms") {
+      wall_line = true;
+      EXPECT_TRUE(line.regressed);
+      EXPECT_DOUBLE_EQ(line.reference, 1000.0);
+      EXPECT_DOUBLE_EQ(line.latest, 1500.0);
+      EXPECT_NEAR(line.delta_pct, 50.0, 1e-9);
+    }
+  EXPECT_TRUE(wall_line);
+  EXPECT_NE(format_perf_trend(result, 10.0).find("wall_ms"),
+            std::string::npos);
+}
+
+TEST(PerfTrend, ImprovementsAndNoiseBelowThresholdPass) {
+  std::vector<PerfRecord> records;
+  for (const double wall : {1000.0, 1020.0, 990.0, 1005.0}) {
+    PerfRecord r = sample_record();
+    r.wall_ms = wall;
+    records.push_back(r);
+  }
+  const PerfTrendResult result =
+      trend_perf_history(records, /*threshold_pct=*/10.0);
+  EXPECT_EQ(result.regressions, 0u);
+}
+
+TEST(PerfTrend, OnlyMatchingSignaturesAreComparable) {
+  std::vector<PerfRecord> records;
+  PerfRecord other_host = sample_record();
+  other_host.hostname = "laptop";
+  other_host.wall_ms = 10.0;  // would scream regression if compared
+  PerfRecord other_jobs = sample_record();
+  other_jobs.jobs = 1;
+  other_jobs.wall_ms = 10.0;
+  records.push_back(other_host);
+  records.push_back(other_jobs);
+  records.push_back(sample_record());  // latest: jobs=8 on ci-box
+
+  const PerfTrendResult result = trend_perf_history(records, 10.0);
+  EXPECT_EQ(result.comparable, 0u);
+  EXPECT_EQ(result.regressions, 0u);
+  EXPECT_FALSE(result.note.empty());
+}
+
+TEST(PerfTrend, SimulatedMetricsNeedMatchingCellCounts) {
+  PerfRecord prior = sample_record();
+  PerfRecord latest = sample_record();
+  latest.cells = prior.cells + 5;     // grid grew
+  latest.energy_pj = prior.energy_pj * 10;  // would regress if compared
+  const PerfTrendResult result =
+      trend_perf_history({prior, latest}, 10.0);
+  for (const PerfTrendLine& line : result.lines) {
+    EXPECT_NE(line.metric, "energy_pj");
+    EXPECT_NE(line.metric, "exec_time_ns");
+  }
+}
+
+TEST(PerfTrend, BaselineComparisonUsesTheSameRules) {
+  const PerfRecord baseline = sample_record();
+  PerfRecord latest = sample_record();
+  latest.max_rss_kb = baseline.max_rss_kb * 2;
+  const PerfTrendResult result =
+      compare_to_baseline(baseline, latest, /*threshold_pct=*/10.0);
+  EXPECT_GE(result.regressions, 1u);
+  bool rss_line = false;
+  for (const PerfTrendLine& line : result.lines)
+    if (line.metric == "max_rss_kb") {
+      rss_line = true;
+      EXPECT_TRUE(line.regressed);
+    }
+  EXPECT_TRUE(rss_line);
+}
+
+}  // namespace
+}  // namespace hyve

@@ -1,0 +1,466 @@
+// hyve_dash — render a bench report (and optionally its trace and perf
+// history) into one self-contained HTML dashboard.
+//
+//   hyve_dash BENCH_fig13.json                      # writes BENCH_fig13.html
+//   hyve_dash r.json --out dash.html --trace t.json --history bench/history
+//
+// The output is a single file with inline CSS/SVG and no scripts or
+// external resources — it opens from disk, attaches to a CI artifact,
+// or pastes into a review. Sections, in order:
+//
+//   * header: bench, git rev, smoke tag, datasets;
+//   * per-run table with phase-time and energy-component stacked bars;
+//   * energy ledger rollup by component;
+//   * deterministic sim.* metrics;
+//   * host section (--host; off by default so the page is byte-identical
+//     across --jobs for byte-identical deterministic report content);
+//   * with --trace: the top-N hottest host wall-clock spans (flame
+//     table) and every counter track as an SVG sparkline;
+//   * with --history: the bench's perf trajectory (wall-clock sparkline
+//     over recorded commits).
+//
+// Rendering is deterministic: the bytes depend only on the input files
+// and flags, never on the clock or the machine.
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/bench_json.hpp"
+#include "core/perf_history.hpp"
+#include "core/report_io.hpp"
+#include "obs/host_profiler.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace hyve;
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string num(double v, int precision = 6) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << v;
+  return os.str();
+}
+
+// Fixed palette cycled across stacked-bar segments and sparklines.
+const char* const kPalette[] = {"#4e79a7", "#f28e2b", "#e15759", "#76b7b2",
+                                "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+                                "#9c755f", "#bab0ac"};
+constexpr std::size_t kPaletteSize = sizeof kPalette / sizeof *kPalette;
+
+// A horizontal stacked bar out of labeled, colored segments; segments
+// below 0.5% of the total are dropped from the markup (invisible
+// anyway, and they bloat the page).
+std::string stacked_bar(
+    const std::vector<std::pair<std::string, double>>& segments) {
+  double total = 0;
+  for (const auto& [label, value] : segments) total += value;
+  std::ostringstream os;
+  os << "<div class=\"bar\">";
+  if (total > 0) {
+    std::size_t color = 0;
+    for (const auto& [label, value] : segments) {
+      const double pct = value / total * 100.0;
+      if (pct >= 0.5)
+        os << "<span style=\"width:" << num(pct, 4)
+           << "%;background:" << kPalette[color % kPaletteSize]
+           << "\" title=\"" << html_escape(label) << ": " << num(value)
+           << " (" << num(pct, 3) << "%)\"></span>";
+      ++color;
+    }
+  }
+  os << "</div>";
+  return os.str();
+}
+
+std::string legend(const std::vector<std::string>& labels) {
+  std::ostringstream os;
+  os << "<p class=\"legend\">";
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    os << "<span><i style=\"background:" << kPalette[i % kPaletteSize]
+       << "\"></i>" << html_escape(labels[i]) << "</span> ";
+  os << "</p>";
+  return os.str();
+}
+
+// An SVG polyline over (x, y) samples, scaled to fit; constant series
+// draw as a midline.
+std::string sparkline(const std::vector<std::pair<double, double>>& points,
+                      const char* color, int width = 560, int height = 64) {
+  std::ostringstream os;
+  os << "<svg width=\"" << width << "\" height=\"" << height
+     << "\" viewBox=\"0 0 " << width << ' ' << height << "\">";
+  if (points.size() >= 2) {
+    double x_min = points.front().first, x_max = points.front().first;
+    double y_min = points.front().second, y_max = points.front().second;
+    for (const auto& [x, y] : points) {
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+      y_min = std::min(y_min, y);
+      y_max = std::max(y_max, y);
+    }
+    const double x_span = x_max > x_min ? x_max - x_min : 1.0;
+    const double y_span = y_max > y_min ? y_max - y_min : 1.0;
+    os << "<polyline fill=\"none\" stroke=\"" << color
+       << "\" stroke-width=\"1.5\" points=\"";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (i > 0) os << ' ';
+      const double x = (points[i].first - x_min) / x_span * (width - 8) + 4;
+      const double y = height - 4 -
+                       (points[i].second - y_min) / y_span * (height - 8);
+      os << num(x, 5) << ',' << num(y, 5);
+    }
+    os << "\"/>";
+  }
+  os << "</svg>";
+  return os.str();
+}
+
+struct TraceSections {
+  std::string spans;     // host-span flame table
+  std::string counters;  // counter-track sparklines
+};
+
+// Digests a Chrome trace file through the same flat-JSON parser the
+// bench reports use: "traceEvents.N.<field>" keys, args flattened too.
+TraceSections render_trace(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open trace " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::map<std::string, std::string> fields =
+      parse_flat_json(buf.str());
+
+  struct SpanAgg {
+    std::uint64_t count = 0;
+    double total_us = 0;
+    double max_us = 0;
+  };
+  std::map<std::string, SpanAgg> spans;  // host spans by name
+  // Counter samples keyed (pid/name/series) -> (ts, value) points.
+  std::map<std::string, std::vector<std::pair<double, double>>> counters;
+
+  const std::string host_pid =
+      std::to_string(obs::HostProfiler::kTracePid);
+  for (std::size_t i = 0;; ++i) {
+    const std::string base = "traceEvents." + std::to_string(i) + ".";
+    const auto ph = fields.find(base + "ph");
+    if (ph == fields.end()) break;
+    const auto field = [&](const char* key) -> const std::string& {
+      static const std::string empty;
+      const auto it = fields.find(base + key);
+      return it == fields.end() ? empty : it->second;
+    };
+    if (ph->second == "X" && field("pid") == host_pid) {
+      SpanAgg& agg = spans[field("name")];
+      const double dur_us = std::strtod(field("dur").c_str(), nullptr);
+      ++agg.count;
+      agg.total_us += dur_us;
+      agg.max_us = std::max(agg.max_us, dur_us);
+    } else if (ph->second == "C") {
+      const double ts = std::strtod(field("ts").c_str(), nullptr);
+      const std::string prefix = base + "args.";
+      for (auto it = fields.lower_bound(prefix);
+           it != fields.end() && it->first.rfind(prefix, 0) == 0; ++it) {
+        const std::string series = it->first.substr(prefix.size());
+        counters["pid " + field("pid") + " · " + field("name") + " · " +
+                 series]
+            .emplace_back(ts, std::strtod(it->second.c_str(), nullptr));
+      }
+    }
+  }
+
+  TraceSections out;
+  {
+    std::vector<std::pair<std::string, SpanAgg>> hottest(spans.begin(),
+                                                         spans.end());
+    std::sort(hottest.begin(), hottest.end(),
+              [](const auto& a, const auto& b) {
+                return a.second.total_us != b.second.total_us
+                           ? a.second.total_us > b.second.total_us
+                           : a.first < b.first;
+              });
+    if (hottest.size() > 20) hottest.resize(20);
+    std::ostringstream os;
+    if (hottest.empty()) {
+      os << "<p>No host wall-clock spans in the trace (run with "
+            "--host-profile).</p>";
+    } else {
+      double grand_total = 0;
+      for (const auto& [name, agg] : hottest) grand_total += agg.total_us;
+      os << "<table><tr><th>span</th><th>count</th><th>total "
+            "(us)</th><th>avg (us)</th><th>max (us)</th><th>share</th>"
+            "</tr>";
+      for (const auto& [name, agg] : hottest) {
+        const double share =
+            grand_total > 0 ? agg.total_us / grand_total * 100.0 : 0;
+        os << "<tr><td>" << html_escape(name) << "</td><td>" << agg.count
+           << "</td><td>" << num(agg.total_us) << "</td><td>"
+           << num(agg.count > 0 ? agg.total_us / agg.count : 0)
+           << "</td><td>" << num(agg.max_us) << "</td><td>"
+           << stacked_bar({{"share", share}, {"", 100 - share}})
+           << "</td></tr>";
+      }
+      os << "</table>";
+    }
+    out.spans = os.str();
+  }
+  {
+    std::ostringstream os;
+    if (counters.empty()) {
+      os << "<p>No counter tracks in the trace.</p>";
+    } else {
+      std::size_t color = 0;
+      for (const auto& [key, points] : counters) {
+        double last = points.empty() ? 0 : points.back().second;
+        os << "<div class=\"track\"><p>" << html_escape(key) << " (last "
+           << num(last) << ", " << points.size() << " samples)</p>"
+           << sparkline(points, kPalette[color % kPaletteSize])
+           << "</div>";
+        ++color;
+      }
+    }
+    out.counters = os.str();
+  }
+  return out;
+}
+
+std::string render_history(const std::string& dir,
+                           const std::string& bench) {
+  const std::string path = perf_history_path(dir, bench);
+  std::vector<PerfRecord> records;
+  try {
+    records = load_perf_history(path);
+  } catch (const std::exception&) {
+    return "<p>No perf history for " + html_escape(bench) + " under " +
+           html_escape(dir) + ".</p>";
+  }
+  if (records.empty()) return "<p>Perf history is empty.</p>";
+  std::ostringstream os;
+  std::vector<std::pair<double, double>> wall;
+  for (std::size_t i = 0; i < records.size(); ++i)
+    wall.emplace_back(static_cast<double>(i), records[i].wall_ms);
+  os << "<div class=\"track\"><p>wall_ms across " << records.size()
+     << " recorded run(s)</p>" << sparkline(wall, kPalette[0]) << "</div>";
+  os << "<table><tr><th>#</th><th>recorded</th><th>rev</th><th>jobs</th>"
+        "<th>cells</th><th>wall (ms)</th><th>peak rss (kb)</th>"
+        "<th>energy (pJ)</th></tr>";
+  const std::size_t first =
+      records.size() > 12 ? records.size() - 12 : 0;
+  for (std::size_t i = first; i < records.size(); ++i) {
+    const PerfRecord& r = records[i];
+    os << "<tr><td>" << i << "</td><td>" << html_escape(r.recorded_at)
+       << "</td><td>" << html_escape(r.git_rev) << "</td><td>" << r.jobs
+       << "</td><td>" << r.cells << "</td><td>" << num(r.wall_ms)
+       << "</td><td>" << r.max_rss_kb << "</td><td>" << num(r.energy_pj)
+       << "</td></tr>";
+  }
+  os << "</table>";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::string trace_path;
+  std::string history_dir;
+  std::string title;
+  bool include_host = false;
+
+  cli::ArgParser parser(
+      "hyve_dash",
+      "render a bench --json report into one self-contained HTML page");
+  parser.positional_usage("hyve_dash REPORT.json [options]");
+  parser.option("--out", "PATH",
+                "output HTML path (default: REPORT with .html extension)",
+                [&](const std::string& v) { out_path = v; });
+  parser.option("--trace", "PATH",
+                "also digest a Chrome trace: hottest host spans and "
+                "counter tracks",
+                [&](const std::string& v) { trace_path = v; });
+  parser.option("--history", "DIR",
+                "also render this bench's perf-history trajectory from "
+                "DIR",
+                [&](const std::string& v) { history_dir = v; });
+  parser.option("--title", "TEXT", "page title (default: bench name)",
+                [&](const std::string& v) { title = v; });
+  parser.flag("--host",
+              "include the report's wall-clock host section (off by "
+              "default: it breaks byte-identity across --jobs)",
+              &include_host);
+  parser.allow_positionals(1);
+  parser.parse(argc, argv);
+
+  if (parser.positionals().size() != 1)
+    parser.fail("need exactly one REPORT.json argument");
+  const std::string report_path = parser.positionals()[0];
+  if (out_path.empty()) {
+    out_path = report_path;
+    const std::size_t dot = out_path.rfind('.');
+    if (dot != std::string::npos &&
+        out_path.find('/', dot) == std::string::npos)
+      out_path.resize(dot);
+    out_path += ".html";
+  }
+
+  try {
+    const BenchReportDoc doc = read_bench_report_file(report_path);
+    if (title.empty()) title = doc.bench;
+
+    std::ostringstream os;
+    os << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+       << "<title>" << html_escape(title) << "</title><style>\n"
+       << "body{font:14px/1.5 system-ui,sans-serif;margin:24px auto;"
+          "max-width:960px;color:#222}\n"
+       << "h1{font-size:22px}h2{font-size:17px;margin-top:28px;"
+          "border-bottom:1px solid #ddd;padding-bottom:4px}\n"
+       << "table{border-collapse:collapse;width:100%;font-size:13px}\n"
+       << "th,td{border:1px solid #ddd;padding:3px 8px;text-align:left}\n"
+       << "th{background:#f5f5f5}\n"
+       << ".bar{display:flex;height:14px;min-width:120px;"
+          "background:#eee;border-radius:2px;overflow:hidden}\n"
+       << ".bar span{display:block;height:100%}\n"
+       << ".legend span{margin-right:14px;white-space:nowrap}\n"
+       << ".legend i{display:inline-block;width:10px;height:10px;"
+          "margin-right:4px}\n"
+       << ".track{margin:10px 0}.track p{margin:2px 0;font-size:13px}\n"
+       << ".meta{color:#666}\n"
+       << "</style></head><body>\n";
+
+    os << "<h1>" << html_escape(title) << "</h1>\n<p class=\"meta\">bench "
+       << html_escape(doc.bench) << " · rev " << html_escape(doc.git_rev)
+       << (doc.smoke ? " · smoke (numbers are stand-ins)" : "")
+       << " · datasets: ";
+    for (std::size_t i = 0; i < doc.datasets.size(); ++i)
+      os << (i > 0 ? ", " : "") << html_escape(doc.datasets[i]);
+    os << "</p>\n";
+
+    // Per-run table with phase-time and energy stacked bars.
+    os << "<h2>Runs (" << doc.runs.size() << ")</h2>\n";
+    if (doc.runs.empty()) {
+      os << "<p>The report carries no run records (analytic bench).</p>\n";
+    } else {
+      std::vector<std::string> phase_labels;
+      for (std::size_t p = 0;
+           p < static_cast<std::size_t>(Phase::kCount); ++p)
+        phase_labels.push_back(phase_name(static_cast<Phase>(p)));
+      os << legend(phase_labels);
+      os << "<table><tr><th>config</th><th>algo</th><th>graph</th>"
+            "<th>time (ms)</th><th>energy (uJ)</th><th>MTEPS/W</th>"
+            "<th>phase time</th><th>phase energy</th></tr>\n";
+      for (const BenchRun& run : doc.runs) {
+        const RunReport& r = run.report;
+        std::vector<std::pair<std::string, double>> time_segs;
+        std::vector<std::pair<std::string, double>> energy_segs;
+        for (std::size_t p = 0;
+             p < static_cast<std::size_t>(Phase::kCount); ++p) {
+          const auto phase = static_cast<Phase>(p);
+          time_segs.emplace_back(phase_labels[p] + " ns",
+                                 r.phases.time(phase));
+          energy_segs.emplace_back(phase_labels[p] + " pJ",
+                                   r.phases.energy(phase));
+        }
+        os << "<tr><td>" << html_escape(r.config_label) << "</td><td>"
+           << html_escape(r.algorithm) << "</td><td>"
+           << html_escape(run.graph_key) << "</td><td>"
+           << num(r.exec_time_ns / 1e6) << "</td><td>"
+           << num(r.total_energy_pj() / 1e6) << "</td><td>"
+           << num(r.mteps_per_watt()) << "</td><td>"
+           << stacked_bar(time_segs) << "</td><td>"
+           << stacked_bar(energy_segs) << "</td></tr>\n";
+      }
+      os << "</table>\n";
+    }
+
+    // Ledger rollup by component.
+    os << "<h2>Energy rollup</h2>\n";
+    if (doc.ledger_rollup.size() == 0) {
+      os << "<p>The report carries no energy ledger.</p>\n";
+    } else {
+      std::map<std::string, double> by_component;
+      for (const auto& [key, pj] : doc.ledger_rollup.cells())
+        by_component[component_name(key.component)] += pj;
+      std::vector<std::pair<std::string, double>> segs(
+          by_component.begin(), by_component.end());
+      os << stacked_bar(segs) << "\n<table><tr><th>component</th>"
+         << "<th>energy (pJ)</th><th>share</th></tr>\n";
+      const double total = doc.ledger_rollup.total_pj();
+      for (const auto& [name, pj] : by_component)
+        os << "<tr><td>" << html_escape(name) << "</td><td>" << num(pj)
+           << "</td><td>"
+           << num(total > 0 ? pj / total * 100.0 : 0.0, 4)
+           << "%</td></tr>\n";
+      os << "<tr><th>total</th><th>" << num(total)
+         << "</th><th></th></tr></table>\n";
+    }
+
+    // Deterministic metrics.
+    os << "<h2>Simulated metrics</h2>\n";
+    if (doc.metrics.empty()) {
+      os << "<p>No sim.* metrics in the report (run with --json and "
+            "--metrics-producing flags).</p>\n";
+    } else {
+      os << "<table><tr><th>metric</th><th>value</th></tr>\n";
+      for (const auto& [name, value] : doc.metrics)
+        os << "<tr><td>" << html_escape(name) << "</td><td>"
+           << html_escape(value) << "</td></tr>\n";
+      os << "</table>\n";
+    }
+
+    if (include_host) {
+      os << "<h2>Host</h2>\n";
+      if (!doc.host.present) {
+        os << "<p>The report carries no host section.</p>\n";
+      } else {
+        os << "<table><tr><th>wall (ms)</th><th>peak rss (kb)</th>"
+              "<th>jobs</th></tr><tr><td>" << num(doc.host.wall_ms)
+           << "</td><td>" << doc.host.max_rss_kb << "</td><td>"
+           << doc.host.jobs << "</td></tr></table>\n";
+      }
+    }
+
+    if (!trace_path.empty()) {
+      const TraceSections trace = render_trace(trace_path);
+      os << "<h2>Hottest host spans</h2>\n" << trace.spans << "\n"
+         << "<h2>Counter tracks</h2>\n" << trace.counters << "\n";
+    }
+
+    if (!history_dir.empty())
+      os << "<h2>Perf trajectory</h2>\n"
+         << render_history(history_dir, doc.bench) << "\n";
+
+    os << "</body></html>\n";
+
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open " + out_path);
+    out << os.str();
+    if (!out.good())
+      throw std::runtime_error("failed writing " + out_path);
+    std::cerr << "hyve_dash: wrote " << out_path << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

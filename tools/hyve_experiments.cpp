@@ -19,9 +19,11 @@
 #include <optional>
 #include <string>
 
+#include "core/bench_json.hpp"
 #include "core/report_io.hpp"
 #include "exp/sweep.hpp"
 #include "graph/datasets.hpp"
+#include "obs/host_profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
@@ -37,6 +39,7 @@ int main(int argc, char** argv) {
   bool metrics = false;
   bool functional_cache = false;
   bool cache_stats = false;
+  bool host_profile = false;
   std::string trace_path;
 
   cli::ArgParser parser("hyve_experiments",
@@ -106,6 +109,11 @@ int main(int argc, char** argv) {
               "dump the metrics registry to stderr as sorted key=value "
               "lines",
               &metrics);
+  parser.flag("--host-profile",
+              "profile the host process: wall-clock spans, RSS sampling "
+              "and stage rates as host.* metrics (and a wall-clock trace "
+              "track with --trace)",
+              &host_profile);
   parser.option("--trace", "PATH",
                 "write a Chrome trace-event JSON of the sweep to PATH "
                 "(one pid per cell)",
@@ -120,10 +128,14 @@ int main(int argc, char** argv) {
   }
 
   try {
-    if (metrics) obs::set_enabled(true);
+    if (metrics || host_profile) obs::set_enabled(true);
     std::optional<obs::Trace> trace;
-    if (!trace_path.empty()) trace.emplace();
+    if (!trace_path.empty()) {
+      trace.emplace();
+      add_attribution_metadata(*trace, argc, argv);
+    }
     options.trace = trace ? &*trace : nullptr;
+    if (host_profile) obs::host_profiler().start(options.trace);
 
     exp::GraphCache graphs;
     exp::PartitionCache partitions;
@@ -133,6 +145,7 @@ int main(int argc, char** argv) {
     exp::ResultSink sink(std::cout, format);
     engine.run(spec, options, &sink);
 
+    if (host_profile) obs::host_profiler().stop();
     if (trace) trace->write_file(trace_path);
     if (cache_stats) {
       std::cerr << "graph cache: loads=" << graphs.loads()

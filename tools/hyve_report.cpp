@@ -1,4 +1,4 @@
-// hyve_report — validate and compare bench report JSON files.
+// hyve_report — validate, compare, and track bench report JSON files.
 //
 // The bench binaries emit versioned BENCH_<name>.json documents via
 // --json (see src/core/bench_json.hpp). This tool is the consumer side:
@@ -12,23 +12,64 @@
 //       Per-cell, per-metric deltas between two documents (exec time and
 //       energy lower-is-better, MTEPS and MTEPS/W higher-is-better).
 //       Exit 1 when any metric moved in the worse direction by more than
-//       the threshold (default 0.5%), 0 otherwise — wire it into CI to
-//       catch performance regressions between revisions.
+//       the threshold (default 0.5%), or when NEW lost cells OLD had —
+//       a silently shrunk grid is a coverage regression, not a speedup.
+//
+//   hyve_report --record REPORT.json [--history DIR] [--baseline NAME]
+//       Appends the report's headline numbers — wall clock, peak RSS,
+//       energy, simulated exec time — plus provenance (git rev, host
+//       fingerprint, jobs, timestamp) as one line of the append-only
+//       <DIR>/<bench>.jsonl ledger (default DIR: bench/history). With
+//       --baseline, also pins the record as <DIR>/baselines/<NAME>.json.
+//
+//   hyve_report --trend DIR [--threshold PCT]
+//       For every ledger under DIR: latest record vs the median of prior
+//       records with the same (host, jobs, smoke, cells) signature.
+//       Exit 1 when any headline metric grew beyond the threshold
+//       (default 10% — wall-clock numbers are noisy).
+//
+//   hyve_report --compare-to-baseline REPORT.json --baseline NAME
+//       [--history DIR] [--threshold PCT]
+//       The report's numbers vs one pinned baseline, same rules.
+#include <chrono>
+#include <ctime>
 #include <iostream>
 #include <string>
 
 #include "core/bench_json.hpp"
+#include "core/perf_history.hpp"
+#include "obs/host_profiler.hpp"
 #include "util/cli.hpp"
+
+namespace {
+
+std::string utc_now_iso8601() {
+  const std::time_t now = std::chrono::system_clock::to_time_t(
+      std::chrono::system_clock::now());
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace hyve;
 
   std::string check_path;
   std::string compare_old;
-  double threshold_pct = 0.5;
+  std::string record_path;
+  std::string trend_dir;
+  std::string compare_baseline_path;
+  std::string baseline_name;
+  std::string history_dir = "bench/history";
+  double threshold_pct = -1;  // per-mode default
 
-  cli::ArgParser parser("hyve_report",
-                        "validate and compare bench --json reports");
+  cli::ArgParser parser(
+      "hyve_report",
+      "validate, compare, and track bench --json reports");
   parser.option("--check", "FILE",
                 "validate FILE against the bench-report schema and its "
                 "ledger invariants",
@@ -37,9 +78,28 @@ int main(int argc, char** argv) {
                 "compare OLD against the NEW positional argument "
                 "(hyve_report --compare old.json new.json)",
                 [&](const std::string& v) { compare_old = v; });
+  parser.option("--record", "FILE",
+                "append FILE's headline numbers and provenance to the "
+                "perf-history ledger",
+                [&](const std::string& v) { record_path = v; });
+  parser.option("--trend", "DIR",
+                "check every ledger under DIR: latest record vs the "
+                "median of comparable priors",
+                [&](const std::string& v) { trend_dir = v; });
+  parser.option("--compare-to-baseline", "FILE",
+                "compare FILE's numbers against the pinned --baseline "
+                "NAME record",
+                [&](const std::string& v) { compare_baseline_path = v; });
+  parser.option("--baseline", "NAME",
+                "baseline name: pinned by --record, read by "
+                "--compare-to-baseline",
+                [&](const std::string& v) { baseline_name = v; });
+  parser.option("--history", "DIR",
+                "perf-history directory (default bench/history)",
+                [&](const std::string& v) { history_dir = v; });
   parser.option("--threshold", "PCT",
-                "regression threshold in percent for --compare "
-                "(default 0.5)",
+                "regression threshold in percent (default 0.5 for "
+                "--compare, 10 for trend/baseline modes)",
                 [&](const std::string& v) {
                   try {
                     std::size_t used = 0;
@@ -54,8 +114,14 @@ int main(int argc, char** argv) {
   parser.allow_positionals(1);
   parser.parse(argc, argv);
 
-  if (check_path.empty() == compare_old.empty())
-    parser.fail("pass exactly one of --check FILE or --compare OLD NEW");
+  const int modes = (check_path.empty() ? 0 : 1) +
+                    (compare_old.empty() ? 0 : 1) +
+                    (record_path.empty() ? 0 : 1) +
+                    (trend_dir.empty() ? 0 : 1) +
+                    (compare_baseline_path.empty() ? 0 : 1);
+  if (modes != 1)
+    parser.fail("pass exactly one of --check, --compare, --record, "
+                "--trend, or --compare-to-baseline");
 
   if (!check_path.empty()) {
     if (!parser.positionals().empty())
@@ -73,15 +139,98 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (parser.positionals().size() != 1)
-    parser.fail("--compare needs the NEW file as a positional argument");
+  if (!compare_old.empty()) {
+    if (parser.positionals().size() != 1)
+      parser.fail("--compare needs the NEW file as a positional argument");
+    const double threshold = threshold_pct < 0 ? 0.5 : threshold_pct;
+    try {
+      const BenchReportDoc old_doc = read_bench_report_file(compare_old);
+      const BenchReportDoc new_doc =
+          read_bench_report_file(parser.positionals()[0]);
+      const BenchCompareResult result =
+          compare_bench_reports(old_doc, new_doc, threshold);
+      std::cout << format_bench_compare(result, threshold);
+      // A shrunk run set fails like a regression: cells that vanished
+      // can't be compared, and "we stopped measuring it" must not read
+      // as "it got faster".
+      return result.regressions > 0 || !result.removed.empty() ? 1 : 0;
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  if (!record_path.empty()) {
+    if (!parser.positionals().empty())
+      parser.fail("--record takes no positional argument");
+    try {
+      const BenchReportDoc doc = read_bench_report_file(record_path);
+      PerfRecord record = perf_record_from_report(doc);
+      const obs::HostFingerprint fp = obs::host_fingerprint();
+      record.hostname = fp.hostname;
+      record.cpu_model = fp.cpu_model;
+      record.cpus = fp.cpus;
+      record.recorded_at = utc_now_iso8601();
+      append_perf_record(history_dir, record);
+      std::cout << perf_history_path(history_dir, record.bench)
+                << ": recorded " << record.bench << " @ " << record.git_rev
+                << " (" << record.cells << " cell(s), wall "
+                << record.wall_ms << " ms, peak rss " << record.max_rss_kb
+                << " kb)\n";
+      if (!baseline_name.empty()) {
+        save_perf_baseline(history_dir, baseline_name, record);
+        std::cout << "baseline " << baseline_name << ": pinned\n";
+      }
+      return 0;
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  if (!trend_dir.empty()) {
+    if (!parser.positionals().empty())
+      parser.fail("--trend takes no positional argument");
+    const double threshold = threshold_pct < 0 ? 10.0 : threshold_pct;
+    try {
+      const std::vector<std::string> ledgers =
+          list_perf_histories(trend_dir);
+      if (ledgers.empty()) {
+        std::cout << trend_dir << ": no perf-history ledgers\n";
+        return 0;
+      }
+      std::size_t regressions = 0;
+      for (const std::string& path : ledgers) {
+        const PerfTrendResult result =
+            trend_perf_history(load_perf_history(path), threshold);
+        std::cout << format_perf_trend(result, threshold);
+        regressions += result.regressions;
+      }
+      return regressions > 0 ? 1 : 0;
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  if (baseline_name.empty())
+    parser.fail("--compare-to-baseline needs --baseline NAME");
+  if (!parser.positionals().empty())
+    parser.fail("--compare-to-baseline takes no positional argument");
+  const double threshold = threshold_pct < 0 ? 10.0 : threshold_pct;
   try {
-    const BenchReportDoc old_doc = read_bench_report_file(compare_old);
-    const BenchReportDoc new_doc =
-        read_bench_report_file(parser.positionals()[0]);
-    const BenchCompareResult result =
-        compare_bench_reports(old_doc, new_doc, threshold_pct);
-    std::cout << format_bench_compare(result, threshold_pct);
+    const BenchReportDoc doc =
+        read_bench_report_file(compare_baseline_path);
+    PerfRecord latest = perf_record_from_report(doc);
+    const obs::HostFingerprint fp = obs::host_fingerprint();
+    latest.hostname = fp.hostname;
+    latest.cpu_model = fp.cpu_model;
+    latest.cpus = fp.cpus;
+    const PerfRecord baseline =
+        load_perf_baseline(history_dir, baseline_name);
+    const PerfTrendResult result =
+        compare_to_baseline(baseline, latest, threshold);
+    std::cout << format_perf_trend(result, threshold);
     return result.regressions > 0 ? 1 : 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -16,6 +16,7 @@
 
 #include "baselines/cpu.hpp"
 #include "baselines/graphr.hpp"
+#include "core/bench_json.hpp"
 #include "core/machine.hpp"
 #include "core/report_io.hpp"
 #include "graph/blocked_format.hpp"
@@ -24,6 +25,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "memmodel/area.hpp"
+#include "obs/host_profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
@@ -62,6 +64,7 @@ int main(int argc, char** argv) {
   bool area = false;
   bool csv = false;
   bool metrics = false;
+  bool host_profile = false;
   std::string trace_path;
 
   cli::ArgParser parser(
@@ -158,6 +161,11 @@ int main(int argc, char** argv) {
               "dump the metrics registry to stderr as sorted key=value "
               "lines",
               &metrics);
+  parser.flag("--host-profile",
+              "profile the host process: wall-clock spans, RSS sampling "
+              "and stage rates as host.* metrics (and a wall-clock trace "
+              "track with --trace)",
+              &host_profile);
   parser.option("--trace", "PATH",
                 "write a Chrome trace-event JSON (chrome://tracing, "
                 "Perfetto) of the run to PATH",
@@ -168,7 +176,7 @@ int main(int argc, char** argv) {
 
     // Enable telemetry before the graph loads so the sim.ooc.* window
     // counters cover the streaming load itself.
-    if (metrics) obs::set_enabled(true);
+    if (metrics || host_profile) obs::set_enabled(true);
 
     if (!graph_path.empty()) {
       if (graph) parser.fail("choose one of --dataset/--graph/--rmat");
@@ -199,7 +207,11 @@ int main(int argc, char** argv) {
 
     if (partitioner) config.set_partitioner(*partitioner);
     std::optional<obs::Trace> trace;
-    if (!trace_path.empty()) trace.emplace();
+    if (!trace_path.empty()) {
+      trace.emplace();
+      add_attribution_metadata(*trace, argc, argv);
+    }
+    if (host_profile) obs::host_profiler().start(trace ? &*trace : nullptr);
 
     const HyveMachine machine(config);
     const RunReport r =
@@ -208,6 +220,9 @@ int main(int argc, char** argv) {
     // emit a report the downstream tooling cannot parse back.
     validate_report_round_trip(r);
 
+    // Stop before the write so host.wall_us and the final RSS sample
+    // land in the trace and the --metrics dump.
+    if (host_profile) obs::host_profiler().stop();
     if (trace) trace->write_file(trace_path);
 
     if (csv) {
