@@ -18,12 +18,14 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <iostream>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -37,6 +39,7 @@
 #include "exp/sweep.hpp"
 #include "graph/datasets.hpp"
 #include "obs/host_profiler.hpp"
+#include "obs/live.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -118,6 +121,10 @@ inline void record_report(const std::string& graph_key,
 //   --trace PATH          write a Chrome trace-event JSON of the run
 //   --json PATH           write a versioned bench report JSON of the run
 //                         (validate/diff/record with hyve_report)
+//   --live-status PATH[,interval_ms[,stall_ms]]
+//                         publish a live status JSON snapshot (progress,
+//                         ETA, worker heartbeats, metrics, RSS) to PATH
+//                         on the interval; watch with tools/hyve_top
 struct Options {
   int jobs = 1;
   bool smoke = false;
@@ -129,6 +136,9 @@ struct Options {
   std::string trace_path;
   std::shared_ptr<obs::Trace> trace;  // set when --trace was given
   std::string json_path;              // set when --json was given
+  // Set when --live-status was given; live_telemetry() runs for the
+  // whole bench and finish()/flight_save() publish the final state.
+  std::optional<obs::LiveStatusOptions> live;
   std::string bench_name;             // the binary's prog name
   int resolved_jobs = 1;              // jobs with 0 resolved to the machine
   // Process wall-clock epoch for the report's host section, pinned at
@@ -194,6 +204,42 @@ struct Options {
     }
     if (trace) trace->write_file(trace_path);
     if (!json_path.empty()) write_json_report();
+    // Last, so the final "done" snapshot reflects end-of-run metrics.
+    if (obs::live_telemetry().enabled()) obs::live_telemetry().stop("done");
+  }
+
+  // Flight-recorder save path: runs once on the recorder thread after
+  // SIGINT/SIGTERM (or a hooked abort) and finalizes whatever partial
+  // outputs the run was asked for — a truncated but loadable trace, a
+  // partial (still --check-clean) bench report, a final "interrupted"
+  // status snapshot, and a registry dump to stderr. Sweep workers are
+  // still running; every file goes through temp + rename so nothing is
+  // ever half-written.
+  void flight_save(int signum) const {
+    if (obs::live_telemetry().enabled())
+      obs::live_telemetry().stop("interrupted");
+    if (host_profile) obs::host_profiler().stop();
+    if (trace) {
+      try {
+        trace->write_file_atomic(trace_path, /*truncated=*/true);
+        std::cerr << bench_name << ": flight-recorded truncated trace "
+                  << trace_path << "\n";
+      } catch (const std::exception& e) {
+        std::cerr << bench_name
+                  << ": trace flight record failed: " << e.what() << "\n";
+      }
+    }
+    if (!json_path.empty()) {
+      try {
+        write_json_report();
+      } catch (const std::exception& e) {
+        std::cerr << bench_name
+                  << ": report flight record failed: " << e.what() << "\n";
+      }
+    }
+    if (obs::enabled()) obs::registry().dump(std::cerr);
+    std::cerr << bench_name << ": flight record complete (signal "
+              << signum << ")\n";
   }
 
  private:
@@ -250,7 +296,12 @@ struct Options {
       if (name.rfind("sim.", 0) == 0)
         doc.metrics.emplace(name, line.substr(eq + 1));
     }
-    write_bench_report_file(json_path, doc);
+    // Temp + rename: the flight recorder can fire while (or after) the
+    // normal finish() writes, and readers must never see partial bytes.
+    const std::string tmp = json_path + ".part";
+    write_bench_report_file(tmp, doc);
+    if (std::rename(tmp.c_str(), json_path.c_str()) != 0)
+      throw std::runtime_error("cannot publish bench report " + json_path);
     std::cerr << bench_name << ": wrote " << json_path << " ("
               << doc.runs.size() << " run(s))\n";
   }
@@ -346,13 +397,22 @@ inline Options parse_args(int argc, char** argv, const std::string& prog,
                 "ledger rollup, sim.* metrics) to PATH; validate or diff "
                 "with hyve_report",
                 [&](const std::string& v) { opts.json_path = v; });
+  parser.option("--live-status", "PATH[,interval_ms[,stall_ms]]",
+                "publish a live status JSON snapshot (progress, ETA, "
+                "worker heartbeats, metrics, RSS) to PATH on the "
+                "interval (default 500 ms); watch with hyve_top",
+                [&](const std::string& v) {
+                  const auto live = obs::parse_live_status(v);
+                  if (!live) parser.fail("bad --live-status spec " + v);
+                  opts.live = *live;
+                });
   parser.parse(argc, argv);
   // Telemetry is opt-in: the registry stays a single relaxed-load branch
   // in the hot paths unless one of these flags asks for it. Enabling
   // happens before any cell runs, so registry counters match the
   // caches' own whole-run counters.
   if (opts.cache_stats || opts.metrics || !opts.json_path.empty() ||
-      opts.host_profile)
+      opts.host_profile || opts.live)
     obs::set_enabled(true);
   if (!opts.trace_path.empty()) {
     opts.trace = std::make_shared<obs::Trace>();
@@ -365,6 +425,17 @@ inline Options parse_args(int argc, char** argv, const std::string& prog,
                 std::max(1u, std::thread::hardware_concurrency()))
           : opts.jobs;
   if (opts.host_profile) obs::host_profiler().start(opts.trace.get());
+  if (opts.live) {
+    opts.live->bench = prog;
+    obs::live_telemetry().start(*opts.live);
+  }
+  // Any run with durable outputs is worth flight-recording: partial
+  // results are finalized instead of lost when the run is interrupted.
+  if (opts.trace || !opts.json_path.empty() || opts.live) {
+    const Options snapshot = opts;
+    obs::install_flight_recorder(
+        [snapshot](int signum) { snapshot.flight_save(signum); });
+  }
   if (opts.functional_cache)
     functional_cache_if_enabled() = &functional_cache();
   // Without --graph-cache-mb the budget is sized from the machine
@@ -446,9 +517,13 @@ inline GridResults run_grid(const exp::SweepSpec& spec, const Options& opts) {
   exp::SweepOptions options;
   options.jobs = opts.jobs;
   options.trace = opts.trace.get();
+  // Capture reports as cells flush (not after the sweep returns): a
+  // flight-recorded partial --json then carries every finished cell.
+  options.on_result = [](const exp::SweepCell& cell,
+                         const RunReport& report) {
+    record_report(cell.graph_key, report);
+  };
   std::vector<exp::SweepResult> results = engine.run(grid_spec, options);
-  for (const exp::SweepResult& result : results)
-    record_report(result.cell.graph_key, result.report);
   return GridResults(spec, std::move(results));
 }
 

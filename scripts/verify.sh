@@ -5,7 +5,9 @@
 # diffed across --jobs), a functional-cache smoke run (cache on/off
 # byte-diff of stdout and --json), an out-of-core smoke run (blocked
 # graph streamed under --ooc-window-mb, byte-diffed against the
-# in-memory run), then the sweep-engine concurrency tests under
+# in-memory run), a live-telemetry smoke run (--live-status snapshots,
+# hyve_top, and the SIGTERM flight-record path), a docs/METRICS.md
+# drift check, then the sweep-engine concurrency tests under
 # ThreadSanitizer.
 set -eu
 
@@ -172,6 +174,62 @@ cmp "$obs_dir/dash_j1.html" "$obs_dir/dash_j8.html" ||
 grep -q '<html>' "$obs_dir/dash_j1.html" ||
   { echo "perf-history: dashboard is not HTML" >&2; exit 1; }
 echo "perf-history: OK"
+
+# live-smoke: a bench run with --live-status must publish at least two
+# snapshots and finish with state "done" — without changing a byte of
+# stdout (diffed against the plain run from the functional-cache step).
+# hyve_top must render the final snapshot. Then a second, full-size run
+# is SIGTERMed mid-sweep: the flight recorder must exit with code 75
+# and leave a hyve_report-clean partial report, a truncated trace and
+# an "interrupted" final snapshot.
+./build/bench/bench_fig13 --smoke --jobs 2 \
+  --live-status "$obs_dir/live.json,40" \
+  > "$obs_dir/bench_live.out" 2>/dev/null
+grep -q '"state":"done"' "$obs_dir/live.json" ||
+  { echo "live-smoke: final snapshot state is not done" >&2; exit 1; }
+snaps=$(sed -n 's/.*"snapshot":\([0-9]*\).*/\1/p' "$obs_dir/live.json")
+[ -n "$snaps" ] && [ "$snaps" -ge 2 ] ||
+  { echo "live-smoke: fewer than 2 snapshots published" >&2; exit 1; }
+cmp "$obs_dir/bench_live.out" "$obs_dir/bench_nofc.out" ||
+  { echo "live-smoke: --live-status changed bench stdout" >&2; exit 1; }
+./build/tools/hyve_top "$obs_dir/live.json" --once > "$obs_dir/top.txt" ||
+  { echo "live-smoke: hyve_top failed on a status file" >&2; exit 1; }
+grep -q 'cells' "$obs_dir/top.txt" ||
+  { echo "live-smoke: hyve_top rendered no progress line" >&2; exit 1; }
+rm -f "$obs_dir/live.json"
+./build/bench/bench_fig13 --jobs 2 --live-status "$obs_dir/live.json,30" \
+  --json "$obs_dir/bench_flight.json" --trace "$obs_dir/flight_trace.json" \
+  >/dev/null 2>&1 &
+flight_pid=$!
+tries=0
+while [ "$tries" -lt 600 ]; do
+  if grep -q '"done":[1-9]' "$obs_dir/live.json" 2>/dev/null; then break; fi
+  kill -0 "$flight_pid" 2>/dev/null ||
+    { echo "live-smoke: bench exited before it could be interrupted" >&2
+      exit 1; }
+  sleep 0.05
+  tries=$((tries + 1))
+done
+kill -TERM "$flight_pid"
+flight_rc=0
+wait "$flight_pid" || flight_rc=$?
+[ "$flight_rc" -eq 75 ] ||
+  { echo "live-smoke: flight-record exit code $flight_rc != 75" >&2; exit 1; }
+./build/tools/hyve_report --check "$obs_dir/bench_flight.json" >/dev/null ||
+  { echo "live-smoke: partial flight report rejected" >&2; exit 1; }
+grep -q '"truncated":true' "$obs_dir/flight_trace.json" ||
+  { echo "live-smoke: flight trace missing truncation marker" >&2; exit 1; }
+grep -q '"state":"interrupted"' "$obs_dir/live.json" ||
+  { echo "live-smoke: final snapshot state is not interrupted" >&2; exit 1; }
+echo "live-smoke: OK"
+
+# metrics-doc: the checked-in metrics reference must match what the
+# binary actually registers.
+./build/tools/hyve_sim --list-metrics | cmp - docs/METRICS.md ||
+  { echo "metrics-doc: docs/METRICS.md is stale — regenerate with" \
+         "./build/tools/hyve_sim --list-metrics > docs/METRICS.md" >&2
+    exit 1; }
+echo "metrics-doc: OK"
 
 cmake -B build-tsan -S . -DHYVE_SANITIZE=thread
 cmake --build build-tsan -j

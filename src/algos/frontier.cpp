@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/live.hpp"
 #include "util/check.hpp"
 
 namespace hyve {
@@ -67,8 +68,10 @@ FrontierTrace run_frontier(const Graph& graph, VertexProgram& program,
   std::vector<char> interval_active(p, 1);
   std::vector<char> vertex_changed(graph.num_vertices(), 0);
 
+  obs::LiveTelemetry& live = obs::live_telemetry();
   bool more = true;
   while (more && trace.result.iterations < program.max_iterations()) {
+    live.beat("functional.pass");
     std::vector<FrontierTrace::BlockCount> this_pass;
     std::fill(vertex_changed.begin(), vertex_changed.end(), 0);
 

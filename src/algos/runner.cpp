@@ -7,6 +7,7 @@
 #include "algos/pagerank.hpp"
 #include "algos/spmv.hpp"
 #include "algos/sssp.hpp"
+#include "obs/live.hpp"
 #include "util/check.hpp"
 
 namespace hyve {
@@ -66,8 +67,12 @@ FunctionalResult run_functional(const Graph& graph, VertexProgram& program,
     result.edges_traversed += graph.num_edges();
   };
 
+  // The functional passes are where a big graph spends its host time;
+  // beating per pass keeps the live stall watchdog quiet.
+  obs::LiveTelemetry& live = obs::live_telemetry();
   bool more = true;
   while (more && result.iterations < program.max_iterations()) {
+    live.beat("functional.pass");
     run_pass();
     ++result.iterations;
     more = program.end_iteration(result.iterations);

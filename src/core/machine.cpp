@@ -6,6 +6,7 @@
 
 #include "memmodel/techparams.hpp"
 #include "obs/host_profiler.hpp"
+#include "obs/live.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "sim/pipeline.hpp"
@@ -347,7 +348,14 @@ void HyveMachine::account_with_sram(const Graph& graph,
   double exec_time = 0;
   double streaming_time = 0;
 
+  // The architectural iteration walk is the longest uninterrupted
+  // stretch of a cell; beating here keeps the stall watchdog quiet on
+  // large graphs. One relaxed-class load per iteration when live
+  // telemetry is off.
+  obs::LiveTelemetry& live = obs::live_telemetry();
+
   for (std::uint32_t iter = 0; iter < report.iterations; ++iter) {
+    live.beat("machine.iteration");
     AccessStats it;
     if (frontier != nullptr) {
       frontier->expand_iteration(iter, frontier_blocks);

@@ -13,6 +13,7 @@
 
 #include "core/report_io.hpp"
 #include "obs/host_profiler.hpp"
+#include "obs/live.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -126,6 +127,14 @@ void parallel_cells(std::size_t n, int jobs_option,
                     const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
 
+  // Live progress/heartbeats for every cell list that flows through
+  // here (SweepEngine grids and the benches' irregular run_cells lists
+  // alike). Totals accumulate per call so a binary running several
+  // grids reports one monotone done/total. No-ops when --live-status
+  // was not given.
+  obs::LiveTelemetry& live = obs::live_telemetry();
+  live.add_total_cells(n);
+
   std::atomic<std::size_t> next{0};
   std::atomic<bool> abort{false};
   std::mutex mu;  // guards first_error
@@ -135,6 +144,7 @@ void parallel_cells(std::size_t n, int jobs_option,
     while (!abort.load(std::memory_order_relaxed)) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
+      live.begin_cell(i);
       try {
         fn(i);
       } catch (...) {
@@ -142,6 +152,7 @@ void parallel_cells(std::size_t n, int jobs_option,
         if (!first_error) first_error = std::current_exception();
         abort.store(true, std::memory_order_relaxed);
       }
+      live.end_cell();
     }
   };
 
@@ -245,6 +256,8 @@ std::vector<SweepResult> SweepEngine::run(const SweepSpec& spec,
     // output order never depends on thread scheduling.
     while (flushed < n && reports[flushed].has_value()) {
       if (sink != nullptr) sink->write(cells[flushed], *reports[flushed]);
+      if (options.on_result)
+        options.on_result(cells[flushed], *reports[flushed]);
       ++flushed;
     }
   });

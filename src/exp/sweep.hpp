@@ -115,6 +115,11 @@ struct SweepOptions {
   // + 1); timestamps are simulated ns, so the trace bytes are the same
   // for any `jobs` value.
   obs::Trace* trace = nullptr;
+  // Called for each completed cell, in cell-index order under the same
+  // lock as the ResultSink flush. Lets callers capture results as they
+  // land (the benches' --json collector does, so a flight-recorded
+  // partial report contains every cell finished so far).
+  std::function<void(const SweepCell&, const RunReport&)> on_result;
 };
 
 struct SweepResult {

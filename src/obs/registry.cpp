@@ -157,6 +157,19 @@ std::size_t Registry::size() const {
   return kinds_.size();
 }
 
+std::vector<std::pair<std::string, std::string>> Registry::schema() const {
+  const std::scoped_lock lock(mu_);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(kinds_.size());
+  for (const auto& [name, kind] : kinds_) {
+    const char* label = "counter";
+    if (kind == Kind::kGauge) label = "gauge";
+    if (kind == Kind::kHistogram) label = "histogram";
+    out.emplace_back(name, label);
+  }
+  return out;
+}
+
 void Registry::reset_values() {
   const std::scoped_lock lock(mu_);
   for (auto& [name, c] : counters_) c->reset();

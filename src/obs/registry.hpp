@@ -29,6 +29,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace hyve::obs {
 
@@ -128,6 +130,10 @@ class Registry {
 
   // Registered instruments (all kinds).
   std::size_t size() const;
+  // (name, kind) for every instrument, sorted by name; kind is one of
+  // "counter", "gauge", "histogram". The `--list-metrics` census
+  // (docs/METRICS.md) renders from this.
+  std::vector<std::pair<std::string, std::string>> schema() const;
   // Zeroes every instrument (handles stay valid) — test isolation.
   void reset_values();
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
@@ -176,13 +177,18 @@ std::size_t Trace::events() const {
   return events_.size();
 }
 
-void Trace::write(std::ostream& os) const {
-  std::vector<const TraceEvent*> ordered;
+void Trace::write(std::ostream& os, bool truncated) const {
+  // Copy under the lock: the flight recorder writes while sweep workers
+  // may still append, and an append can reallocate events_ out from
+  // under borrowed pointers.
+  std::vector<TraceEvent> snapshot;
   {
     const std::scoped_lock lock(mu_);
-    ordered.reserve(events_.size());
-    for (const TraceEvent& e : events_) ordered.push_back(&e);
+    snapshot = events_;
   }
+  std::vector<const TraceEvent*> ordered;
+  ordered.reserve(snapshot.size());
+  for (const TraceEvent& e : snapshot) ordered.push_back(&e);
   // Metadata first, then (pid, tid, ts, name): every track reads in
   // non-decreasing timestamp order and the byte stream is independent
   // of append interleaving.
@@ -193,7 +199,9 @@ void Trace::write(std::ostream& os) const {
                      return std::tie(ma, a->pid, a->tid, a->ts_ns, a->name) <
                             std::tie(mb, b->pid, b->tid, b->ts_ns, b->name);
                    });
-  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  os << "{\"displayTimeUnit\":\"ns\",";
+  if (truncated) os << "\"truncated\":true,";
+  os << "\"traceEvents\":[\n";
   for (std::size_t i = 0; i < ordered.size(); ++i) {
     if (i > 0) os << ",\n";
     write_event(os, *ordered[i]);
@@ -206,6 +214,20 @@ void Trace::write_file(const std::string& path) const {
   if (!os) throw std::runtime_error("cannot open trace file " + path);
   write(os);
   if (!os.good()) throw std::runtime_error("failed writing trace " + path);
+}
+
+void Trace::write_file_atomic(const std::string& path,
+                              bool truncated) const {
+  const std::string tmp = path + ".part";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) throw std::runtime_error("cannot open trace file " + tmp);
+    write(os, truncated);
+    if (!os.good())
+      throw std::runtime_error("failed writing trace " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw std::runtime_error("cannot publish trace " + path);
 }
 
 }  // namespace hyve::obs

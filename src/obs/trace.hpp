@@ -65,10 +65,21 @@ class Trace {
   std::size_t events() const;
 
   // The full trace document, one event per line, sorted by
-  // (pid, tid, ts, name) with metadata events first.
-  void write(std::ostream& os) const;
+  // (pid, tid, ts, name) with metadata events first. The document is
+  // closed and valid from any state — zero events, or a snapshot taken
+  // while other threads still append (flight record): whatever events
+  // were fully appended render; arrays and the trailer always close.
+  // `truncated` stamps a top-level "truncated":true member so tooling
+  // can tell an early-finalized trace from a completed one (viewers
+  // ignore unknown top-level keys).
+  void write(std::ostream& os, bool truncated) const;
+  void write(std::ostream& os) const { write(os, false); }
   // write() to a file; throws std::runtime_error when it cannot.
   void write_file(const std::string& path) const;
+  // Early-finalize path: writes to `path` + ".part" and rename()s into
+  // place, so a reader (or a racing normal write_file) never observes a
+  // half-written document. Throws std::runtime_error on failure.
+  void write_file_atomic(const std::string& path, bool truncated) const;
 
  private:
   void append(TraceEvent event);

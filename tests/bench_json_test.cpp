@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <sys/wait.h>
 
@@ -234,6 +237,24 @@ TEST(BenchJson, HyveReportBinaryExitCodes) {
   EXPECT_EQ(run_tool("--compare " + old_path + " " + shrunk_path), 1);
   // A grown run set is fine (grids legitimately gain cells).
   EXPECT_EQ(run_tool("--compare " + shrunk_path + " " + old_path), 0);
+}
+
+// A fresh clone runs the CI trend step before any history exists:
+// empty and missing directories report "no prior records" and pass.
+TEST(BenchJson, HyveReportTrendToleratesMissingHistory) {
+  const std::string dir = testing::TempDir() + "hyve_report_no_history";
+  std::filesystem::create_directories(dir);
+  EXPECT_EQ(run_tool("--trend " + dir), 0);
+  EXPECT_EQ(run_tool("--trend " + dir + "/does_not_exist"), 0);
+
+  const std::string cmd = std::string(HYVE_REPORT_BIN) + " --trend " + dir;
+  std::unique_ptr<FILE, int (*)(FILE*)> pipe(
+      ::popen(cmd.c_str(), "r"), ::pclose);
+  ASSERT_NE(pipe, nullptr);
+  std::string out;
+  char buf[256];
+  while (std::fgets(buf, sizeof buf, pipe.get()) != nullptr) out += buf;
+  EXPECT_NE(out.find("no prior records"), std::string::npos) << out;
 }
 #endif
 

@@ -16,6 +16,7 @@
 // Output is deterministic and order-stable for any --jobs value, and
 // byte-identical with the functional cache on or off.
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -24,6 +25,7 @@
 #include "exp/sweep.hpp"
 #include "graph/datasets.hpp"
 #include "obs/host_profiler.hpp"
+#include "obs/live.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
@@ -41,6 +43,7 @@ int main(int argc, char** argv) {
   bool cache_stats = false;
   bool host_profile = false;
   std::string trace_path;
+  std::optional<obs::LiveStatusOptions> live_opts;
 
   cli::ArgParser parser("hyve_experiments",
                         "run a (configs x algorithms x datasets) grid and "
@@ -118,6 +121,14 @@ int main(int argc, char** argv) {
                 "write a Chrome trace-event JSON of the sweep to PATH "
                 "(one pid per cell)",
                 [&](const std::string& v) { trace_path = v; });
+  parser.option("--live-status", "PATH[,interval_ms[,stall_ms]]",
+                "write periodic JSON status snapshots (progress, ETA, "
+                "worker heartbeats, hot metrics) to PATH for hyve_top",
+                [&](const std::string& v) {
+                  live_opts = obs::parse_live_status(v);
+                  if (!live_opts)
+                    parser.fail("bad --live-status spec " + v);
+                });
   parser.parse(argc, argv);
 
   if (add_frontier) {
@@ -128,14 +139,39 @@ int main(int argc, char** argv) {
   }
 
   try {
-    if (metrics || host_profile) obs::set_enabled(true);
-    std::optional<obs::Trace> trace;
+    if (metrics || host_profile || live_opts) obs::set_enabled(true);
+    // shared_ptr so the flight recorder can finalize the trace from its
+    // own thread even while this scope is mid-sweep.
+    std::shared_ptr<obs::Trace> trace;
     if (!trace_path.empty()) {
-      trace.emplace();
+      trace = std::make_shared<obs::Trace>();
       add_attribution_metadata(*trace, argc, argv);
     }
-    options.trace = trace ? &*trace : nullptr;
+    options.trace = trace.get();
     if (host_profile) obs::host_profiler().start(options.trace);
+    if (live_opts) {
+      live_opts->bench = "hyve_experiments";
+      obs::live_telemetry().start(*live_opts);
+    }
+    if (trace || live_opts) {
+      const bool profiling = host_profile;
+      obs::install_flight_recorder([trace, trace_path,
+                                    profiling](int signum) {
+        if (obs::live_telemetry().enabled())
+          obs::live_telemetry().stop("interrupted");
+        if (profiling) obs::host_profiler().stop();
+        // Records already emitted to stdout form a valid JSONL/CSV
+        // prefix; flush so the pipe reader sees every finished cell.
+        std::cout.flush();
+        if (trace && !trace_path.empty()) {
+          trace->write_file_atomic(trace_path, /*truncated=*/true);
+          std::cerr << "flight record: wrote truncated trace to "
+                    << trace_path << "\n";
+        }
+        if (obs::enabled()) obs::registry().dump(std::cerr);
+        std::cerr << "flight record complete (signal " << signum << ")\n";
+      });
+    }
 
     exp::GraphCache graphs;
     exp::PartitionCache partitions;
@@ -145,6 +181,7 @@ int main(int argc, char** argv) {
     exp::ResultSink sink(std::cout, format);
     engine.run(spec, options, &sink);
 
+    if (obs::live_telemetry().enabled()) obs::live_telemetry().stop("done");
     if (host_profile) obs::host_profiler().stop();
     if (trace) trace->write_file(trace_path);
     if (cache_stats) {

@@ -196,7 +196,7 @@ int main(int argc, char** argv) {
       const std::vector<std::string> ledgers =
           list_perf_histories(trend_dir);
       if (ledgers.empty()) {
-        std::cout << trend_dir << ": no perf-history ledgers\n";
+        std::cout << trend_dir << ": no prior records\n";
         return 0;
       }
       std::size_t regressions = 0;

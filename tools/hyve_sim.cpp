@@ -9,16 +9,23 @@
 //   hyve_sim --graph big.hgb --graph-format blocked --ooc-window-mb 64
 //   hyve_sim --rmat 100000x600000 --algo cc --sram-mb 4 --pus 16
 //            --cell-bits 2 --no-sharing --no-power-gating --compare
+#include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
+
+#include <unistd.h>
 
 #include "baselines/cpu.hpp"
 #include "baselines/graphr.hpp"
 #include "core/bench_json.hpp"
 #include "core/machine.hpp"
 #include "core/report_io.hpp"
+#include "exp/cache.hpp"
+#include "exp/sweep.hpp"
 #include "graph/blocked_format.hpp"
 #include "graph/blocked_reader.hpp"
 #include "graph/datasets.hpp"
@@ -26,8 +33,12 @@
 #include "graph/io.hpp"
 #include "memmodel/area.hpp"
 #include "obs/host_profiler.hpp"
+#include "obs/live.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "sim/dram_timing.hpp"
+#include "sim/memory_controller.hpp"
+#include "sim/reram_timing.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -42,6 +53,125 @@ std::uint64_t sniff_magic(const std::string& path) {
   std::uint64_t magic = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof magic);
   return in.gcount() == sizeof magic ? magic : 0;
+}
+
+// --list-metrics: registers every instrument the simulator, the sweep
+// engine, the caches, the host profiler and live telemetry can emit by
+// exercising each subsystem once on tiny inputs, then prints the
+// registry schema as a markdown table. The output is checked in as
+// docs/METRICS.md and scripts/verify.sh diffs the two, so metric names
+// cannot drift from the docs. Values are irrelevant — only the *name
+// set* must be deterministic, and it is: the same subsystems register
+// the same names on every host.
+int run_metrics_census() {
+  using namespace hyve;
+  namespace fs = std::filesystem;
+  obs::set_enabled(true);
+  obs::host_profiler().start();
+
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("hyve_metrics_census." + std::to_string(::getpid()));
+  fs::create_directories(dir);
+
+  // Graph generation: host.span.rmat.generate, host.count.rmat_edges.
+  Graph tiny = generate_rmat(512, 2048, {}, 1);
+
+  // Out-of-core streaming load through a deliberately tiny window over
+  // many small blocks so faults AND evictions happen: the sim.ooc.*
+  // family.
+  const std::string blocked = (dir / "census.hgb").string();
+  RmatChunkOptions chunk;
+  chunk.write.block_edges = 256;
+  generate_rmat_blocked(blocked, 512, 2048, {}, 1, chunk);
+  {
+    exp::GraphCache ooc_cache;
+    ooc_cache.set_ooc_window_budget(units::KiB(4));
+    ooc_cache.add_blocked("census-ooc", blocked);
+    ooc_cache.acquire("census-ooc");
+  }
+
+  // The full accelerator-config grid × {PR, BFS} × every partitioning
+  // strategy on the tiny graph: sim.pipeline/dram/reram/memctl/bpg/
+  // partition.*, exp.sweep.*, exp.*_cache.* (per-strategy suffixes
+  // included), host.span.machine.* / partition.build / sweep.cell.
+  exp::GraphCache graphs;
+  exp::PartitionCache partitions;
+  exp::FunctionalCache functional;
+  graphs.add("census", std::move(tiny));
+  exp::SweepSpec spec;
+  spec.configs = fig16_accelerator_configs();
+  spec.algorithms = {Algorithm::kPageRank, Algorithm::kBfs};
+  spec.partitioners.clear();
+  for (const char* name : {"interval", "hep:tau=2", "splitmerge:chunks=2"})
+    spec.partitioners.push_back(*parse_partitioner(name));
+  spec.graphs = {"census"};
+  exp::SweepEngine engine(graphs, partitions, &functional);
+  exp::SweepOptions options;
+  options.jobs = 1;
+  engine.run(spec, options);
+
+  // Detailed-mode memory timing (driven by the timing tests/benches,
+  // not the analytic machine walk): sim.memctl.*, sim.dram.*,
+  // sim.reram.*.
+  {
+    const std::shared_ptr<const Graph> census_graph =
+        graphs.acquire("census");
+    const std::shared_ptr<const Partitioning> schedule =
+        partitions.acquire("census", *census_graph, 4,
+                           *parse_partitioner("interval"));
+    const MemoryController controller(*schedule, 8, 4);
+    const std::vector<MemRequest> scan = controller.full_edge_scan();
+    DramTimingSim().run(scan);
+    ReramTimingSim().run(scan);
+  }
+
+  // One live-telemetry session against a scratch path: the live.*
+  // counters (interval far beyond the session, so only the start/stop
+  // snapshots write).
+  obs::LiveStatusOptions live;
+  live.path = (dir / "census-live.json").string();
+  live.interval = std::chrono::minutes(10);
+  live.bench = "census";
+  obs::live_telemetry().start(live);
+  obs::live_telemetry().add_total_cells(1);
+  obs::live_telemetry().beat("census");
+  obs::live_telemetry().cell_done();
+  obs::live_telemetry().stop("done");
+
+  // host.wall_us, host.rate.*_per_s and the final memory sample.
+  obs::host_profiler().stop();
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+
+  std::cout
+      << "# Metrics reference\n"
+      << "\n"
+      << "Every metric the instrumented layers can register, by name "
+         "and\n"
+      << "instrument type. Generated by `hyve_sim --list-metrics`; "
+         "do not\n"
+      << "edit by hand — `scripts/verify.sh` regenerates this table "
+         "and\n"
+      << "fails when the checked-in copy is stale.\n"
+      << "\n"
+      << "Prefixes: `sim.*` are simulated (deterministic, rolled into "
+         "bench\n"
+      << "reports), `exp.*` are sweep-engine/cache effects (may depend "
+         "on\n"
+      << "worker scheduling), `host.*` are wall-clock host "
+         "measurements,\n"
+      << "`live.*` belong to the --live-status session. Histograms "
+         "expand\n"
+      << "to `.avg/.count/.max/.min/.p50/.p95/.p99/.sum` in dumps and\n"
+      << "snapshots.\n"
+      << "\n"
+      << "| metric | type |\n"
+      << "|---|---|\n";
+  for (const auto& [name, kind] : obs::registry().schema())
+    std::cout << "| `" << name << "` | " << kind << " |\n";
+  return 0;
 }
 
 }  // namespace
@@ -64,8 +194,10 @@ int main(int argc, char** argv) {
   bool area = false;
   bool csv = false;
   bool metrics = false;
+  bool list_metrics = false;
   bool host_profile = false;
   std::string trace_path;
+  std::optional<obs::LiveStatusOptions> live_opts;
 
   cli::ArgParser parser(
       "hyve_sim",
@@ -161,6 +293,11 @@ int main(int argc, char** argv) {
               "dump the metrics registry to stderr as sorted key=value "
               "lines",
               &metrics);
+  parser.flag("--list-metrics",
+              "exercise every instrumented subsystem on tiny inputs and "
+              "print the full metric name/type table (docs/METRICS.md), "
+              "then exit",
+              &list_metrics);
   parser.flag("--host-profile",
               "profile the host process: wall-clock spans, RSS sampling "
               "and stage rates as host.* metrics (and a wall-clock trace "
@@ -170,13 +307,29 @@ int main(int argc, char** argv) {
                 "write a Chrome trace-event JSON (chrome://tracing, "
                 "Perfetto) of the run to PATH",
                 [&](const std::string& v) { trace_path = v; });
+  parser.option("--live-status", "PATH[,interval_ms[,stall_ms]]",
+                "publish a live status JSON snapshot (progress, "
+                "heartbeats, metrics, RSS) to PATH on the interval "
+                "(default 500 ms); watch with hyve_top",
+                [&](const std::string& v) {
+                  const auto live = obs::parse_live_status(v);
+                  if (!live) parser.fail("bad --live-status spec " + v);
+                  live_opts = *live;
+                });
 
   try {
     parser.parse(argc, argv);
 
+    if (list_metrics) return run_metrics_census();
+
     // Enable telemetry before the graph loads so the sim.ooc.* window
     // counters cover the streaming load itself.
-    if (metrics || host_profile) obs::set_enabled(true);
+    if (metrics || host_profile || live_opts) obs::set_enabled(true);
+    if (live_opts) {
+      live_opts->bench = "hyve_sim";
+      obs::live_telemetry().start(*live_opts);
+      obs::live_telemetry().add_total_cells(1);
+    }
 
     if (!graph_path.empty()) {
       if (graph) parser.fail("choose one of --dataset/--graph/--rmat");
@@ -206,19 +359,36 @@ int main(int argc, char** argv) {
       parser.fail("no input graph (--dataset/--graph/--rmat)");
 
     if (partitioner) config.set_partitioner(*partitioner);
-    std::optional<obs::Trace> trace;
+    std::shared_ptr<obs::Trace> trace;
     if (!trace_path.empty()) {
-      trace.emplace();
+      trace = std::make_shared<obs::Trace>();
       add_attribution_metadata(*trace, argc, argv);
     }
-    if (host_profile) obs::host_profiler().start(trace ? &*trace : nullptr);
+    if (host_profile) obs::host_profiler().start(trace.get());
+
+    // Interrupting a single long run still saves a loadable truncated
+    // trace and a final "interrupted" status snapshot.
+    if (trace || live_opts) {
+      const bool profiling = host_profile;
+      const std::string saved_trace_path = trace_path;
+      obs::install_flight_recorder(
+          [trace, saved_trace_path, profiling](int) {
+            if (obs::live_telemetry().enabled())
+              obs::live_telemetry().stop("interrupted");
+            if (profiling) obs::host_profiler().stop();
+            if (trace)
+              trace->write_file_atomic(saved_trace_path,
+                                       /*truncated=*/true);
+            if (obs::enabled()) obs::registry().dump(std::cerr);
+          });
+    }
 
     const HyveMachine machine(config);
-    const RunReport r =
-        machine.run(*graph, algo, trace ? &*trace : nullptr);
+    const RunReport r = machine.run(*graph, algo, trace.get());
     // Same guarantee as the sweep engine's ResultSink: hyve_sim can never
     // emit a report the downstream tooling cannot parse back.
     validate_report_round_trip(r);
+    obs::live_telemetry().cell_done();
 
     // Stop before the write so host.wall_us and the final RSS sample
     // land in the trace and the --metrics dump.
@@ -291,6 +461,7 @@ int main(int argc, char** argv) {
     }
 
     if (metrics) obs::registry().dump(std::cerr);
+    if (obs::live_telemetry().enabled()) obs::live_telemetry().stop("done");
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

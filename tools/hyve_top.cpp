@@ -1,0 +1,248 @@
+// hyve_top — terminal monitor for a live HyVE run.
+//
+// Points at the status file a bench/tool writes under --live-status and
+// refreshes a one-screen view: progress bar with ETA, per-worker phase
+// lines (stalled workers flagged), the hottest counters, and an RSS
+// sparkline. Exits when the producer reports a terminal state.
+//
+//   hyve_top /tmp/status.json                # follow until done
+//   hyve_top /tmp/status.json --interval 250 # faster refresh
+//   hyve_top /tmp/status.json --once         # one frame, no clear
+//
+// Reads are race-free: the producer publishes each snapshot with an
+// atomic rename, so the file is always one complete JSON object.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/report_io.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using hyve::parse_flat_json;
+
+// parse_flat_json keeps values as raw JSON tokens; strings arrive with
+// their quotes still on.
+std::string unquote(const std::string& token) {
+  if (token.size() >= 2 && token.front() == '"' && token.back() == '"')
+    return token.substr(1, token.size() - 2);
+  return token;
+}
+
+std::string field(const std::map<std::string, std::string>& fields,
+                  const std::string& key, const std::string& fallback) {
+  const auto it = fields.find(key);
+  return it == fields.end() ? fallback : unquote(it->second);
+}
+
+double num(const std::map<std::string, std::string>& fields,
+           const std::string& key, double fallback) {
+  const auto it = fields.find(key);
+  if (it == fields.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+std::string human_ms(double ms) {
+  char buf[32];
+  if (ms < 0) return "--";
+  if (ms < 1000) {
+    std::snprintf(buf, sizeof buf, "%.0f ms", ms);
+  } else if (ms < 60 * 1000) {
+    std::snprintf(buf, sizeof buf, "%.1f s", ms / 1000.0);
+  } else {
+    const long long total_s = static_cast<long long>(ms / 1000.0);
+    std::snprintf(buf, sizeof buf, "%lldm%02llds", total_s / 60,
+                  total_s % 60);
+  }
+  return buf;
+}
+
+std::string progress_bar(double done, double total, int width) {
+  const double frac =
+      total > 0 ? std::min(1.0, std::max(0.0, done / total)) : 0.0;
+  const int filled = static_cast<int>(frac * width + 0.5);
+  std::string bar = "[";
+  for (int i = 0; i < width; ++i) bar += i < filled ? '#' : '.';
+  bar += ']';
+  return bar;
+}
+
+// Scale the RSS history onto the eight-step block ramp.
+std::string sparkline(const std::vector<double>& values) {
+  static const char* kBlocks[8] = {"▁", "▂", "▃", "▄",
+                                   "▅", "▆", "▇", "█"};
+  if (values.empty()) return "";
+  const double lo = *std::min_element(values.begin(), values.end());
+  const double hi = *std::max_element(values.begin(), values.end());
+  std::string out;
+  for (const double v : values) {
+    const double frac = hi > lo ? (v - lo) / (hi - lo) : 0.0;
+    out += kBlocks[std::min(7, static_cast<int>(frac * 8))];
+  }
+  return out;
+}
+
+// One rendered frame, built off-screen and emitted in a single write so
+// a refresh never flickers half-drawn.
+std::string render(const std::map<std::string, std::string>& fields) {
+  std::ostringstream os;
+  const std::string state = field(fields, "state", "?");
+  os << "hyve_top  " << field(fields, "bench", "?") << "  pid "
+     << field(fields, "pid", "?") << "  [" << state << "]  wall "
+     << human_ms(num(fields, "wall_ms", -1)) << "  snapshot #"
+     << field(fields, "snapshot", "?") << "\n\n";
+
+  const double done = num(fields, "progress.done", 0);
+  const double total = num(fields, "progress.total", 0);
+  const double eta_ms = num(fields, "progress.eta_ms", -1);
+  os << "  " << progress_bar(done, total, 30) << "  "
+     << static_cast<long long>(done) << "/" << static_cast<long long>(total)
+     << " cells";
+  const double rate = num(fields, "progress.cells_per_s", 0);
+  if (rate > 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f", rate);
+    os << "  " << buf << " cells/s";
+  }
+  os << "  ETA " << human_ms(state == "running" ? eta_ms : 0) << "\n\n";
+
+  os << "  rss " << static_cast<long long>(num(fields, "rss_kb", 0) / 1024)
+     << " MiB  peak "
+     << static_cast<long long>(num(fields, "peak_rss_kb", 0) / 1024)
+     << " MiB  ";
+  std::vector<double> rss;
+  for (std::size_t i = 0;; ++i) {
+    const auto it = fields.find("rss_history." + std::to_string(i));
+    if (it == fields.end()) break;
+    rss.push_back(num(fields, it->first, 0));
+  }
+  os << sparkline(rss) << "\n\n";
+
+  os << "  workers (" << static_cast<long long>(num(fields, "stalled", 0))
+     << " stalled):\n";
+  for (std::size_t i = 0;; ++i) {
+    const std::string prefix = "workers." + std::to_string(i) + ".";
+    if (fields.find(prefix + "id") == fields.end()) break;
+    const double cell = num(fields, prefix + "cell", -1);
+    os << "    w" << field(fields, prefix + "id", "?") << "  "
+       << field(fields, prefix + "phase", "?");
+    if (cell >= 0) os << "  cell " << static_cast<long long>(cell);
+    os << "  (" << human_ms(num(fields, prefix + "age_ms", -1))
+       << " since beat)";
+    if (field(fields, prefix + "stalled", "false") == "true")
+      os << "  ** STALLED **";
+    os << "\n";
+  }
+
+  // Hottest counters: plain metric values sorted descending, skipping
+  // the histogram expansion members, which would crowd out everything
+  // else with their .sum/.max duplicates.
+  std::vector<std::pair<double, std::string>> hot;
+  static const char* kHistSuffix[] = {".avg", ".count", ".max", ".min",
+                                      ".p50", ".p95", ".p99", ".sum"};
+  for (const auto& [key, value] : fields) {
+    if (key.rfind("metrics.", 0) != 0) continue;
+    const std::string name = key.substr(8);
+    bool derived = false;
+    for (const char* suffix : kHistSuffix)
+      if (name.size() > std::string(suffix).size() &&
+          name.compare(name.size() - std::string(suffix).size(),
+                       std::string::npos, suffix) == 0)
+        derived = true;
+    if (derived) continue;
+    const double v = num(fields, key, 0);
+    if (v != 0) hot.emplace_back(v, name);
+  }
+  std::sort(hot.rbegin(), hot.rend());
+  os << "\n  hottest counters:\n";
+  for (std::size_t i = 0; i < hot.size() && i < 8; ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%15.0f", hot[i].first);
+    os << "    " << buf << "  " << hot[i].second << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int interval_ms = 500;
+  bool once = false;
+  bool no_clear = false;
+
+  hyve::cli::ArgParser parser(
+      "hyve_top",
+      "follow a --live-status file: progress, ETA, workers, hot metrics");
+  parser.allow_positionals(1);
+  parser.option("--interval", "MS", "refresh interval (default 500)",
+                [&](const std::string& v) {
+                  interval_ms = static_cast<int>(
+                      hyve::cli::parse_int(parser, "--interval", v, 10,
+                                           60 * 1000));
+                });
+  parser.flag("--once", "render a single frame and exit", &once);
+  parser.flag("--no-clear",
+              "append frames instead of clearing the terminal", &no_clear);
+  parser.parse(argc, argv);
+  if (parser.positionals().size() != 1)
+    parser.fail("expected exactly one STATUS file argument");
+  const std::string path = parser.positionals()[0];
+
+  bool waiting_notice = false;
+  while (true) {
+    std::ifstream in(path);
+    if (!in) {
+      if (once) {
+        std::cerr << "hyve_top: no status file at " << path << "\n";
+        return 1;
+      }
+      if (!waiting_notice) {
+        std::cout << "hyve_top: waiting for " << path << " ...\n"
+                  << std::flush;
+        waiting_notice = true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      continue;
+    }
+    waiting_notice = false;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+
+    std::string frame;
+    std::string state = "?";
+    try {
+      const auto fields = parse_flat_json(buffer.str());
+      state = field(fields, "state", "?");
+      frame = render(fields);
+    } catch (const std::exception&) {
+      // Mid-rename or foreign file: keep the last frame and retry.
+      if (once) {
+        std::cerr << "hyve_top: " << path << " is not a status file\n";
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      continue;
+    }
+
+    if (!no_clear && !once) std::cout << "\x1b[H\x1b[2J";
+    std::cout << frame << std::flush;
+    if (once || state != "running" && state != "starting") {
+      if (!once) std::cout << "run finished: state " << state << "\n";
+      return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
