@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "algos/frontier.hpp"
 #include "core/bench_json.hpp"
 #include "core/machine.hpp"
 #include "exp/cache.hpp"
@@ -114,6 +115,8 @@ inline void record_report(const std::string& graph_key,
 //   --partition-cache N   entry cap for the shared partition cache
 //   --functional-cache    memoise functional phases across cells
 //   --functional-cache-mb N  byte budget for the functional cache
+//   --no-pattern-reuse    disable per-iteration pattern reuse in
+//                         frontier runs (identical output)
 //   --cache-stats         print cache counters to stderr after the run
 //   --metrics             dump the full metrics registry to stderr
 //   --host-profile        wall-clock spans, memory sampling and stage
@@ -379,6 +382,10 @@ inline Options parse_args(int argc, char** argv, const std::string& prog,
                       units::MiB(static_cast<std::uint64_t>(cli::parse_int(
                           parser, "--functional-cache-mb", v, 0, 1 << 20))));
                 });
+  parser.flag("--no-pattern-reuse",
+              "disable per-iteration pattern reuse in frontier runs "
+              "(identical output, more host work)",
+              [&] { set_pattern_reuse_enabled(false); });
   parser.flag("--cache-stats", "print cache counters to stderr",
               &opts.cache_stats);
   parser.flag("--metrics", "dump the metrics registry to stderr",

@@ -7,8 +7,10 @@
 # graph streamed under --ooc-window-mb, byte-diffed against the
 # in-memory run), a live-telemetry smoke run (--live-status snapshots,
 # hyve_top, and the SIGTERM flight-record path), a docs/METRICS.md
-# drift check, then the sweep-engine concurrency tests under
-# ThreadSanitizer.
+# drift check, a kernel-regression smoke run (bench_micro's built-in
+# layout-equivalence gate plus an end-to-end proof that pattern reuse
+# never changes a byte of sweep output), then the sweep-engine
+# concurrency tests under ThreadSanitizer.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -230,6 +232,38 @@ echo "live-smoke: OK"
          "./build/tools/hyve_sim --list-metrics > docs/METRICS.md" >&2
     exit 1; }
 echo "metrics-doc: OK"
+
+# kernel-regression: bench_micro runs every program through every edge
+# layout and aborts itself if any kernel drifts from the per-edge
+# reference, so a clean exit IS the equivalence check; its smoke report
+# must satisfy hyve_report and be byte-identical across --jobs. Pattern
+# reuse must be invisible end-to-end: a sweep's records may not change
+# by a byte with the reuse layer disabled, serial or parallel.
+./build/bench/bench_micro --smoke --jobs 1 \
+  --json "$obs_dir/micro_j1.json" >/dev/null 2>&1 ||
+  { echo "kernel-regression: bench_micro layout equivalence failed" >&2
+    exit 1; }
+./build/bench/bench_micro --smoke --jobs 8 \
+  --json "$obs_dir/micro_j8.json" >/dev/null 2>&1
+./build/tools/hyve_report --check "$obs_dir/micro_j1.json" >/dev/null ||
+  { echo "kernel-regression: --check rejected the kernel report" >&2
+    exit 1; }
+strip_host "$obs_dir/micro_j1.json" > "$obs_dir/micro_j1.nohost"
+strip_host "$obs_dir/micro_j8.json" > "$obs_dir/micro_j8.nohost"
+cmp "$obs_dir/micro_j1.nohost" "$obs_dir/micro_j8.nohost" ||
+  { echo "kernel-regression: --jobs 1 and --jobs 8 reports differ" >&2
+    exit 1; }
+./build/tools/hyve_experiments --datasets YT --algos bfs,pr --jobs 1 \
+  --no-pattern-reuse > "$obs_dir/exp_noreuse.jsonl"
+cmp "$obs_dir/exp_off.jsonl" "$obs_dir/exp_noreuse.jsonl" ||
+  { echo "kernel-regression: --no-pattern-reuse changed sweep output" >&2
+    exit 1; }
+./build/tools/hyve_experiments --datasets YT --algos bfs,pr --jobs 8 \
+  --no-pattern-reuse > "$obs_dir/exp_noreuse_j8.jsonl"
+cmp "$obs_dir/exp_noreuse.jsonl" "$obs_dir/exp_noreuse_j8.jsonl" ||
+  { echo "kernel-regression: reuse-off sweep differs across --jobs" >&2
+    exit 1; }
+echo "kernel-regression: OK"
 
 cmake -B build-tsan -S . -DHYVE_SANITIZE=thread
 cmake --build build-tsan -j

@@ -35,6 +35,27 @@ std::uint64_t CcProgram::process_block(std::span<const Edge> edges,
   return writes;
 }
 
+std::uint64_t CcProgram::process_block_soa(const EdgeBlockSoA& block,
+                                           std::vector<char>* changed) {
+  debug_check_changed_cover(changed, block);
+  VertexId* const label = label_.data();
+  const VertexId* const src = block.src;
+  const VertexId* const dst = block.dst;
+  std::uint64_t writes = 0;
+  // Sequential by necessity: min-label propagation within the block is
+  // in-pass (an edge may read a label an earlier edge just lowered).
+  for (std::size_t i = 0; i < block.count; ++i) {
+    const VertexId ls = label[src[i]];
+    if (ls < label[dst[i]]) {
+      label[dst[i]] = ls;
+      ++writes;
+      if (changed != nullptr) (*changed)[dst[i]] = 1;
+    }
+  }
+  changed_ |= writes > 0;
+  return writes;
+}
+
 bool CcProgram::end_iteration(std::uint32_t) {
   const bool more = changed_;
   changed_ = false;

@@ -24,6 +24,8 @@ class CcProgram final : public VertexProgram {
   bool process_edge(const Edge& e) override;
   std::uint64_t process_block(std::span<const Edge> edges,
                               std::vector<char>* changed) override;
+  std::uint64_t process_block_soa(const EdgeBlockSoA& block,
+                                  std::vector<char>* changed) override;
   bool end_iteration(std::uint32_t completed_iterations) override;
 
   const std::vector<VertexId>& labels() const { return label_; }

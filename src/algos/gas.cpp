@@ -16,6 +16,21 @@ GasProgram<std::uint32_t> make_reachability_program(VertexId root) {
     if (src != 0 && dst == 0) return 1u;
     return std::nullopt;
   };
+  spec.scatter_block_soa = [](const EdgeBlockSoA& block,
+                              std::uint32_t* values,
+                              std::vector<char>* changed) -> std::uint64_t {
+    const VertexId* const src = block.src;
+    const VertexId* const dst = block.dst;
+    std::uint64_t writes = 0;
+    for (std::size_t i = 0; i < block.count; ++i) {
+      if (values[src[i]] != 0 && values[dst[i]] == 0) {
+        values[dst[i]] = 1;
+        ++writes;
+        if (changed != nullptr) (*changed)[dst[i]] = 1;
+      }
+    }
+    return writes;
+  };
   return GasProgram<std::uint32_t>(std::move(spec));
 }
 
@@ -35,6 +50,29 @@ GasProgram<std::uint32_t> make_widest_path_program(
         std::min(src, Graph::edge_weight(e, max_capacity));
     if (through > dst) return through;
     return std::nullopt;
+  };
+  spec.scatter_block_soa = [max_capacity](
+                               const EdgeBlockSoA& block,
+                               std::uint32_t* values,
+                               std::vector<char>* changed) -> std::uint64_t {
+    const VertexId* const src = block.src;
+    const VertexId* const dst = block.dst;
+    const std::uint64_t* const hash = block.weight_hash;
+    std::uint64_t writes = 0;
+    for (std::size_t i = 0; i < block.count; ++i) {
+      const std::uint32_t s = values[src[i]];
+      if (s == 0) continue;
+      // The precomputed column replaces the per-edge SplitMix64 the
+      // scatter callable pays through Graph::edge_weight.
+      const std::uint32_t through =
+          std::min(s, Graph::edge_weight_from_hash(hash[i], max_capacity));
+      if (through > values[dst[i]]) {
+        values[dst[i]] = through;
+        ++writes;
+        if (changed != nullptr) (*changed)[dst[i]] = 1;
+      }
+    }
+    return writes;
   };
   return GasProgram<std::uint32_t>(std::move(spec));
 }

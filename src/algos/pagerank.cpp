@@ -36,14 +36,44 @@ std::uint64_t PageRankProgram::process_block(std::span<const Edge> edges,
   return edges.size();
 }
 
+std::uint64_t PageRankProgram::process_block_soa(const EdgeBlockSoA& block,
+                                                 std::vector<char>* changed) {
+  debug_check_changed_cover(changed, block);
+  double* const accum = accum_.data();
+  const float* const contribution = contribution_.data();
+  const VertexId* const src = block.src;
+  const VertexId* const dst = block.dst;
+  // The accumulation order is the result (FP addition is non-
+  // associative and the reference is sequential), so the gather-add
+  // loop stays scalar; splitting the changed-marking out of it keeps it
+  // branch-free either way.
+  for (std::size_t i = 0; i < block.count; ++i)
+    accum[dst[i]] += contribution[src[i]];
+  if (changed != nullptr) {
+    char* const mark = changed->data();
+    // Stores of the constant 1 — duplicate destinations are benign and
+    // order-free, so this scatter is safe to vectorize.
+#pragma omp simd
+    for (std::size_t i = 0; i < block.count; ++i) mark[dst[i]] = 1;
+  }
+  return block.count;
+}
+
 bool PageRankProgram::end_iteration(std::uint32_t completed_iterations) {
   const double base = (1.0 - damping_) / num_vertices_;
+  double* const rank = rank_.data();
+  double* const accum = accum_.data();
+  float* const contribution = contribution_.data();
+  const std::uint32_t* const out_degree = out_degree_.data();
+  // Pure elementwise apply phase — vectorizes cleanly, and per-element
+  // FP order is unchanged so results stay byte-identical.
+#pragma omp simd
   for (VertexId v = 0; v < num_vertices_; ++v) {
-    rank_[v] = base + damping_ * accum_[v];
-    accum_[v] = 0.0;
-    contribution_[v] = out_degree_[v] == 0
-                           ? 0.0f
-                           : static_cast<float>(rank_[v] / out_degree_[v]);
+    rank[v] = base + damping_ * accum[v];
+    accum[v] = 0.0;
+    contribution[v] = out_degree[v] == 0
+                          ? 0.0f
+                          : static_cast<float>(rank[v] / out_degree[v]);
   }
   return completed_iterations < num_iterations_;
 }

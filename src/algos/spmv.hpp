@@ -21,6 +21,8 @@ class SpmvProgram final : public VertexProgram {
   bool process_edge(const Edge& e) override;
   std::uint64_t process_block(std::span<const Edge> edges,
                               std::vector<char>* changed) override;
+  std::uint64_t process_block_soa(const EdgeBlockSoA& block,
+                                  std::vector<char>* changed) override;
   bool end_iteration(std::uint32_t completed_iterations) override;
 
   // x[v] is a deterministic function of v so results are reproducible.
@@ -31,6 +33,7 @@ class SpmvProgram final : public VertexProgram {
 
  private:
   std::vector<double> y_;
+  std::vector<double> x_;  // input_value(v) precomputed per vertex
 };
 
 }  // namespace hyve

@@ -49,6 +49,37 @@ std::uint64_t SsspProgram::process_block(std::span<const Edge> edges,
   return writes;
 }
 
+std::uint64_t SsspProgram::process_block_soa(const EdgeBlockSoA& block,
+                                             std::vector<char>* changed) {
+  debug_check_changed_cover(changed, block);
+  std::uint64_t* const dist = dist_.data();
+  const VertexId* const src = block.src;
+  const VertexId* const dst = block.dst;
+  const std::uint64_t* const hash = block.weight_hash;
+  const std::uint32_t max_weight = max_weight_;
+  std::uint64_t writes = 0;
+  // The precomputed hash column replaces the per-edge SplitMix64
+  // avalanche of the AoS kernel with one modulo — the bulk of this
+  // kernel's SoA win. The relaxation stays sequential (in-pass
+  // propagation), with a saturating branchless candidate: kUnreached
+  // plus any weight wraps below kUnreached, so guard with a select
+  // instead of the reference's early-out branch.
+  for (std::size_t i = 0; i < block.count; ++i) {
+    const std::uint64_t ds = dist[src[i]];
+    const std::uint64_t candidate =
+        ds == kUnreached
+            ? kUnreached
+            : ds + Graph::edge_weight_from_hash(hash[i], max_weight);
+    if (candidate < dist[dst[i]]) {
+      dist[dst[i]] = candidate;
+      ++writes;
+      if (changed != nullptr) (*changed)[dst[i]] = 1;
+    }
+  }
+  changed_ |= writes > 0;
+  return writes;
+}
+
 bool SsspProgram::end_iteration(std::uint32_t) {
   const bool more = changed_;
   changed_ = false;

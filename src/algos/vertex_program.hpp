@@ -17,9 +17,47 @@
 #include <string>
 #include <vector>
 
+#include "graph/edge_block_soa.hpp"
 #include "graph/graph.hpp"
+#include "util/check.hpp"
 
 namespace hyve {
+
+// Debug-build enforcement of the `changed` contract of process_block /
+// process_block_soa: the vector must be indexable by every destination
+// id of the block. The kernels index it unchecked on the hot path, so a
+// short vector would corrupt memory silently; debug builds (NDEBUG
+// undefined) scan the block up front and fail loudly instead. Release
+// builds compile these to nothing.
+inline void debug_check_changed_cover(const std::vector<char>* changed,
+                                      std::span<const Edge> edges) {
+#ifndef NDEBUG
+  if (changed == nullptr) return;
+  for (const Edge& e : edges)
+    HYVE_CHECK_MSG(e.dst < changed->size(),
+                   "changed vector of size " << changed->size()
+                                             << " cannot index destination "
+                                             << e.dst);
+#else
+  (void)changed;
+  (void)edges;
+#endif
+}
+
+inline void debug_check_changed_cover(const std::vector<char>* changed,
+                                      const EdgeBlockSoA& block) {
+#ifndef NDEBUG
+  if (changed == nullptr) return;
+  for (std::size_t i = 0; i < block.count; ++i)
+    HYVE_CHECK_MSG(block.dst[i] < changed->size(),
+                   "changed vector of size " << changed->size()
+                                             << " cannot index destination "
+                                             << block.dst[i]);
+#else
+  (void)changed;
+  (void)block;
+#endif
+}
 
 class VertexProgram {
  public:
@@ -52,8 +90,32 @@ class VertexProgram {
   // algorithm.
   virtual std::uint64_t process_block(std::span<const Edge> edges,
                                       std::vector<char>* changed = nullptr) {
+    debug_check_changed_cover(changed, edges);
     std::uint64_t writes = 0;
     for (const Edge& e : edges) {
+      if (process_edge(e)) {
+        ++writes;
+        if (changed != nullptr) (*changed)[e.dst] = 1;
+      }
+    }
+    return writes;
+  }
+
+  // Structure-of-arrays variant of process_block: same edges, same
+  // sequential semantics, handed as contiguous src[]/dst[]/weight-hash
+  // columns (graph/edge_block_soa.hpp). Concrete programs override this
+  // with vectorization-friendly loops (hoisted column pointers,
+  // branchless candidates, precomputed weight hashes); the default
+  // reconstructs each edge and runs the pinned per-edge reference, so
+  // programs without an override stay exactly result-equivalent. The
+  // equivalence (results, write counts, changed bitmaps) is pinned per
+  // algorithm by the SoA kernel tests.
+  virtual std::uint64_t process_block_soa(const EdgeBlockSoA& block,
+                                          std::vector<char>* changed = nullptr) {
+    debug_check_changed_cover(changed, block);
+    std::uint64_t writes = 0;
+    for (std::size_t i = 0; i < block.count; ++i) {
+      const Edge e = block.edge(i);
       if (process_edge(e)) {
         ++writes;
         if (changed != nullptr) (*changed)[e.dst] = 1;

@@ -238,6 +238,12 @@ struct FunctionalKey {
   std::string partitioner = "interval";  // PartitionerSpec::to_string
   std::uint32_t num_intervals = 0;       // P
   bool frontier = false;
+  // Per-iteration pattern reuse (algos/frontier.hpp). Results and
+  // reports are byte-identical either way (tested), but the cached
+  // FrontierTrace carries the blocks/edges_skipped tallies of the mode
+  // that built it — keying on the mode keeps the sim.kernel.* metrics
+  // honest when one process mixes both.
+  bool pattern_reuse = true;
 
   friend bool operator==(const FunctionalKey&,
                          const FunctionalKey&) = default;

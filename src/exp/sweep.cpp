@@ -11,6 +11,7 @@
 #include <thread>
 #include <utility>
 
+#include "algos/frontier.hpp"
 #include "core/report_io.hpp"
 #include "obs/host_profiler.hpp"
 #include "obs/live.hpp"
@@ -77,7 +78,8 @@ RunReport run_cached(GraphCache& graphs, PartitionCache& partitions,
   // propagation) never collide.
   const FunctionalKey key{schedule_key, program->name(),
                           config.partitioner.to_string(), p,
-                          config.frontier_block_skipping};
+                          config.frontier_block_skipping,
+                          pattern_reuse_enabled()};
   const std::shared_ptr<const FunctionalOutcome> outcome =
       functional->acquire(key, [&] {
         return machine.run_functional_phase(*graph, *schedule, *program);

@@ -3,22 +3,26 @@
 #include <algorithm>
 #include <mutex>
 #include <numeric>
+#include <span>
 #include <utility>
 
+#include "graph/edge_block_soa.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace hyve {
 
-// Per-graph memo of hashed_remap images, shared by copies of the graph.
-// A handful of seeds covers every realistic workload (configs almost
-// always share one balance seed), so a tiny LRU bounds the footprint.
+// Per-graph memo of derived immutable images, shared by copies of the
+// graph: hashed_remap results (a handful of seeds covers every realistic
+// workload — configs almost always share one balance seed, so a tiny LRU
+// bounds the footprint) and the structure-of-arrays edge columns.
 struct Graph::RemapMemo {
   static constexpr std::size_t kMaxSeeds = 4;
 
   std::mutex mu;
   // Most recently used at the back.
   std::vector<std::pair<std::uint64_t, std::shared_ptr<const Graph>>> entries;
+  std::shared_ptr<const EdgeColumns> columns;
 };
 
 Graph::Graph(VertexId num_vertices, std::vector<Edge> edges)
@@ -44,12 +48,7 @@ std::vector<std::uint32_t> Graph::in_degrees() const {
 
 std::uint32_t Graph::edge_weight(const Edge& e, std::uint32_t max_weight) {
   HYVE_CHECK(max_weight > 0);
-  // SplitMix64-style avalanche over the packed endpoints.
-  std::uint64_t z = (static_cast<std::uint64_t>(e.src) << 32) | e.dst;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  z ^= z >> 31;
-  return static_cast<std::uint32_t>(z % max_weight) + 1;
+  return edge_weight_from_hash(edge_weight_hash(e), max_weight);
 }
 
 Graph Graph::hashed_remap(std::uint64_t seed) const {
@@ -67,14 +66,17 @@ Graph Graph::hashed_remap(std::uint64_t seed) const {
   return Graph(num_vertices_, std::move(remapped));
 }
 
+namespace {
+// The memo is created lazily on a const graph; a process-wide mutex
+// guards the (rare) creation so concurrent first calls don't race.
+std::mutex memo_create_mu;
+}  // namespace
+
 std::shared_ptr<const Graph> Graph::hashed_remap_shared(
     std::uint64_t seed) const {
-  // The memo is created lazily on a const graph; a process-wide mutex
-  // guards the (rare) creation so concurrent first calls don't race.
-  static std::mutex create_mu;
   std::shared_ptr<RemapMemo> memo;
   {
-    const std::lock_guard<std::mutex> lock(create_mu);
+    const std::lock_guard<std::mutex> lock(memo_create_mu);
     if (remap_memo_ == nullptr) remap_memo_ = std::make_shared<RemapMemo>();
     memo = remap_memo_;
   }
@@ -94,6 +96,21 @@ std::shared_ptr<const Graph> Graph::hashed_remap_shared(
     memo->entries.erase(memo->entries.begin());
   memo->entries.emplace_back(seed, image);
   return image;
+}
+
+std::shared_ptr<const EdgeColumns> Graph::edge_columns_shared() const {
+  std::shared_ptr<RemapMemo> memo;
+  {
+    const std::lock_guard<std::mutex> lock(memo_create_mu);
+    if (remap_memo_ == nullptr) remap_memo_ = std::make_shared<RemapMemo>();
+    memo = remap_memo_;
+  }
+  // Build under the memo lock so concurrent first callers share one
+  // O(E) transpose (same policy as the remap images above).
+  const std::lock_guard<std::mutex> lock(memo->mu);
+  if (memo->columns == nullptr)
+    memo->columns = std::make_shared<const EdgeColumns>(std::span(edges_));
+  return memo->columns;
 }
 
 Csr Csr::from_graph(const Graph& g) {

@@ -11,6 +11,8 @@
 
 namespace hyve {
 
+class EdgeColumns;  // graph/edge_block_soa.hpp
+
 using VertexId = std::uint32_t;
 
 struct Edge {
@@ -39,6 +41,23 @@ class Graph {
   // SpMV) exactly as the paper's unweighted SNAP graphs require.
   static std::uint32_t edge_weight(const Edge& e, std::uint32_t max_weight = 64);
 
+  // edge_weight factored in two so SoA kernels can precompute the hash
+  // once per edge and derive any max_weight from it:
+  //   edge_weight(e, m) == edge_weight_from_hash(edge_weight_hash(e), m)
+  // (pinned by test). The hash is a SplitMix64-style avalanche over the
+  // packed endpoints.
+  static std::uint64_t edge_weight_hash(const Edge& e) {
+    std::uint64_t z = (static_cast<std::uint64_t>(e.src) << 32) | e.dst;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return z;
+  }
+  static std::uint32_t edge_weight_from_hash(std::uint64_t hash,
+                                             std::uint32_t max_weight) {
+    return static_cast<std::uint32_t>(hash % max_weight) + 1;
+  }
+
   // Remaps vertex ids through a deterministic pseudo-random permutation —
   // the hash-based partitioning of ForeGraph/GraphH (§4.3) that balances
   // interval populations before interval-block partitioning.
@@ -50,6 +69,13 @@ class Graph {
   // graph share the memo; a small per-graph LRU bounds it to a handful
   // of seeds. Thread-safe.
   std::shared_ptr<const Graph> hashed_remap_shared(std::uint64_t seed) const;
+
+  // Structure-of-arrays image of edges() (edge_block_soa.hpp), built
+  // lazily on first use and memoized like the remap images: copies of
+  // this graph share one transpose. The schedule-less run_functional
+  // path streams it; scheduled runs use Partitioning::edge_columns()
+  // instead. Thread-safe.
+  std::shared_ptr<const EdgeColumns> edge_columns_shared() const;
 
  private:
   struct RemapMemo;

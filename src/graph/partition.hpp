@@ -14,10 +14,14 @@
 // instead of doing width arithmetic of its own.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
+#include "graph/edge_block_soa.hpp"
 #include "graph/graph.hpp"
 #include "graph/graph_source.hpp"
 
@@ -77,6 +81,27 @@ class VertexMap {
   bool contiguous_ = true;
 };
 
+// CSR of the block grid by source vertex: for every vertex v, the sorted
+// distinct destination intervals y with at least one edge v -> I_y.
+// This is the dirty-propagation map of per-iteration pattern reuse
+// (algos/frontier.hpp): when v changes, exactly the blocks
+// B[interval_of(v)][y] for y in row(v) must be re-streamed next
+// iteration. Rows are empty for vertices with no out-edges.
+struct SourceBlockIndex {
+  std::vector<std::uint64_t> offsets;    // V+1 prefix sums into intervals
+  std::vector<std::uint32_t> intervals;  // distinct destination intervals
+
+  std::span<const std::uint32_t> row(VertexId v) const {
+    return {intervals.data() + offsets[v],
+            intervals.data() + offsets[v + 1]};
+  }
+  std::size_t approx_bytes() const {
+    return sizeof(SourceBlockIndex) +
+           offsets.capacity() * sizeof(std::uint64_t) +
+           intervals.capacity() * sizeof(std::uint32_t);
+  }
+};
+
 class Partitioning {
  public:
   // Groups g's edges into P*P blocks with a counting sort over `map`
@@ -128,7 +153,37 @@ class Partitioning {
   // All edges, grouped contiguously in block-major (x, then y) order.
   const std::vector<Edge>& grouped_edges() const { return edges_; }
 
+  // Structure-of-arrays image of grouped_edges(), transposed lazily on
+  // first use and shared by copies of this partitioning, so one graph
+  // image pays the O(E) transpose once per schedule no matter how many
+  // sweep cells stream it. Valid for this partitioning's lifetime.
+  // Thread-safe.
+  const EdgeColumns& edge_columns() const;
+
+  // SoA view of block B[x][y] — same edges, same order as block(x, y).
+  EdgeBlockSoA block_soa(std::uint32_t x, std::uint32_t y) const;
+
+  // Lazily built, shared and thread-safe like edge_columns().
+  const SourceBlockIndex& source_block_index() const;
+
+  // Bytes of the lazily built SoA/index images currently resident (0
+  // before first use) — PartitionCache adds this to its accounting.
+  std::size_t lazy_bytes() const;
+
  private:
+  // Lazily built derived images, shared across copies (the grouped edge
+  // layout they derive from is identical in every copy). Built once
+  // under `mu`; the atomics publish the finished images so the per-block
+  // hot paths (block_soa in every functional pass) cost one acquire
+  // load instead of a mutex round trip.
+  struct Lazy {
+    std::mutex mu;
+    std::shared_ptr<const EdgeColumns> columns;
+    std::shared_ptr<const SourceBlockIndex> index;
+    std::atomic<const EdgeColumns*> columns_ptr{nullptr};
+    std::atomic<const SourceBlockIndex*> index_ptr{nullptr};
+  };
+
   std::uint64_t block_index(std::uint32_t x, std::uint32_t y) const {
     return static_cast<std::uint64_t>(x) * num_intervals() + y;
   }
@@ -136,6 +191,7 @@ class Partitioning {
   VertexMap map_;
   std::vector<Edge> edges_;
   std::vector<std::uint64_t> offsets_;  // P*P + 1 prefix sums into edges_
+  std::shared_ptr<Lazy> lazy_ = std::make_shared<Lazy>();
 };
 
 }  // namespace hyve

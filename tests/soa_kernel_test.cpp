@@ -1,0 +1,255 @@
+// Property tests for the SoA kernel layer: on randomly generated
+// graphs, partition widths and mid-run program states, every shipped
+// program's process_block_soa must be observably identical to its AoS
+// process_block — same per-block write counts, same changed-vertex
+// sets, same final state. Also pins the precomputed weight-hash column
+// to Graph::edge_weight, proves per-iteration pattern reuse is
+// invisible in results and traces, and exercises the lock-free lazy
+// memo publication under concurrency (run under -L sweep-engine so the
+// ThreadSanitizer CI pass covers it).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "algos/bfs.hpp"
+#include "algos/cc.hpp"
+#include "algos/frontier.hpp"
+#include "algos/gas.hpp"
+#include "algos/pagerank.hpp"
+#include "algos/spmv.hpp"
+#include "algos/sssp.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+#include "util/check.hpp"
+
+namespace hyve {
+namespace {
+
+struct ProgramCase {
+  const char* label;
+  std::function<std::unique_ptr<VertexProgram>()> make;
+  std::function<void(const VertexProgram&, const VertexProgram&)> expect_eq;
+};
+
+std::vector<ProgramCase> all_programs() {
+  std::vector<ProgramCase> cases;
+  cases.push_back(
+      {"BFS", [] { return std::make_unique<BfsProgram>(); },
+       [](const VertexProgram& a, const VertexProgram& b) {
+         EXPECT_EQ(dynamic_cast<const BfsProgram&>(a).distances(),
+                   dynamic_cast<const BfsProgram&>(b).distances());
+       }});
+  cases.push_back(
+      {"CC", [] { return std::make_unique<CcProgram>(); },
+       [](const VertexProgram& a, const VertexProgram& b) {
+         EXPECT_EQ(dynamic_cast<const CcProgram&>(a).labels(),
+                   dynamic_cast<const CcProgram&>(b).labels());
+       }});
+  cases.push_back(
+      {"PR", [] { return std::make_unique<PageRankProgram>(); },
+       [](const VertexProgram& a, const VertexProgram& b) {
+         EXPECT_EQ(dynamic_cast<const PageRankProgram&>(a).ranks(),
+                   dynamic_cast<const PageRankProgram&>(b).ranks());
+       }});
+  cases.push_back(
+      {"SSSP", [] { return std::make_unique<SsspProgram>(); },
+       [](const VertexProgram& a, const VertexProgram& b) {
+         EXPECT_EQ(dynamic_cast<const SsspProgram&>(a).distances(),
+                   dynamic_cast<const SsspProgram&>(b).distances());
+       }});
+  cases.push_back(
+      {"SpMV", [] { return std::make_unique<SpmvProgram>(); },
+       [](const VertexProgram& a, const VertexProgram& b) {
+         EXPECT_EQ(dynamic_cast<const SpmvProgram&>(a).result(),
+                   dynamic_cast<const SpmvProgram&>(b).result());
+       }});
+  const auto gas_eq = [](const VertexProgram& a, const VertexProgram& b) {
+    EXPECT_EQ(dynamic_cast<const GasProgram<std::uint32_t>&>(a).values(),
+              dynamic_cast<const GasProgram<std::uint32_t>&>(b).values());
+  };
+  cases.push_back({"REACH",
+                   []() -> std::unique_ptr<VertexProgram> {
+                     return std::make_unique<GasProgram<std::uint32_t>>(
+                         make_reachability_program(0));
+                   },
+                   gas_eq});
+  cases.push_back({"WIDEST",
+                   []() -> std::unique_ptr<VertexProgram> {
+                     return std::make_unique<GasProgram<std::uint32_t>>(
+                         make_widest_path_program(0));
+                   },
+                   gas_eq});
+  return cases;
+}
+
+// One full destination-major pass through `part` dispatching AoS blocks.
+std::uint64_t aos_pass(VertexProgram& program, const Partitioning& part,
+                       std::vector<char>* changed) {
+  std::uint64_t writes = 0;
+  for (std::uint32_t y = 0; y < part.num_intervals(); ++y)
+    for (std::uint32_t x = 0; x < part.num_intervals(); ++x)
+      writes += program.process_block(part.block(x, y), changed);
+  return writes;
+}
+
+TEST(SoaKernels, MatchAosKernelsOnRandomBlocksAndStates) {
+  std::mt19937 rng(0xC0FFEE);
+  const auto cases = all_programs();
+  for (int round = 0; round < 4; ++round) {
+    const VertexId v = 500 + static_cast<VertexId>(rng() % 3000);
+    const std::uint64_t e = static_cast<std::uint64_t>(v) * (2 + rng() % 5);
+    const std::uint32_t p = 1 + rng() % 40;
+    const std::uint32_t warmup = rng() % 3;
+    const Graph g = generate_rmat(v, e, {}, rng());
+    const Partitioning part(g, p);
+    SCOPED_TRACE(::testing::Message() << "V=" << v << " E=" << e
+                                      << " P=" << p << " warmup=" << warmup);
+    for (const ProgramCase& pc : cases) {
+      SCOPED_TRACE(pc.label);
+      const auto a = pc.make();  // stays on the AoS kernels
+      const auto b = pc.make();  // switches to SoA for the checked pass
+      a->init(g);
+      b->init(g);
+      // Identical AoS warm-up passes put both programs in the same
+      // (possibly mid-convergence) state before the kernels diverge.
+      bool live = true;
+      std::uint32_t completed = 0;
+      for (std::uint32_t w = 0; live && w < warmup; ++w) {
+        aos_pass(*a, part, nullptr);
+        aos_pass(*b, part, nullptr);
+        ++completed;
+        live = a->end_iteration(completed);
+        ASSERT_EQ(live, b->end_iteration(completed));
+      }
+      // The checked pass: block by block, the SoA kernel must report
+      // the same write count and mark the same changed vertices.
+      std::vector<char> changed_a(g.num_vertices(), 0);
+      std::vector<char> changed_b(g.num_vertices(), 0);
+      for (std::uint32_t y = 0; y < p; ++y) {
+        for (std::uint32_t x = 0; x < p; ++x) {
+          const std::uint64_t wa = a->process_block(part.block(x, y),
+                                                    &changed_a);
+          const std::uint64_t wb = b->process_block_soa(part.block_soa(x, y),
+                                                        &changed_b);
+          ASSERT_EQ(wa, wb) << "block (" << x << ", " << y << ")";
+        }
+      }
+      EXPECT_EQ(changed_a, changed_b);
+      ++completed;
+      EXPECT_EQ(a->end_iteration(completed), b->end_iteration(completed));
+      pc.expect_eq(*a, *b);
+    }
+  }
+}
+
+TEST(SoaKernels, WeightHashColumnMatchesEdgeWeight) {
+  const Graph g = generate_rmat(2000, 12000, {}, 0x5EED);
+  const Partitioning part(g, 8);
+  for (std::uint32_t y = 0; y < part.num_intervals(); ++y) {
+    for (std::uint32_t x = 0; x < part.num_intervals(); ++x) {
+      const std::span<const Edge> aos = part.block(x, y);
+      const EdgeBlockSoA soa = part.block_soa(x, y);
+      ASSERT_EQ(aos.size(), soa.size());
+      for (std::size_t i = 0; i < soa.size(); ++i) {
+        ASSERT_EQ(soa.weight_hash[i], Graph::edge_weight_hash(aos[i]));
+        for (const std::uint32_t max_weight : {1u, 7u, 64u, 255u})
+          ASSERT_EQ(Graph::edge_weight_from_hash(soa.weight_hash[i],
+                                                 max_weight),
+                    Graph::edge_weight(aos[i], max_weight));
+      }
+    }
+  }
+}
+
+TEST(SoaKernels, PatternReuseIsTraceInvisible) {
+  const struct {
+    const char* label;
+    Graph graph;
+  } graphs[] = {
+      {"rmat", generate_rmat(5000, 30000, {}, 0xBE7C)},
+      {"ba", generate_barabasi_albert(5000, 6, 0xBE7C)},
+  };
+  const auto cases = all_programs();
+  for (const auto& gc : graphs) {
+    const Partitioning part(gc.graph, 16);
+    for (const ProgramCase& pc : cases) {
+      SCOPED_TRACE(::testing::Message() << gc.label << "/" << pc.label);
+      const auto with = pc.make();
+      const auto without = pc.make();
+      const FrontierTrace on = run_frontier(
+          gc.graph, *with, part, FrontierOptions{.pattern_reuse = true});
+      const FrontierTrace off = run_frontier(
+          gc.graph, *without, part, FrontierOptions{.pattern_reuse = false});
+      // Replayed blocks are provably write-free, so reuse changes the
+      // host's streaming volume and nothing else: results, iteration
+      // counts and the per-iteration block traces are identical.
+      EXPECT_EQ(on.result.iterations, off.result.iterations);
+      EXPECT_EQ(on.result.destination_writes, off.result.destination_writes);
+      EXPECT_EQ(on.result.edges_traversed, off.result.edges_traversed);
+      EXPECT_EQ(off.edges_skipped, 0u);
+      EXPECT_EQ(off.blocks_skipped, 0u);
+      ASSERT_EQ(on.iteration_blocks.size(), off.iteration_blocks.size());
+      for (std::size_t it = 0; it < on.iteration_blocks.size(); ++it) {
+        const auto& lhs = on.iteration_blocks[it];
+        const auto& rhs = off.iteration_blocks[it];
+        ASSERT_EQ(lhs.size(), rhs.size()) << "iteration " << it;
+        for (std::size_t i = 0; i < lhs.size(); ++i) {
+          EXPECT_EQ(lhs[i].block, rhs[i].block);
+          EXPECT_EQ(lhs[i].edges, rhs[i].edges);
+        }
+      }
+      pc.expect_eq(*with, *without);
+    }
+  }
+}
+
+TEST(PartitionLazyMemo, ConcurrentBuildersShareOneImage) {
+  const Graph g = generate_rmat(4000, 24000, {}, 0xACE5);
+  const Partitioning part(g, 16);
+  const Partitioning copy = part;  // shares the lazy images
+  // Sweep workers race into the same cached partitioning; every caller
+  // must observe exactly one published transpose and one index.
+  std::vector<const EdgeColumns*> columns(8, nullptr);
+  std::vector<const SourceBlockIndex*> indexes(8, nullptr);
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&, t] {
+        const Partitioning& mine = (t % 2 == 0) ? part : copy;
+        columns[t] = &mine.edge_columns();
+        indexes[t] = &mine.source_block_index();
+        // Re-reads hit the published fast path.
+        EXPECT_EQ(columns[t], &mine.edge_columns());
+        EXPECT_EQ(indexes[t], &mine.source_block_index());
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+  for (int t = 1; t < 8; ++t) {
+    EXPECT_EQ(columns[t], columns[0]);
+    EXPECT_EQ(indexes[t], indexes[0]);
+  }
+  EXPECT_EQ(columns[0]->size(), g.num_edges());
+  EXPECT_GT(part.lazy_bytes(), 0u);
+}
+
+#ifndef NDEBUG
+TEST(SoaKernels, ChangedCoverAssertThrowsInDebugBuilds) {
+  const Graph g(4, {{0, 3}});
+  const Partitioning part(g, 1);
+  BfsProgram program;
+  program.init(g);
+  std::vector<char> too_small(1, 0);  // cannot index destination 3
+  EXPECT_THROW(program.process_block_soa(part.block_soa(0, 0), &too_small),
+               InvariantError);
+  EXPECT_THROW(program.process_block(part.block(0, 0), &too_small),
+               InvariantError);
+}
+#endif
+
+}  // namespace
+}  // namespace hyve

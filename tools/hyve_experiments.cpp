@@ -20,6 +20,7 @@
 #include <optional>
 #include <string>
 
+#include "algos/frontier.hpp"
 #include "core/bench_json.hpp"
 #include "core/report_io.hpp"
 #include "exp/sweep.hpp"
@@ -89,6 +90,10 @@ int main(int argc, char** argv) {
         }
       });
   parser.flag("--frontier", "add the block-skipping variant", &add_frontier);
+  parser.flag("--no-pattern-reuse",
+              "disable per-iteration pattern reuse in frontier runs "
+              "(identical output, more host work)",
+              [&] { set_pattern_reuse_enabled(false); });
   parser.option("--jobs", "N",
                 "worker threads (0 = hardware concurrency; default 1)",
                 [&](const std::string& v) {

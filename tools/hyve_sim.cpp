@@ -19,6 +19,7 @@
 
 #include <unistd.h>
 
+#include "algos/frontier.hpp"
 #include "baselines/cpu.hpp"
 #include "baselines/graphr.hpp"
 #include "core/bench_json.hpp"
@@ -110,6 +111,18 @@ int run_metrics_census() {
   exp::SweepOptions options;
   options.jobs = 1;
   engine.run(spec, options);
+
+  // One frontier-mode run so the pattern-reuse tallies register:
+  // sim.kernel.blocks_skipped / edges_skipped.
+  {
+    exp::SweepSpec frontier_spec;
+    HyveConfig frontier_config = HyveConfig::hyve_opt();
+    frontier_config.frontier_block_skipping = true;
+    frontier_spec.configs = {frontier_config};
+    frontier_spec.algorithms = {Algorithm::kBfs};
+    frontier_spec.graphs = {"census"};
+    engine.run(frontier_spec, options);
+  }
 
   // Detailed-mode memory timing (driven by the timing tests/benches,
   // not the analytic machine walk): sim.memctl.*, sim.dram.*,
@@ -286,6 +299,11 @@ int main(int argc, char** argv) {
               [&] { config.data_sharing = false; });
   parser.flag("--no-power-gating", "disable bank-level power gating",
               [&] { config.power_gating = false; });
+  parser.flag("--no-pattern-reuse",
+              "disable per-iteration pattern reuse in frontier runs "
+              "(results are identical either way; this re-streams every "
+              "active block)",
+              [&] { set_pattern_reuse_enabled(false); });
   parser.flag("--compare", "also run GraphR and the CPU baselines", &compare);
   parser.flag("--area", "print the silicon area estimate", &area);
   parser.flag("--csv", "machine-readable breakdown", &csv);
